@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7:
+//! contention model, EMA smoothing factor, step size `L`, slowdown-update
+//! rule, and derived reduced-associativity SDCs. Criterion measures the
+//! cost side; the accuracy side of each ablation is reported by
+//! `cargo run -p mppm-experiments --bin ablation`.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mppm::{
+    FoaModel, Mppm, MppmConfig, ProbModel, SdcCompetitionModel, SingleCoreProfile,
+    SlowdownUpdate,
+};
+use mppm_bench::{bench_profiles, default_mix};
+use mppm_cache::Sdc;
+
+fn profiles() -> Vec<SingleCoreProfile> {
+    bench_profiles(&default_mix())
+}
+
+fn bench_contention_models(c: &mut Criterion) {
+    let profiles = profiles();
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let mut group = c.benchmark_group("contention_model");
+    group.bench_function("foa", |b| {
+        let m = Mppm::new(MppmConfig::default(), FoaModel);
+        b.iter(|| m.predict(&refs).expect("valid"));
+    });
+    group.bench_function("sdc_competition", |b| {
+        let m = Mppm::new(MppmConfig::default(), SdcCompetitionModel);
+        b.iter(|| m.predict(&refs).expect("valid"));
+    });
+    group.bench_function("prob", |b| {
+        let m = Mppm::new(MppmConfig::default(), ProbModel);
+        b.iter(|| m.predict(&refs).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_ema_factors(c: &mut Criterion) {
+    let profiles = profiles();
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let mut group = c.benchmark_group("ema_factor");
+    for ema in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        let m = Mppm::new(MppmConfig { ema, ..Default::default() }, FoaModel);
+        group.bench_with_input(BenchmarkId::from_parameter(ema), &ema, |b, _| {
+            b.iter(|| m.predict(&refs).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_sizes(c: &mut Criterion) {
+    let profiles = profiles();
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let interval = profiles[0].interval_insns();
+    let mut group = c.benchmark_group("step_size_intervals");
+    for intervals in [1u64, 5, 10, 25] {
+        let m = Mppm::new(
+            MppmConfig { step_insns: Some(intervals * interval), ..Default::default() },
+            FoaModel,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(intervals), &intervals, |b, _| {
+            b.iter(|| m.predict(&refs).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_rules(c: &mut Criterion) {
+    let profiles = profiles();
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let mut group = c.benchmark_group("slowdown_update");
+    for (name, update) in [
+        ("isolated_cycles", SlowdownUpdate::IsolatedCycles),
+        ("window_cycles", SlowdownUpdate::WindowCycles),
+    ] {
+        let m = Mppm::new(MppmConfig { update, ..Default::default() }, FoaModel);
+        group.bench_function(name, |b| {
+            b.iter(|| m.predict(&refs).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+/// The paper's reduced-associativity derivation (§2): folding a 16-way
+/// SDC to 8 ways versus re-measuring. The fold must be effectively free.
+fn bench_sdc_fold(c: &mut Criterion) {
+    let mut sdc = Sdc::new(16);
+    for d in 0..16 {
+        for _ in 0..(1000 - d * 50) {
+            sdc.record(Some(d as u32));
+        }
+    }
+    for _ in 0..500 {
+        sdc.record(None);
+    }
+    c.bench_function("sdc_fold_16_to_8", |b| b.iter(|| sdc.fold_to(8)));
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches regenerate paper artifacts, they are
+    // not micro-optimizing; wall-clock budget matters more than 1% CIs.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_contention_models, bench_ema_factors, bench_step_sizes, bench_update_rules, bench_sdc_fold
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Per-figure regeneration cost at smoke scale. These benches answer "how
+//! long does it take to redo the paper's analysis once profiles exist" —
+//! the quantity MPPM is designed to make small.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mppm::mix::sample_random;
+use mppm::stats::{ci95, spearman};
+use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
+use mppm_bench::bench_profiles;
+use mppm_trace::suite;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn suite_profiles() -> Vec<SingleCoreProfile> {
+    bench_profiles(&suite::names())
+}
+
+/// Figure 3: the variability curve is `predict` over a mix population
+/// plus confidence intervals.
+fn bench_fig3_variability(c: &mut Criterion) {
+    let profiles = suite_profiles();
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mixes = sample_random(profiles.len(), 4, 60, &mut rng);
+    c.bench_function("fig3_variability_curve_60_mixes", |b| {
+        b.iter(|| {
+            let stp: Vec<f64> = mixes
+                .iter()
+                .map(|mix| {
+                    let refs: Vec<&SingleCoreProfile> = mix.resolve(&profiles);
+                    model.predict(&refs).expect("valid").stp()
+                })
+                .collect();
+            ci95(&stp).expect("enough samples")
+        });
+    });
+}
+
+/// Figure 6: evaluating the paper's worst mix with the model.
+fn bench_fig6_worst_mix(c: &mut Criterion) {
+    let profiles = bench_profiles(&["gamess", "gamess", "hmmer", "soplex"]);
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    c.bench_function("fig6_worst_mix_prediction", |b| {
+        b.iter(|| model.predict(&refs).expect("valid"));
+    });
+}
+
+/// Figure 7: ranking six configurations = six average-STP estimates plus
+/// a rank correlation. Profiles per config are the one-time cost; this
+/// measures the recurring part over a 40-mix population.
+fn bench_fig7_model_ranking(c: &mut Criterion) {
+    let profiles = suite_profiles();
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mixes = sample_random(profiles.len(), 4, 40, &mut rng);
+    c.bench_function("fig7_rank_40_mixes", |b| {
+        b.iter(|| {
+            let stp: Vec<f64> = mixes
+                .iter()
+                .map(|mix| {
+                    let refs: Vec<&SingleCoreProfile> = mix.resolve(&profiles);
+                    model.predict(&refs).expect("valid").stp()
+                })
+                .collect();
+            let reference: Vec<f64> = (0..stp.len()).map(|i| i as f64).collect();
+            spearman(&stp, &reference)
+        });
+    });
+}
+
+/// Figure 9: stress identification = predict a population and sort.
+fn bench_fig9_stress_sort(c: &mut Criterion) {
+    let profiles = suite_profiles();
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mixes = sample_random(profiles.len(), 4, 60, &mut rng);
+    c.bench_function("fig9_stress_sort_60_mixes", |b| {
+        b.iter(|| {
+            let mut stp: Vec<f64> = mixes
+                .iter()
+                .map(|mix| {
+                    let refs: Vec<&SingleCoreProfile> = mix.resolve(&profiles);
+                    model.predict(&refs).expect("valid").stp()
+                })
+                .collect();
+            stp.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            stp
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches regenerate paper artifacts, they are
+    // not micro-optimizing; wall-clock budget matters more than 1% CIs.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_fig3_variability, bench_fig6_worst_mix, bench_fig7_model_ranking, bench_fig9_stress_sort
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! §4.3 / the speed claim: MPPM evaluation versus detailed multi-core
+//! simulation of the same workload, per core count. The paper's headline
+//! is "up to five orders of magnitude faster than detailed simulation";
+//! the per-mix model time must also stay roughly linear in the number of
+//! programs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
+use mppm_bench::{bench_geometry, bench_profiles};
+use mppm_sim::{simulate_mix, MachineConfig};
+use mppm_trace::suite;
+
+fn core_counts() -> Vec<usize> {
+    vec![2, 4, 8]
+}
+
+fn mix_names(cores: usize) -> Vec<&'static str> {
+    ["gamess", "hmmer", "soplex", "lbm", "mcf", "povray", "gobmk", "omnetpp"]
+        .into_iter()
+        .cycle()
+        .take(cores)
+        .collect()
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mppm_predict");
+    for cores in core_counts() {
+        let names = mix_names(cores);
+        let profiles = bench_profiles(&names);
+        let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+        let model = Mppm::new(MppmConfig::default(), FoaModel);
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {
+            b.iter(|| model.predict(&refs).expect("valid profiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detailed_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detailed_simulation");
+    let machine = MachineConfig::baseline();
+    for cores in core_counts() {
+        let specs: Vec<_> = mix_names(cores)
+            .iter()
+            .map(|n| suite::benchmark(n).expect("benchmark exists"))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {
+            b.iter(|| simulate_mix(&specs, &machine, bench_geometry()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: these benches regenerate paper artifacts, they are
+    // not micro-optimizing; wall-clock budget matters more than 1% CIs.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_model, bench_detailed_sim
+}
+criterion_main!(benches);

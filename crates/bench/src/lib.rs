@@ -1,0 +1,46 @@
+//! Shared helpers for the Criterion benchmarks regenerating the paper's
+//! tables and figures.
+//!
+//! Bench targets (run with `cargo bench -p mppm-bench`):
+//!
+//! * `model_vs_sim` — §4.3 / the speed table: one MPPM evaluation versus
+//!   one detailed multi-core simulation, per core count.
+//! * `figures` — per-figure regeneration cost at smoke scale (Fig. 3
+//!   variability, Fig. 6 worst-mix evaluation, Fig. 7 model ranking,
+//!   Fig. 9 stress sort).
+//! * `ablations` — design choices called out in DESIGN.md: contention
+//!   model (FOA / SDC-competition / Prob), EMA factor, step size `L`,
+//!   slowdown-update rule, and derived-vs-reprofiled reduced-associativity
+//!   SDCs.
+//! * `substrates` — the building blocks: cache access, SDC math,
+//!   synthetic trace generation, single-core simulation throughput.
+
+use mppm::SingleCoreProfile;
+use mppm_sim::{profile_single_core, MachineConfig};
+use mppm_trace::{suite, TraceGeometry};
+
+/// Geometry used by benches: small enough for Criterion's repetitions.
+pub fn bench_geometry() -> TraceGeometry {
+    TraceGeometry::new(20_000, 10)
+}
+
+/// Profiles of a handful of representative benchmarks on the baseline
+/// machine, at bench geometry.
+pub fn bench_profiles(names: &[&str]) -> Vec<SingleCoreProfile> {
+    let machine = MachineConfig::baseline();
+    names
+        .iter()
+        .map(|n| {
+            profile_single_core(
+                suite::benchmark(n).expect("benchmark exists"),
+                &machine,
+                bench_geometry(),
+            )
+        })
+        .collect()
+}
+
+/// The canonical mixed workload used across benches.
+pub fn default_mix() -> Vec<&'static str> {
+    vec!["gamess", "hmmer", "soplex", "lbm"]
+}

@@ -1,0 +1,88 @@
+use serde::{Deserialize, Serialize};
+
+/// Geometry and access latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line (block) size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config and checks its invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the capacity is not an integer
+    /// number of sets of `assoc` lines.
+    pub fn new(size_bytes: u64, assoc: u32, line_bytes: u32, latency: u32) -> Self {
+        let cfg = Self { size_bytes, assoc, line_bytes, latency };
+        assert!(size_bytes > 0 && assoc > 0 && line_bytes > 0, "cache dimensions must be positive");
+        assert_eq!(
+            size_bytes % (u64::from(assoc) * u64::from(line_bytes)),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        cfg
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.assoc) * u64::from(self.line_bytes))
+    }
+
+    /// Total capacity in lines (blocks).
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes)
+    }
+
+    /// The same cache with a different associativity (and latency),
+    /// keeping capacity constant. Used when deriving reduced-associativity
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into sets of the new
+    /// associativity.
+    pub fn with_assoc(&self, assoc: u32, latency: u32) -> Self {
+        Self::new(self.size_bytes, assoc, self.line_bytes, latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_math() {
+        let c = CacheConfig::new(512 * 1024, 8, 64, 16);
+        assert_eq!(c.sets(), 1024);
+        assert_eq!(c.lines(), 8192);
+    }
+
+    #[test]
+    fn with_assoc_keeps_capacity() {
+        let c = CacheConfig::new(512 * 1024, 16, 64, 20);
+        let d = c.with_assoc(8, 16);
+        assert_eq!(d.lines(), c.lines());
+        assert_eq!(d.sets(), 2 * c.sets());
+        assert_eq!(d.latency, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn rejects_ragged_capacity() {
+        CacheConfig::new(1000, 3, 64, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_assoc() {
+        CacheConfig::new(1024, 0, 64, 1);
+    }
+}

@@ -1,0 +1,356 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CacheConfig;
+
+/// Victim-selection policy of a [`SetAssocCache`].
+///
+/// MPPM's stack-distance mathematics assumes LRU (the paper's machine uses
+/// LRU at every level); the other policies exist for extension studies and
+/// to exercise the simulator's independence from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Evict the least-recently-used line.
+    Lru,
+    /// Evict the oldest-inserted line.
+    Fifo,
+    /// Evict a uniformly random line (deterministic via the given seed).
+    Random {
+        /// Seed for the victim-picking RNG.
+        seed: u64,
+    },
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// 0-based LRU-stack depth of the hit within its set (`0` = MRU);
+    /// `None` on a miss. Feed this to [`crate::Sdc::record`].
+    pub depth: Option<u32>,
+    /// Block evicted to make room, if the access missed in a full set.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    block: u64,
+    inserted: u64,
+}
+
+/// A set-associative cache over 64-bit block identifiers.
+///
+/// The cache stores whole block ids (callers index by block, not byte
+/// address) and keeps each set in recency order, so every hit reports its
+/// LRU-stack depth — the quantity stack-distance counter profiles are built
+/// from.
+///
+/// # Example
+///
+/// ```
+/// use mppm_cache::{CacheConfig, Replacement, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::new(4096, 4, 64, 1), Replacement::Lru);
+/// assert!(!c.access(7).hit);
+/// assert_eq!(c.access(7).depth, Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    /// Per-set ways in recency order (MRU first).
+    sets: Vec<Vec<Way>>,
+    replacement: Replacement,
+    rng: Option<SmallRng>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig, replacement: Replacement) -> Self {
+        let sets = vec![Vec::with_capacity(config.assoc as usize); config.sets() as usize];
+        let rng = match replacement {
+            Replacement::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Self { config, sets, replacement, rng, tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Total hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Accesses `block`, filling it on a miss.
+    ///
+    /// On a hit the block moves to the MRU position of its set; on a miss
+    /// it is inserted at MRU, evicting a victim chosen by the replacement
+    /// policy if the set is full.
+    pub fn access(&mut self, block: u64) -> AccessResult {
+        self.tick += 1;
+        let set_idx = (block % self.config.sets()) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.block == block) {
+            let way = set.remove(pos);
+            set.insert(0, way);
+            self.hits += 1;
+            return AccessResult { hit: true, depth: Some(pos as u32), evicted: None };
+        }
+        self.misses += 1;
+        let evicted = if set.len() == self.config.assoc as usize {
+            let victim_pos = match self.replacement {
+                Replacement::Lru => set.len() - 1,
+                Replacement::Fifo => {
+                    let (pos, _) = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.inserted)
+                        .expect("set is non-empty");
+                    pos
+                }
+                Replacement::Random { .. } => {
+                    let rng = self.rng.as_mut().expect("random policy has an rng");
+                    rng.gen_range(0..set.len())
+                }
+            };
+            Some(set.remove(victim_pos).block)
+        } else {
+            None
+        };
+        set.insert(0, Way { block, inserted: self.tick });
+        AccessResult { hit: false, depth: None, evicted }
+    }
+
+    /// Whether `block` is currently resident (does not touch recency).
+    pub fn contains(&self, block: u64) -> bool {
+        let set_idx = (block % self.config.sets()) as usize;
+        self.sets[set_idx].iter().any(|w| w.block == block)
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> u64 {
+        self.sets.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Invalidates everything and clears statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        if let Replacement::Random { seed } = self.replacement {
+            self.rng = Some(SmallRng::seed_from_u64(seed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32) -> SetAssocCache {
+        // 4 sets of `assoc` ways, 64B lines.
+        let size = u64::from(assoc) * 4 * 64;
+        SetAssocCache::new(CacheConfig::new(size, assoc, 64, 1), Replacement::Lru)
+    }
+
+    #[test]
+    fn miss_then_hit_at_mru() {
+        let mut c = tiny(4);
+        let r = c.access(10);
+        assert!(!r.hit);
+        assert_eq!(r.depth, None);
+        let r = c.access(10);
+        assert!(r.hit);
+        assert_eq!(r.depth, Some(0));
+    }
+
+    #[test]
+    fn depth_reflects_recency() {
+        let mut c = tiny(4);
+        // Same set: blocks 0, 4, 8 (4 sets).
+        c.access(0);
+        c.access(4);
+        c.access(8);
+        // 0 is now at depth 2.
+        assert_eq!(c.access(0).depth, Some(2));
+        // 0 moved to MRU; 8 is at depth 1; 4 at depth 2.
+        assert_eq!(c.access(8).depth, Some(1));
+        assert_eq!(c.access(4).depth, Some(2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2);
+        c.access(0);
+        c.access(4);
+        let r = c.access(8); // evicts 0
+        assert_eq!(r.evicted, Some(0));
+        assert!(!c.contains(0));
+        assert!(c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn fifo_evicts_first_inserted_even_if_recent() {
+        let mut c = SetAssocCache::new(CacheConfig::new(2 * 4 * 64, 2, 64, 1), Replacement::Fifo);
+        c.access(0);
+        c.access(4);
+        c.access(0); // touch 0; LRU would evict 4 next, FIFO still evicts 0
+        let r = c.access(8);
+        assert_eq!(r.evicted, Some(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mk = || {
+            SetAssocCache::new(
+                CacheConfig::new(4 * 4 * 64, 4, 64, 1),
+                Replacement::Random { seed: 9 },
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..200u64 {
+            assert_eq!(a.access(i * 4), b.access(i * 4));
+        }
+    }
+
+    #[test]
+    fn occupancy_saturates_at_capacity() {
+        let mut c = tiny(4);
+        for i in 0..1000 {
+            c.access(i);
+        }
+        assert_eq!(c.occupancy(), 16);
+        assert_eq!(c.hits() + c.misses(), 1000);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = tiny(8); // 32 lines
+        for round in 0..10 {
+            for b in 0..32u64 {
+                let r = c.access(b);
+                if round > 0 {
+                    assert!(r.hit, "block {b} should hit after warmup");
+                }
+            }
+        }
+        assert_eq!(c.misses(), 32);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = tiny(2);
+        c.access(1);
+        c.access(2);
+        c.reset();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny(1); // direct-mapped, 4 sets
+        c.access(0);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        assert!(c.access(0).hit);
+        assert!(c.access(1).hit);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn policies() -> Vec<Replacement> {
+            vec![Replacement::Lru, Replacement::Fifo, Replacement::Random { seed: 1 }]
+        }
+
+        proptest! {
+            /// Under any policy: hit+miss counts add up, occupancy never
+            /// exceeds capacity, and an access to a just-accessed block
+            /// always hits.
+            #[test]
+            fn bookkeeping_invariants(
+                blocks in proptest::collection::vec(0u64..200, 1..300),
+                assoc in 1u32..8,
+            ) {
+                for policy in policies() {
+                    let sets = 4u64;
+                    let cfg = CacheConfig::new(
+                        sets * u64::from(assoc) * 64, assoc, 64, 1,
+                    );
+                    let mut cache = SetAssocCache::new(cfg, policy);
+                    for &b in &blocks {
+                        let r = cache.access(b);
+                        if r.hit {
+                            prop_assert!(r.evicted.is_none());
+                            prop_assert!(r.depth.expect("hits have depth") < assoc);
+                        }
+                        prop_assert!(cache.contains(b), "just-inserted block resident");
+                        prop_assert!(cache.access(b).hit, "immediate re-access hits");
+                    }
+                    prop_assert!(cache.occupancy() <= cfg.lines());
+                    prop_assert_eq!(
+                        cache.hits() + cache.misses(),
+                        2 * blocks.len() as u64
+                    );
+                }
+            }
+
+            /// An LRU cache's miss count equals the SDC-predicted misses
+            /// when the SDC is measured on the same stream — the identity
+            /// the whole profiling methodology rests on.
+            #[test]
+            fn lru_misses_match_sdc(
+                blocks in proptest::collection::vec(0u64..100, 1..400),
+            ) {
+                let cfg = CacheConfig::new(4 * 4 * 64, 4, 64, 1);
+                let mut cache = SetAssocCache::new(cfg, Replacement::Lru);
+                let mut sdc = crate::Sdc::new(4);
+                for &b in &blocks {
+                    sdc.record(cache.access(b).depth);
+                }
+                prop_assert_eq!(sdc.misses() as u64, cache.misses());
+                prop_assert_eq!(sdc.accesses() as u64, blocks.len() as u64);
+                // And folding to a smaller associativity can only add
+                // misses.
+                prop_assert!(sdc.fold_to(2).misses() >= sdc.misses());
+            }
+
+            /// A working set within one set's capacity never misses after
+            /// the cold pass, under LRU and FIFO alike.
+            #[test]
+            fn resident_set_stops_missing(assoc in 2u32..8, rounds in 2u32..6) {
+                for policy in [Replacement::Lru, Replacement::Fifo] {
+                    let cfg = CacheConfig::new(u64::from(assoc) * 64, assoc, 64, 1);
+                    let mut cache = SetAssocCache::new(cfg, policy);
+                    for _ in 0..rounds {
+                        for b in 0..u64::from(assoc) {
+                            cache.access(b);
+                        }
+                    }
+                    prop_assert_eq!(cache.misses(), u64::from(assoc), "{:?}", policy);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Hand-rolled argument parsing for the CLI (kept dependency-free).
+
+use std::fmt;
+
+/// Which contention model a prediction uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentionKind {
+    /// Frequency-of-access (the paper's choice).
+    Foa,
+    /// Stack-distance competition.
+    SdcCompetition,
+    /// Simplified inductive probability.
+    Prob,
+    /// Static way partition with the given allocation.
+    Partition(Vec<u32>),
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Show the benchmark suite with isolated-profile statistics.
+    List {
+        /// Table 2 LLC config, 0-based.
+        config: usize,
+        /// Smoke-test geometry instead of full traces.
+        quick: bool,
+    },
+    /// Predict a mix analytically.
+    Predict {
+        /// Benchmark names, one per core.
+        mix: Vec<String>,
+        config: usize,
+        quick: bool,
+        contention: ContentionKind,
+        /// Shared memory bandwidth (accesses/cycle), if limited.
+        bandwidth: Option<f64>,
+    },
+    /// Run the detailed simulator on a mix and compare with the model.
+    Simulate {
+        /// Benchmark names, one per core.
+        mix: Vec<String>,
+        config: usize,
+        quick: bool,
+    },
+    /// Print how many distinct mixes exist for `cores` programs.
+    Count {
+        /// Programs per mix.
+        cores: usize,
+    },
+    /// Record one trace pass of a benchmark to a binary file.
+    Record {
+        /// Benchmark name.
+        benchmark: String,
+        /// Output path.
+        out: String,
+        quick: bool,
+    },
+    /// Show usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mppm-cli — the Multi-Program Performance Model toolkit
+
+USAGE:
+  mppm-cli list [--config N] [--quick]
+  mppm-cli predict <bench,bench,...> [--config N] [--quick]
+              [--contention foa|sdc|prob] [--partition w1,w2,...]
+              [--bandwidth ACC_PER_CYCLE]
+  mppm-cli simulate <bench,bench,...> [--config N] [--quick]
+  mppm-cli count <cores>
+  mppm-cli record <bench> --out FILE [--quick]
+  mppm-cli help
+
+Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
+--config selects the Table 2 LLC configuration 1..6 (default 1).
+--quick uses short traces for instant results.";
+
+fn parse_config(value: &str) -> Result<usize, ParseError> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| ParseError(format!("--config expects a number 1..6, got `{value}`")))?;
+    if !(1..=6).contains(&n) {
+        return Err(ParseError(format!("--config must be 1..6, got {n}")));
+    }
+    Ok(n - 1)
+}
+
+fn parse_mix(value: &str) -> Result<Vec<String>, ParseError> {
+    let mix: Vec<String> =
+        value.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    if mix.is_empty() {
+        return Err(ParseError("mix must contain at least one benchmark".into()));
+    }
+    Ok(mix)
+}
+
+/// Parses an argv (excluding the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a user-facing message for anything
+/// malformed.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().map(String::as_str).peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+
+    // Collect flags generically: `--name value` or bare `--quick`.
+    let rest: Vec<&str> = it.collect();
+    let mut positional = Vec::new();
+    let mut flags: Vec<(&str, Option<&str>)> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "quick" {
+                flags.push((name, None));
+                i += 1;
+            } else {
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError(format!("--{name} expects a value")))?;
+                flags.push((name, Some(value)));
+                i += 2;
+            }
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    let flag = |name: &str| flags.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+    let quick = flag("quick").is_some();
+    let config = match flag("config") {
+        Some(Some(v)) => parse_config(v)?,
+        _ => 0,
+    };
+    let known_flags: &[&str] = match cmd {
+        "predict" => &["quick", "config", "contention", "partition", "bandwidth"],
+        "list" | "simulate" => &["quick", "config"],
+        "record" => &["quick", "out"],
+        _ => &[],
+    };
+    for (name, _) in &flags {
+        if !known_flags.contains(name) {
+            return Err(ParseError(format!("unknown flag --{name} for `{cmd}`")));
+        }
+    }
+
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List { config, quick }),
+        "count" => {
+            let cores = positional
+                .first()
+                .ok_or_else(|| ParseError("count expects the number of cores".into()))?;
+            let cores: usize = cores
+                .parse()
+                .map_err(|_| ParseError(format!("count expects a number, got `{cores}`")))?;
+            if cores == 0 {
+                return Err(ParseError("count expects at least one core".into()));
+            }
+            Ok(Command::Count { cores })
+        }
+        "predict" => {
+            let mix = parse_mix(
+                positional.first().ok_or_else(|| ParseError("predict expects a mix".into()))?,
+            )?;
+            let contention = match (flag("contention"), flag("partition")) {
+                (Some(_), Some(_)) => {
+                    return Err(ParseError(
+                        "--contention and --partition are mutually exclusive".into(),
+                    ))
+                }
+                (None, None) => ContentionKind::Foa,
+                (Some(Some("foa")), None) => ContentionKind::Foa,
+                (Some(Some("sdc")), None) => ContentionKind::SdcCompetition,
+                (Some(Some("prob")), None) => ContentionKind::Prob,
+                (Some(Some(other)), None) => {
+                    return Err(ParseError(format!(
+                        "unknown contention model `{other}` (foa|sdc|prob)"
+                    )))
+                }
+                (Some(None), _) | (None, Some(None)) => {
+                    return Err(ParseError("missing flag value".into()))
+                }
+                (None, Some(Some(spec))) => {
+                    let ways: Result<Vec<u32>, _> =
+                        spec.split(',').map(|w| w.trim().parse::<u32>()).collect();
+                    let ways = ways.map_err(|_| {
+                        ParseError(format!("--partition expects way counts, got `{spec}`"))
+                    })?;
+                    if ways.len() != mix.len() {
+                        return Err(ParseError(format!(
+                            "--partition needs one way count per program ({} vs {})",
+                            ways.len(),
+                            mix.len()
+                        )));
+                    }
+                    ContentionKind::Partition(ways)
+                }
+            };
+            let bandwidth = match flag("bandwidth") {
+                Some(Some(v)) => Some(v.parse::<f64>().map_err(|_| {
+                    ParseError(format!("--bandwidth expects a number, got `{v}`"))
+                })?),
+                _ => None,
+            };
+            Ok(Command::Predict { mix, config, quick, contention, bandwidth })
+        }
+        "simulate" => {
+            let mix = parse_mix(
+                positional.first().ok_or_else(|| ParseError("simulate expects a mix".into()))?,
+            )?;
+            Ok(Command::Simulate { mix, config, quick })
+        }
+        "record" => {
+            let benchmark = positional
+                .first()
+                .ok_or_else(|| ParseError("record expects a benchmark name".into()))?
+                .to_string();
+            let out = match flag("out") {
+                Some(Some(v)) => v.to_string(),
+                _ => return Err(ParseError("record needs --out FILE".into())),
+            };
+            Ok(Command::Record { benchmark, out, quick })
+        }
+        other => Err(ParseError(format!("unknown command `{other}`; try `mppm-cli help`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn parse_err(args: &[&str]) -> String {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err().0
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_ok(&["help"]), Command::Help);
+    }
+
+    #[test]
+    fn list_defaults() {
+        assert_eq!(parse_ok(&["list"]), Command::List { config: 0, quick: false });
+        assert_eq!(
+            parse_ok(&["list", "--config", "3", "--quick"]),
+            Command::List { config: 2, quick: true }
+        );
+    }
+
+    #[test]
+    fn config_bounds() {
+        assert!(parse_err(&["list", "--config", "0"]).contains("1..6"));
+        assert!(parse_err(&["list", "--config", "7"]).contains("1..6"));
+        assert!(parse_err(&["list", "--config", "x"]).contains("number"));
+    }
+
+    #[test]
+    fn predict_mix_and_model() {
+        let cmd = parse_ok(&["predict", "gamess,lbm", "--contention", "prob"]);
+        assert_eq!(
+            cmd,
+            Command::Predict {
+                mix: vec!["gamess".into(), "lbm".into()],
+                config: 0,
+                quick: false,
+                contention: ContentionKind::Prob,
+                bandwidth: None,
+            }
+        );
+    }
+
+    #[test]
+    fn predict_partition() {
+        let cmd = parse_ok(&["predict", "gamess,lbm", "--partition", "6,2"]);
+        match cmd {
+            Command::Predict { contention: ContentionKind::Partition(w), .. } => {
+                assert_eq!(w, vec![6, 2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_err(&["predict", "a,b", "--partition", "6"]).contains("one way count"));
+        assert!(parse_err(&["predict", "a,b", "--partition", "6,2", "--contention", "foa"])
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn predict_bandwidth() {
+        let cmd = parse_ok(&["predict", "lbm,mcf", "--bandwidth", "0.05"]);
+        match cmd {
+            Command::Predict { bandwidth, .. } => assert_eq!(bandwidth, Some(0.05)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_parses() {
+        assert_eq!(parse_ok(&["count", "4"]), Command::Count { cores: 4 });
+        assert!(parse_err(&["count"]).contains("expects"));
+        assert!(parse_err(&["count", "0"]).contains("at least one"));
+    }
+
+    #[test]
+    fn record_needs_out() {
+        assert_eq!(
+            parse_ok(&["record", "gcc", "--out", "/tmp/gcc.trace"]),
+            Command::Record { benchmark: "gcc".into(), out: "/tmp/gcc.trace".into(), quick: false }
+        );
+        assert!(parse_err(&["record", "gcc"]).contains("--out"));
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_are_rejected() {
+        assert!(parse_err(&["list", "--bogus", "1"]).contains("unknown flag"));
+        assert!(parse_err(&["frobnicate"]).contains("unknown command"));
+    }
+}

@@ -1,0 +1,251 @@
+//! `mppm-cli` — command-line interface to the MPPM toolkit.
+//!
+//! ```text
+//! mppm-cli list                         # the 29-benchmark suite, profiled
+//! mppm-cli predict gamess,gamess,hmmer,soplex
+//! mppm-cli simulate gamess,lbm --config 5
+//! mppm-cli count 8                      # how many 8-program mixes exist
+//! mppm-cli record gcc --out gcc.trace   # binary trace capture
+//! ```
+//!
+//! Profiles and simulations are cached under `target/mppm-store`, shared
+//! with the experiment binaries.
+
+mod args;
+
+use args::{parse, Command, ContentionKind, USAGE};
+use mppm::classify::{classify, Thresholds};
+use mppm::mix::count_mixes;
+use mppm::{
+    ContentionModel, FoaModel, Mppm, MppmConfig, PartitionModel, Prediction, ProbModel,
+    SdcCompetitionModel, SingleCoreProfile,
+};
+use mppm_experiments::table::{f3, Table};
+use mppm_experiments::Store;
+use mppm_sim::{llc_configs, MachineConfig};
+use mppm_trace::{suite, RecordedTrace, TraceGeometry, TraceStream};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(cmd) => {
+            if let Err(e) = run(cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn geometry(quick: bool) -> TraceGeometry {
+    if quick {
+        TraceGeometry::new(50_000, 20)
+    } else {
+        TraceGeometry::default()
+    }
+}
+
+fn machine(config: usize) -> MachineConfig {
+    MachineConfig::baseline().with_llc(llc_configs()[config])
+}
+
+fn resolve_mix(names: &[String]) -> Result<Vec<&'static mppm_trace::BenchmarkSpec>, String> {
+    names
+        .iter()
+        .map(|n| {
+            suite::benchmark(n).ok_or_else(|| {
+                format!("unknown benchmark `{n}`; `mppm-cli list` shows the suite")
+            })
+        })
+        .collect()
+}
+
+fn profiles_for(
+    store: &Store,
+    specs: &[&mppm_trace::BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+) -> Vec<SingleCoreProfile> {
+    specs.iter().map(|s| store.profile(s, machine, geometry)).collect()
+}
+
+fn predict_with_kind(
+    profiles: &[SingleCoreProfile],
+    kind: &ContentionKind,
+    bandwidth: Option<f64>,
+) -> Result<Prediction, String> {
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let config = MppmConfig { bandwidth, ..MppmConfig::default() };
+    fn go<M: ContentionModel>(
+        cfg: MppmConfig,
+        m: M,
+        refs: &[&SingleCoreProfile],
+    ) -> Result<Prediction, String> {
+        Mppm::new(cfg, m).predict(refs).map_err(|e| e.to_string())
+    }
+    match kind {
+        ContentionKind::Foa => go(config, FoaModel, &refs),
+        ContentionKind::SdcCompetition => go(config, SdcCompetitionModel, &refs),
+        ContentionKind::Prob => go(config, ProbModel, &refs),
+        ContentionKind::Partition(ways) => go(config, PartitionModel::new(ways.clone()), &refs),
+    }
+}
+
+fn print_prediction(pred: &Prediction) {
+    let mut t = Table::new(&["program", "CPI isolated", "CPI multi-core", "slowdown"]);
+    for (((name, sc), mc), slow) in pred
+        .names()
+        .iter()
+        .zip(pred.cpi_sc())
+        .zip(pred.cpi_mc())
+        .zip(pred.slowdowns())
+    {
+        t.row(vec![name.clone(), f3(*sc), f3(*mc), f3(*slow)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "STP {:.3} (of {} ideal)   ANTT {:.3}   ({} model iterations)",
+        pred.stp(),
+        pred.names().len(),
+        pred.antt(),
+        pred.steps()
+    );
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Count { cores } => {
+            let n = suite::spec_suite().len();
+            println!(
+                "{} distinct {cores}-program workloads over the {n}-benchmark suite",
+                count_mixes(n, cores)
+            );
+            Ok(())
+        }
+        Command::List { config, quick } => {
+            let store = Store::open_default().map_err(|e| e.to_string())?;
+            let machine = machine(config);
+            let g = geometry(quick);
+            eprintln!(
+                "profiling the suite on LLC config #{} ({}KB {}-way, {} cycles)...",
+                config + 1,
+                machine.llc.size_bytes / 1024,
+                machine.llc.assoc,
+                machine.llc.latency
+            );
+            let mut t = Table::new(&[
+                "benchmark",
+                "CPI",
+                "mem CPI",
+                "LLC acc/ki",
+                "LLC miss/ki",
+                "class",
+            ]);
+            for spec in suite::spec_suite() {
+                let p = store.profile(spec, &machine, g);
+                t.row(vec![
+                    p.name.clone(),
+                    f3(p.cpi_sc()),
+                    f3(p.cpi_mem()),
+                    format!("{:.1}", p.apki()),
+                    format!("{:.2}", p.mpki()),
+                    classify(&p, Thresholds::default()).to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+            Ok(())
+        }
+        Command::Predict { mix, config, quick, contention, bandwidth } => {
+            let store = Store::open_default().map_err(|e| e.to_string())?;
+            let mut m = machine(config);
+            if let Some(bw) = bandwidth {
+                m = m.with_mem_bandwidth(bw);
+            }
+            if let ContentionKind::Partition(ways) = &contention {
+                if ways.contains(&0) {
+                    return Err("every program needs at least one way".into());
+                }
+                let total: u32 = ways.iter().sum();
+                if total != m.llc.assoc {
+                    return Err(format!(
+                        "--partition ways sum to {total} but LLC config #{} has {} ways",
+                        config + 1,
+                        m.llc.assoc
+                    ));
+                }
+            }
+            let specs = resolve_mix(&mix)?;
+            let profiles = profiles_for(&store, &specs, &m, geometry(quick));
+            let pred = predict_with_kind(&profiles, &contention, bandwidth)?;
+            print_prediction(&pred);
+            Ok(())
+        }
+        Command::Simulate { mix, config, quick } => {
+            let store = Store::open_default().map_err(|e| e.to_string())?;
+            let m = machine(config);
+            let g = geometry(quick);
+            let specs = resolve_mix(&mix)?;
+            let profiles = profiles_for(&store, &specs, &m, g);
+            let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
+            let names: Vec<&str> = mix.iter().map(String::as_str).collect();
+            eprintln!("running the detailed simulator (cached on re-runs)...");
+            let record = store.simulate(&names, &cpi_sc, &m, g);
+            let pred = predict_with_kind(&profiles, &ContentionKind::Foa, None)?;
+
+            let mut t = Table::new(&["program", "measured CPI", "predicted CPI", "err"]);
+            // The record is in canonical (sorted) order; align by name
+            // occurrence.
+            let mut used = vec![false; record.names.len()];
+            for (name, pred_cpi) in pred.names().iter().zip(pred.cpi_mc()) {
+                let slot = record
+                    .names
+                    .iter()
+                    .enumerate()
+                    .position(|(i, n)| n == name && !used[i])
+                    .expect("record covers the mix");
+                used[slot] = true;
+                let meas = record.cpi_mc[slot];
+                t.row(vec![
+                    name.clone(),
+                    f3(meas),
+                    f3(*pred_cpi),
+                    format!("{:+.1}%", (pred_cpi - meas) / meas * 100.0),
+                ]);
+            }
+            println!("{}", t.render());
+            println!(
+                "measured STP {:.3} ANTT {:.3} | predicted STP {:.3} ANTT {:.3}",
+                record.stp(),
+                record.antt(),
+                pred.stp(),
+                pred.antt()
+            );
+            println!("(detailed simulation took {:.2}s)", record.sim_seconds);
+            Ok(())
+        }
+        Command::Record { benchmark, out, quick } => {
+            let spec = suite::benchmark(&benchmark)
+                .ok_or_else(|| format!("unknown benchmark `{benchmark}`"))?;
+            let g = geometry(quick);
+            let mut stream = TraceStream::new(spec.clone(), g);
+            let trace = RecordedTrace::capture(&mut stream, g.trace_insns());
+            let bytes = trace.to_bytes();
+            std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "recorded {} instructions ({} items, {} bytes) to {out}",
+                trace.insns(),
+                trace.items().len(),
+                bytes.len()
+            );
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Per-core execution engine: drives one program's instruction stream
+//! through its private caches and a (shared or private) LLC, accumulating
+//! cycles.
+
+use mppm_cache::{Replacement, SetAssocCache};
+use mppm_trace::{BenchmarkSpec, TraceGeometry, TraceItem, TraceStream};
+use std::sync::Arc;
+
+use crate::{MachineConfig, MemoryChannel};
+
+/// The shared (per-machine, not per-core) portion of the memory system:
+/// the last-level cache and the off-chip channel.
+///
+/// The LLC is either *unified* (one cache competed for by every core —
+/// the paper's baseline) or *way-partitioned*: each core owns a fixed
+/// number of ways of every set, which behaves exactly like a private
+/// slice with the same set count. The paper's §2.3 points out that MPPM
+/// supports partitioning as long as the cache contention model does;
+/// [`mppm::PartitionModel`] is that model, and the partitioned simulator
+/// here is its ground truth.
+#[derive(Debug, Clone)]
+pub struct Uncore {
+    /// One cache when unified; one slice per core when partitioned.
+    llcs: Vec<SetAssocCache>,
+    /// Shared memory channel (finite bandwidth if configured).
+    pub memory: MemoryChannel,
+    partitioned: bool,
+}
+
+impl Uncore {
+    /// Builds the unified-LLC uncore for a machine configuration.
+    pub fn new(machine: &MachineConfig) -> Self {
+        Self {
+            llcs: vec![SetAssocCache::new(machine.llc, Replacement::Lru)],
+            memory: MemoryChannel::new(machine.mem_bandwidth),
+            partitioned: false,
+        }
+    }
+
+    /// Builds a way-partitioned uncore: core `i` owns `ways[i]` ways of
+    /// every LLC set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ways do not sum to the LLC's associativity or any
+    /// core gets zero ways.
+    pub fn partitioned(machine: &MachineConfig, ways: &[u32]) -> Self {
+        assert!(!ways.is_empty(), "need at least one partition");
+        assert!(ways.iter().all(|&w| w > 0), "every core needs at least one way");
+        assert_eq!(
+            ways.iter().sum::<u32>(),
+            machine.llc.assoc,
+            "partition ways must sum to the LLC associativity"
+        );
+        let sets = machine.llc.sets();
+        let llcs = ways
+            .iter()
+            .map(|&w| {
+                let size = sets * u64::from(w) * u64::from(machine.llc.line_bytes);
+                SetAssocCache::new(
+                    mppm_cache::CacheConfig::new(size, w, machine.llc.line_bytes, machine.llc.latency),
+                    Replacement::Lru,
+                )
+            })
+            .collect();
+        Self { llcs, memory: MemoryChannel::new(machine.mem_bandwidth), partitioned: true }
+    }
+
+    /// The LLC (slice) core `core_idx` accesses.
+    pub fn llc_for(&mut self, core_idx: usize) -> &mut SetAssocCache {
+        if self.partitioned {
+            &mut self.llcs[core_idx]
+        } else {
+            &mut self.llcs[0]
+        }
+    }
+
+    /// Whether the LLC is way-partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Total LLC hits and misses across all slices.
+    pub fn llc_totals(&self) -> (u64, u64) {
+        let hits = self.llcs.iter().map(SetAssocCache::hits).sum();
+        let misses = self.llcs.iter().map(SetAssocCache::misses).sum();
+        (hits, misses)
+    }
+}
+
+/// How the engine treats the last-level cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcMode {
+    /// Access the provided LLC normally.
+    Real,
+    /// Pretend every LLC access hits (the paper's "perfect LLC" run used
+    /// to measure the memory CPI component). The provided cache is not
+    /// touched.
+    Perfect,
+}
+
+/// What one engine step did at the LLC, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcObservation {
+    /// LRU-stack hit depth (0-based), `None` on a miss.
+    pub depth: Option<u32>,
+    /// Whether the access was a store.
+    pub store: bool,
+}
+
+/// Result of one [`CoreEngine::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Instructions retired by this step.
+    pub insns: u64,
+    /// LLC access performed by this step, if the private caches missed.
+    pub llc: Option<LlcObservation>,
+}
+
+/// One core executing one program.
+///
+/// The engine owns the program's deterministic [`TraceStream`] and its
+/// private L1D and L2; the LLC is passed into [`CoreEngine::step`] so
+/// several engines can share it. Block addresses are tagged with the
+/// engine's id because co-scheduled programs share no data.
+#[derive(Debug, Clone)]
+pub struct CoreEngine {
+    stream: TraceStream,
+    machine: MachineConfig,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    core_idx: usize,
+    tag: u64,
+    /// Compute-throughput scale of this core (1.0 = the baseline big
+    /// core; 2.0 = a little core taking twice the base cycles per
+    /// instruction). Memory-side latencies are unaffected.
+    core_factor: f64,
+    cycles: f64,
+    /// Per-cause cycle attribution (the Eyerman-style counter
+    /// architecture the paper cites in §2.1).
+    stack: mppm::CpiStack,
+}
+
+impl CoreEngine {
+    /// Creates an engine for `spec` on core `core_idx` of `machine`.
+    pub fn new(
+        spec: impl Into<Arc<BenchmarkSpec>>,
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+        core_idx: usize,
+    ) -> Self {
+        Self::with_core_factor(spec, machine, geometry, core_idx, 1.0)
+    }
+
+    /// Creates an engine on a core whose compute throughput is scaled by
+    /// `1/core_factor` — the heterogeneous-multi-core extension (§8). A
+    /// factor of 2 models a little core at half the issue throughput;
+    /// cache and memory latencies are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_factor` is not positive and finite.
+    pub fn with_core_factor(
+        spec: impl Into<Arc<BenchmarkSpec>>,
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+        core_idx: usize,
+        core_factor: f64,
+    ) -> Self {
+        assert!(core_factor.is_finite() && core_factor > 0.0, "core factor must be positive");
+        Self {
+            stream: TraceStream::new(spec, geometry),
+            machine: *machine,
+            l1d: SetAssocCache::new(machine.l1d, Replacement::Lru),
+            l2: SetAssocCache::new(machine.l2, Replacement::Lru),
+            core_idx,
+            tag: (core_idx as u64 + 1) << 44,
+            core_factor,
+            cycles: 0.0,
+            stack: mppm::CpiStack::default(),
+        }
+    }
+
+    /// Local clock, in cycles.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far (monotonic across trace wraps).
+    pub fn insns(&self) -> u64 {
+        self.stream.position()
+    }
+
+    /// Accumulated memory-component stall cycles (the cycles a perfect LLC
+    /// would have avoided), including channel queueing.
+    pub fn mem_stall(&self) -> f64 {
+        self.stack.mem_component()
+    }
+
+    /// Full per-cause cycle breakdown so far. `stack.total()` equals
+    /// [`Self::cycles`].
+    pub fn cpi_stack(&self) -> mppm::CpiStack {
+        self.stack
+    }
+
+    /// Memory-level parallelism of the phase at the current position.
+    pub fn current_mlp(&self) -> f64 {
+        self.stream.spec().phases()[self.stream.current_phase()].mlp
+    }
+
+    /// The benchmark this engine runs.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        self.stream.spec()
+    }
+
+    /// Executes one trace item, charging cycles to the local clock and
+    /// accessing the memory hierarchy as needed.
+    pub fn step(&mut self, uncore: &mut Uncore, mode: LlcMode) -> StepOutcome {
+        let phase = &self.stream.spec().phases()[self.stream.current_phase()];
+        let (base_cpi, mlp) = (phase.base_cpi * self.core_factor, phase.mlp);
+        match self.stream.next_item() {
+            TraceItem::Compute { insns } => {
+                let cost = f64::from(insns) * base_cpi;
+                self.cycles += cost;
+                self.stack.base += cost;
+                StepOutcome { insns: u64::from(insns), llc: None }
+            }
+            TraceItem::Access(access) => {
+                self.cycles += base_cpi;
+                self.stack.base += base_cpi;
+                let block = self.tag | access.block;
+                if self.l1d.access(block).hit {
+                    return StepOutcome { insns: 1, llc: None };
+                }
+                if self.l2.access(block).hit {
+                    let stall = self.machine.stall_cycles(self.machine.l2.latency, mlp);
+                    self.cycles += stall;
+                    self.stack.l2_hit += stall;
+                    return StepOutcome { insns: 1, llc: None };
+                }
+                let llc_hit_stall = self.machine.stall_cycles(self.machine.llc.latency, mlp);
+                let observation = match mode {
+                    LlcMode::Perfect => {
+                        self.cycles += llc_hit_stall;
+                        self.stack.llc_hit += llc_hit_stall;
+                        LlcObservation { depth: Some(0), store: access.store }
+                    }
+                    LlcMode::Real => {
+                        let r = uncore.llc_for(self.core_idx).access(block);
+                        self.cycles += llc_hit_stall;
+                        self.stack.llc_hit += llc_hit_stall;
+                        if !r.hit {
+                            let queue = uncore.memory.request(self.cycles) / mlp;
+                            let mem = f64::from(self.machine.mem_latency) / mlp;
+                            self.cycles += mem + queue;
+                            self.stack.memory += mem;
+                            self.stack.queue += queue;
+                        }
+                        LlcObservation { depth: r.depth, store: access.store }
+                    }
+                };
+                StepOutcome { insns: 1, llc: Some(observation) }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mppm_cache::CacheConfig;
+    use mppm_trace::{Phase, Region};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::baseline()
+    }
+
+    fn spec(mem_ratio: f64, blocks: u64) -> BenchmarkSpec {
+        BenchmarkSpec::new(
+            "t",
+            3,
+            vec![Phase {
+                mem_ratio,
+                store_ratio: 0.2,
+                base_cpi: 0.5,
+                mlp: 2.0,
+                regions: vec![Region::uniform(0, blocks, 1.0)],
+            }],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn run(engine: &mut CoreEngine, uncore: &mut Uncore, insns: u64) -> Vec<StepOutcome> {
+        let mut outcomes = Vec::new();
+        let start = engine.insns();
+        while engine.insns() - start < insns {
+            outcomes.push(engine.step(uncore, LlcMode::Real));
+        }
+        outcomes
+    }
+
+    #[test]
+    fn l1_resident_program_runs_at_base_cpi() {
+        let m = machine();
+        let g = TraceGeometry::tiny();
+        // 64 blocks fit easily in the 512-block L1D.
+        let mut engine = CoreEngine::new(spec(0.3, 64), &m, g, 0);
+        let mut uncore = Uncore::new(&m);
+        run(&mut engine, &mut uncore, 20_000); // warm the caches
+        let (c0, i0) = (engine.cycles(), engine.insns());
+        run(&mut engine, &mut uncore, 50_000);
+        let cpi = (engine.cycles() - c0) / (engine.insns() - i0) as f64;
+        assert!((cpi - 0.5).abs() < 0.01, "warm cpi {cpi} should be base 0.5");
+    }
+
+    #[test]
+    fn llc_resident_program_pays_llc_latency_only() {
+        let m = machine();
+        let g = TraceGeometry::tiny();
+        // 6000 blocks: beyond L2 (4096) but within LLC (8192).
+        let mut engine = CoreEngine::new(spec(0.3, 6000), &m, g, 0);
+        let mut uncore = Uncore::new(&m);
+        run(&mut engine, &mut uncore, 2 * g.trace_insns()); // warm: cover the set twice
+        let (c0, i0, s0) = (engine.cycles(), engine.insns(), engine.mem_stall());
+        run(&mut engine, &mut uncore, g.trace_insns());
+        let insns = (engine.insns() - i0) as f64;
+        let cpi = (engine.cycles() - c0) / insns;
+        assert!(cpi > 0.5, "some LLC-hit stall expected");
+        // Warm: only LLC-set-overflow misses go to memory.
+        let mem_cpi = (engine.mem_stall() - s0) / insns;
+        assert!(mem_cpi < 0.5, "warm mem cpi {mem_cpi} should be small");
+        let (hits, misses) = uncore.llc_totals();
+        assert!(hits > misses, "mostly LLC hits overall");
+    }
+
+    #[test]
+    fn memory_bound_program_accumulates_mem_stall() {
+        let m = machine();
+        let g = TraceGeometry::tiny();
+        // 100K blocks: misses everywhere.
+        let mut engine = CoreEngine::new(spec(0.3, 100_000), &m, g, 0);
+        let mut uncore = Uncore::new(&m);
+        run(&mut engine, &mut uncore, 50_000);
+        let mem_cpi = engine.mem_stall() / engine.insns() as f64;
+        // ~0.3 accesses/insn, ~92% LLC miss rate, 200/2 cycles each.
+        assert!(mem_cpi > 10.0, "mem cpi {mem_cpi}");
+        let cpi = engine.cycles() / engine.insns() as f64;
+        assert!(cpi > 10.0 && cpi < 40.0, "cpi {cpi}");
+    }
+
+    #[test]
+    fn perfect_llc_mode_removes_memory_stall() {
+        let m = machine();
+        let g = TraceGeometry::tiny();
+        let mk = || CoreEngine::new(spec(0.3, 100_000), &m, g, 0);
+        let mut real = mk();
+        let mut perfect = mk();
+        let mut uncore_r = Uncore::new(&m);
+        let mut uncore_p = Uncore::new(&m);
+        while real.insns() < 50_000 {
+            real.step(&mut uncore_r, LlcMode::Real);
+        }
+        while perfect.insns() < 50_000 {
+            perfect.step(&mut uncore_p, LlcMode::Perfect);
+        }
+        // The cycle difference is exactly the accumulated memory stall.
+        let diff = real.cycles() - perfect.cycles();
+        assert!(
+            (diff - real.mem_stall()).abs() < 1e-6,
+            "difference {diff} vs mem_stall {}",
+            real.mem_stall()
+        );
+        let (hits_p, misses_p) = uncore_p.llc_totals();
+        assert_eq!(hits_p + misses_p, 0, "perfect mode leaves the LLC untouched");
+    }
+
+    #[test]
+    fn engines_with_different_tags_conflict_in_shared_llc() {
+        let m = machine();
+        let g = TraceGeometry::tiny();
+        // Two copies of a 6000-block program share an 8192-block LLC: each
+        // fits alone, together they thrash.
+        let mut a = CoreEngine::new(spec(0.3, 6000), &m, g, 0);
+        let mut b = CoreEngine::new(spec(0.3, 6000), &m, g, 1);
+        let mut shared = Uncore::new(&m);
+        for _ in 0..200_000 {
+            if a.cycles() <= b.cycles() {
+                a.step(&mut shared, LlcMode::Real);
+            } else {
+                b.step(&mut shared, LlcMode::Real);
+            }
+        }
+        let mem_cpi = a.mem_stall() / a.insns() as f64;
+        assert!(mem_cpi > 0.2, "sharing should cause conflict misses, mem cpi {mem_cpi}");
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let m = machine();
+        let g = TraceGeometry::tiny();
+        let mk = || {
+            (
+                CoreEngine::new(spec(0.25, 5000), &m, g, 0),
+                Uncore::new(&m),
+            )
+        };
+        let (mut e1, mut l1) = mk();
+        let (mut e2, mut l2) = mk();
+        for _ in 0..10_000 {
+            assert_eq!(e1.step(&mut l1, LlcMode::Real), e2.step(&mut l2, LlcMode::Real));
+        }
+        assert_eq!(e1.cycles(), e2.cycles());
+    }
+
+    #[test]
+    fn llc_observations_report_stores() {
+        let m = machine();
+        let g = TraceGeometry::tiny();
+        let mut engine = CoreEngine::new(spec(0.5, 50_000), &m, g, 0);
+        let mut uncore = Uncore::new(&m);
+        let outcomes = run(&mut engine, &mut uncore, 20_000);
+        let obs: Vec<_> = outcomes.iter().filter_map(|o| o.llc).collect();
+        assert!(!obs.is_empty());
+        let stores = obs.iter().filter(|o| o.store).count();
+        let ratio = stores as f64 / obs.len() as f64;
+        assert!((ratio - 0.2).abs() < 0.05, "store ratio {ratio}");
+    }
+
+    #[test]
+    fn custom_llc_geometry_is_respected() {
+        // A tiny 64-line LLC forces misses even for small working sets.
+        let mut m = machine();
+        m.llc = CacheConfig::new(64 * 64, 4, 64, 16);
+        let g = TraceGeometry::tiny();
+        let mut engine = CoreEngine::new(spec(0.3, 6000), &m, g, 0);
+        let mut uncore = Uncore::new(&m);
+        run(&mut engine, &mut uncore, 30_000);
+        let (hits, misses) = uncore.llc_totals();
+        assert!(misses > hits);
+    }
+}

@@ -1,0 +1,164 @@
+//! The simulated machine: the paper's Tables 1 and 2.
+
+use mppm::MachineSummary;
+use mppm_cache::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Core-side timing parameters (paper Table 1: 8-stage, 4-wide, 128-entry
+/// ROB, perfect branch prediction).
+///
+/// The simulator uses an interval-style approximation of the out-of-order
+/// core: the workload's base CPI already reflects `width`-wide issue, the
+/// ROB hides up to [`CoreConfig::hide_cycles`] of access latency entirely
+/// (covering L1 and the pipelined L2), and longer stalls are divided by
+/// the workload phase's memory-level parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Issue width (documentation of the modeled core; the workload's base
+    /// CPI encodes its effect).
+    pub width: u32,
+    /// Reorder-buffer entries (likewise encoded via `hide_cycles`/MLP).
+    pub rob: u32,
+    /// Cycles of access latency the core hides completely.
+    pub hide_cycles: u32,
+}
+
+impl CoreConfig {
+    /// The paper's baseline core.
+    pub fn baseline() -> Self {
+        Self { width: 4, rob: 128, hide_cycles: 12 }
+    }
+}
+
+/// A full machine configuration (Table 1 plus one LLC row of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Core timing parameters.
+    pub core: CoreConfig,
+    /// Private per-core L1 data cache (32KB, 8-way, 1 cycle).
+    pub l1d: CacheConfig,
+    /// Private per-core L2 cache (256KB, 8-way, 10 cycles).
+    pub l2: CacheConfig,
+    /// Shared last-level cache (Table 2).
+    pub llc: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u32,
+    /// Off-chip bandwidth in accesses per cycle shared by all cores;
+    /// `None` (the paper's Table 1 baseline) means unlimited concurrency.
+    /// This is the §8 "bandwidth sharing" extension.
+    pub mem_bandwidth: Option<f64>,
+}
+
+/// Number of LLC configurations in Table 2.
+pub const LLC_CONFIG_COUNT: usize = 6;
+
+/// The paper's six LLC configurations (Table 2), 1-indexed in the paper:
+/// `llc_configs()[0]` is config #1 (512KB, 8-way, 16 cycles) and so on.
+pub fn llc_configs() -> [CacheConfig; LLC_CONFIG_COUNT] {
+    [
+        CacheConfig::new(512 * 1024, 8, 64, 16),
+        CacheConfig::new(512 * 1024, 16, 64, 20),
+        CacheConfig::new(1024 * 1024, 8, 64, 18),
+        CacheConfig::new(1024 * 1024, 16, 64, 22),
+        CacheConfig::new(2 * 1024 * 1024, 8, 64, 20),
+        CacheConfig::new(2 * 1024 * 1024, 16, 64, 24),
+    ]
+}
+
+impl MachineConfig {
+    /// The paper's baseline machine: Table 1 with LLC config #1 (the
+    /// smallest LLC, chosen "to stress our model").
+    pub fn baseline() -> Self {
+        Self {
+            core: CoreConfig::baseline(),
+            l1d: CacheConfig::new(32 * 1024, 8, 64, 1),
+            l2: CacheConfig::new(256 * 1024, 8, 64, 10),
+            llc: llc_configs()[0],
+            mem_latency: 200,
+            mem_bandwidth: None,
+        }
+    }
+
+    /// The baseline machine with a different LLC.
+    pub fn with_llc(mut self, llc: CacheConfig) -> Self {
+        self.llc = llc;
+        self
+    }
+
+    /// The machine with a finite shared memory bandwidth (accesses per
+    /// cycle).
+    pub fn with_mem_bandwidth(mut self, accesses_per_cycle: f64) -> Self {
+        self.mem_bandwidth = Some(accesses_per_cycle);
+        self
+    }
+
+    /// The machine parameters the model cares about, recorded into
+    /// profiles.
+    pub fn summary(&self) -> MachineSummary {
+        MachineSummary { llc: self.llc, mem_latency: self.mem_latency }
+    }
+
+    /// Stall cycles the core observes for a completed access at
+    /// `total_latency`, given the phase's memory-level parallelism.
+    pub fn stall_cycles(&self, total_latency: u32, mlp: f64) -> f64 {
+        f64::from(total_latency.saturating_sub(self.core.hide_cycles)) / mlp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_1() {
+        let m = MachineConfig::baseline();
+        assert_eq!(m.core.width, 4);
+        assert_eq!(m.core.rob, 128);
+        assert_eq!(m.l1d.size_bytes, 32 * 1024);
+        assert_eq!(m.l1d.latency, 1);
+        assert_eq!(m.l2.size_bytes, 256 * 1024);
+        assert_eq!(m.l2.assoc, 8);
+        assert_eq!(m.l2.latency, 10);
+        assert_eq!(m.mem_latency, 200);
+        // Config #1.
+        assert_eq!(m.llc.size_bytes, 512 * 1024);
+        assert_eq!(m.llc.assoc, 8);
+        assert_eq!(m.llc.latency, 16);
+    }
+
+    #[test]
+    fn llc_configs_match_table_2() {
+        let cfgs = llc_configs();
+        let expected: [(u64, u32, u32); 6] = [
+            (512 * 1024, 8, 16),
+            (512 * 1024, 16, 20),
+            (1024 * 1024, 8, 18),
+            (1024 * 1024, 16, 22),
+            (2 * 1024 * 1024, 8, 20),
+            (2 * 1024 * 1024, 16, 24),
+        ];
+        for (cfg, (size, assoc, lat)) in cfgs.iter().zip(expected) {
+            assert_eq!(cfg.size_bytes, size);
+            assert_eq!(cfg.assoc, assoc);
+            assert_eq!(cfg.latency, lat);
+            assert_eq!(cfg.line_bytes, 64);
+        }
+    }
+
+    #[test]
+    fn stall_model_hides_short_latencies() {
+        let m = MachineConfig::baseline();
+        assert_eq!(m.stall_cycles(1, 2.0), 0.0, "L1 hit fully hidden");
+        assert_eq!(m.stall_cycles(10, 2.0), 0.0, "L2 hit fully hidden");
+        assert!((m.stall_cycles(16, 2.0) - 2.0).abs() < 1e-12, "LLC hit partially exposed");
+        assert!((m.stall_cycles(216, 2.0) - 102.0).abs() < 1e-12, "memory exposed, MLP-divided");
+    }
+
+    #[test]
+    fn summary_projects_model_fields() {
+        let m = MachineConfig::baseline();
+        let s = m.summary();
+        assert_eq!(s.llc, m.llc);
+        assert_eq!(s.mem_latency, 200);
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared memory channel with finite bandwidth — the paper's §8
+//! "bandwidth sharing" future-work extension.
+//!
+//! The baseline machine (Table 1) models memory as a flat 200-cycle
+//! latency with unlimited concurrency. With a bandwidth limit configured
+//! ([`crate::MachineConfig::mem_bandwidth`]), the off-chip channel can
+//! *start* one access every `1/bandwidth` cycles; LLC misses arriving
+//! faster queue up, and the queueing delay adds to each miss's latency.
+//! Co-running programs now interfere through the channel even when their
+//! cache footprints are disjoint.
+
+/// The shared off-chip channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryChannel {
+    /// Accesses the channel can start per cycle (`None` = unlimited, the
+    /// paper's baseline).
+    bandwidth: Option<f64>,
+    /// Cycle at which the channel is next free.
+    next_free: f64,
+    /// Total queueing cycles imposed so far.
+    total_queue_cycles: f64,
+    /// Total requests served.
+    requests: u64,
+}
+
+impl MemoryChannel {
+    /// Creates a channel with the given bandwidth (accesses per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bandwidth is given that is not finite and positive.
+    pub fn new(bandwidth: Option<f64>) -> Self {
+        if let Some(b) = bandwidth {
+            assert!(b.is_finite() && b > 0.0, "bandwidth must be positive");
+        }
+        Self { bandwidth, next_free: 0.0, total_queue_cycles: 0.0, requests: 0 }
+    }
+
+    /// Requests the channel at time `now`, returning the queueing delay in
+    /// cycles (0 for an unlimited channel).
+    pub fn request(&mut self, now: f64) -> f64 {
+        self.requests += 1;
+        let Some(bandwidth) = self.bandwidth else {
+            return 0.0;
+        };
+        let start = now.max(self.next_free);
+        self.next_free = start + 1.0 / bandwidth;
+        let delay = start - now;
+        self.total_queue_cycles += delay;
+        delay
+    }
+
+    /// Average queueing delay per request so far.
+    pub fn avg_queue_cycles(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_queue_cycles / self.requests as f64
+        }
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_channel_never_queues() {
+        let mut ch = MemoryChannel::new(None);
+        for i in 0..100 {
+            assert_eq!(ch.request(i as f64 * 0.01), 0.0);
+        }
+        assert_eq!(ch.avg_queue_cycles(), 0.0);
+        assert_eq!(ch.requests(), 100);
+    }
+
+    #[test]
+    fn saturated_channel_serializes() {
+        // One access per 10 cycles; requests arriving every cycle queue up
+        // linearly.
+        let mut ch = MemoryChannel::new(Some(0.1));
+        assert_eq!(ch.request(0.0), 0.0);
+        assert_eq!(ch.request(1.0), 9.0, "second waits for the first's slot");
+        assert_eq!(ch.request(2.0), 18.0);
+        assert!(ch.avg_queue_cycles() > 0.0);
+    }
+
+    #[test]
+    fn idle_channel_recovers() {
+        let mut ch = MemoryChannel::new(Some(0.1));
+        ch.request(0.0);
+        // Long after the busy period: no delay.
+        assert_eq!(ch.request(1000.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        MemoryChannel::new(Some(0.0));
+    }
+}

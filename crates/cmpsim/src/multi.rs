@@ -1,0 +1,422 @@
+//! Detailed multi-core simulation of a multi-program workload.
+
+use mppm_trace::{BenchmarkSpec, TraceGeometry};
+
+use crate::{CoreEngine, LlcMode, MachineConfig, Uncore};
+
+/// Measured outcome of one multi-program workload on the detailed
+/// simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixResult {
+    /// Benchmark name per core.
+    pub names: Vec<String>,
+    /// Measured multi-core CPI per program, over its measurement trace
+    /// (the first full trace after warmup).
+    pub cpi_mc: Vec<f64>,
+    /// Cycles each program's measurement window took (first-trace
+    /// completion minus its warmup end).
+    pub completion_cycles: Vec<f64>,
+    /// Instructions in one trace (the measurement window per program).
+    pub trace_insns: u64,
+    /// Shared-LLC accesses observed during the whole run.
+    pub llc_accesses: u64,
+    /// Shared-LLC misses observed during the whole run.
+    pub llc_misses: u64,
+}
+
+impl MixResult {
+    /// System throughput against the supplied isolated CPIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpi_sc` has the wrong length (see
+    /// [`mppm::metrics::stp`]).
+    pub fn stp(&self, cpi_sc: &[f64]) -> f64 {
+        mppm::metrics::stp(cpi_sc, &self.cpi_mc)
+    }
+
+    /// Average normalized turnaround time against the supplied isolated
+    /// CPIs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpi_sc` has the wrong length.
+    pub fn antt(&self, cpi_sc: &[f64]) -> f64 {
+        mppm::metrics::antt(cpi_sc, &self.cpi_mc)
+    }
+}
+
+/// Simulates `specs` co-running on one core each, sharing the machine's
+/// LLC, with one warmup trace pass per program (see [`simulate_mix_with`]).
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn simulate_mix(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+) -> MixResult {
+    simulate_mix_with(specs, machine, geometry, 1)
+}
+
+/// Simulates `specs` co-running on one core each, sharing the machine's
+/// LLC.
+///
+/// Cores advance in local-time order (the core with the smallest local
+/// clock steps next), so shared-LLC accesses from different cores
+/// interleave in approximate timestamp order. Every program keeps
+/// re-iterating its trace until *all* programs have completed their
+/// measurement pass — the re-iteration methodology of Tuck & Tullsen /
+/// FAME — so contention stays live throughout.
+///
+/// Each program first executes `warmup_passes` full traces (warming the
+/// caches, mirroring [`crate::profile_single_core`]); its multi-core CPI
+/// is then measured over its next full trace.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn simulate_mix_with(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    warmup_passes: u32,
+) -> MixResult {
+    let uncore = Uncore::new(machine);
+    run_mix(specs, machine, geometry, warmup_passes, uncore)
+}
+
+/// Simulates `specs` on a machine whose LLC is *way-partitioned*: core
+/// `i` owns `ways[i]` ways of every set (paper §2.3's partitioning
+/// discussion). One warmup pass, as in [`simulate_mix`].
+///
+/// # Panics
+///
+/// Panics if `specs` is empty, `ways.len() != specs.len()`, or the ways
+/// do not sum to the LLC associativity.
+pub fn simulate_mix_partitioned(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    ways: &[u32],
+) -> MixResult {
+    assert_eq!(ways.len(), specs.len(), "one way count per program");
+    let uncore = Uncore::partitioned(machine, ways);
+    run_mix(specs, machine, geometry, 1, uncore)
+}
+
+/// Simulates `specs` on a *heterogeneous* multi-core (§8 extension):
+/// core `i`'s compute throughput is scaled by `1/core_factors[i]` (1.0 =
+/// the baseline big core, 2.0 = a half-throughput little core). The LLC
+/// stays unified and shared; one warmup pass as in [`simulate_mix`].
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or `core_factors.len() != specs.len()`.
+pub fn simulate_mix_heterogeneous(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    core_factors: &[f64],
+) -> MixResult {
+    assert_eq!(core_factors.len(), specs.len(), "one core factor per program");
+    let uncore = Uncore::new(machine);
+    run_mix_with_factors(specs, machine, geometry, 1, uncore, core_factors)
+}
+
+fn run_mix(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    warmup_passes: u32,
+    uncore: Uncore,
+) -> MixResult {
+    let factors = vec![1.0; specs.len()];
+    run_mix_with_factors(specs, machine, geometry, warmup_passes, uncore, &factors)
+}
+
+fn run_mix_with_factors(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    warmup_passes: u32,
+    mut uncore: Uncore,
+    core_factors: &[f64],
+) -> MixResult {
+    assert!(!specs.is_empty(), "a mix needs at least one program");
+    let mut engines: Vec<CoreEngine> = specs
+        .iter()
+        .zip(core_factors)
+        .enumerate()
+        .map(|(idx, (spec, &factor))| {
+            CoreEngine::with_core_factor((*spec).clone(), machine, geometry, idx, factor)
+        })
+        .collect();
+    let trace_insns = geometry.trace_insns();
+    let warmup_insns = trace_insns * u64::from(warmup_passes);
+    let mut measure_start: Vec<Option<f64>> = vec![None; engines.len()];
+    let mut completion: Vec<Option<f64>> = vec![None; engines.len()];
+    let mut remaining = engines.len();
+
+    // Cycle 0 is the measurement start when there is no warmup.
+    if warmup_passes == 0 {
+        measure_start = vec![Some(0.0); engines.len()];
+    }
+
+    while remaining > 0 {
+        // Advance the core that is earliest in simulated time.
+        let idx = engines
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.cycles().partial_cmp(&b.cycles()).expect("clocks are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one engine");
+        engines[idx].step(&mut uncore, LlcMode::Real);
+        if measure_start[idx].is_none() && engines[idx].insns() >= warmup_insns {
+            measure_start[idx] = Some(engines[idx].cycles());
+        }
+        if completion[idx].is_none() && engines[idx].insns() >= warmup_insns + trace_insns {
+            completion[idx] = Some(engines[idx].cycles());
+            remaining -= 1;
+        }
+    }
+
+    let completion_cycles: Vec<f64> = completion
+        .into_iter()
+        .zip(&measure_start)
+        .map(|(end, start)| {
+            end.expect("all programs completed") - start.expect("warmup completed first")
+        })
+        .collect();
+    let (llc_hits, llc_misses) = uncore.llc_totals();
+    MixResult {
+        names: specs.iter().map(|s| s.name().to_string()).collect(),
+        cpi_mc: completion_cycles.iter().map(|&c| c / trace_insns as f64).collect(),
+        completion_cycles,
+        trace_insns,
+        llc_accesses: llc_hits + llc_misses,
+        llc_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile_single_core;
+    use mppm_trace::suite;
+
+    fn geometry() -> TraceGeometry {
+        TraceGeometry::new(20_000, 10)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one program")]
+    fn empty_mix_panics() {
+        simulate_mix(&[], &MachineConfig::baseline(), geometry());
+    }
+
+    #[test]
+    fn solo_mix_equals_isolated_profile() {
+        // A one-program "mix" is isolated execution: its warm multi-core
+        // CPI must equal the warm single-core profile CPI exactly.
+        let m = MachineConfig::baseline();
+        let g = geometry();
+        let spec = suite::benchmark("soplex").unwrap();
+        let solo = simulate_mix(&[spec], &m, g);
+        let profile = profile_single_core(spec, &m, g);
+        assert!(
+            (solo.cpi_mc[0] - profile.cpi_sc()).abs() < 1e-9,
+            "solo mix {} vs isolated {}",
+            solo.cpi_mc[0],
+            profile.cpi_sc()
+        );
+    }
+
+    #[test]
+    fn sharing_never_speeds_programs_up() {
+        let m = MachineConfig::baseline();
+        let g = geometry();
+        let names = ["gamess", "soplex", "lbm", "hmmer"];
+        let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
+        let mix = simulate_mix(&specs, &m, g);
+        for (i, name) in names.iter().enumerate() {
+            let iso = profile_single_core(specs[i], &m, g);
+            assert!(
+                mix.cpi_mc[i] >= iso.cpi_sc() - 1e-6,
+                "{name}: multi-core CPI {} below isolated {}",
+                mix.cpi_mc[i],
+                iso.cpi_sc()
+            );
+        }
+    }
+
+    #[test]
+    fn two_gamess_thrash_each_other() {
+        // The paper's headline stress case: two programs that each fit the
+        // LLC alone but not together. Needs a window long enough for the
+        // 6500-block working set to see reuse.
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::new(100_000, 10);
+        let gamess = suite::benchmark("gamess").unwrap();
+        let solo = profile_single_core(gamess, &m, g);
+        let mix = simulate_mix(&[gamess, gamess], &m, g);
+        let slowdown = mix.cpi_mc[0] / solo.cpi_sc();
+        assert!(slowdown > 1.3, "two gamess copies should conflict: slowdown {slowdown}");
+    }
+
+    #[test]
+    fn compute_bound_pair_is_unaffected() {
+        let m = MachineConfig::baseline();
+        let g = geometry();
+        let povray = suite::benchmark("povray").unwrap();
+        let hmmer = suite::benchmark("hmmer").unwrap();
+        let solo_p = profile_single_core(povray, &m, g);
+        let mix = simulate_mix(&[povray, hmmer], &m, g);
+        let slowdown = mix.cpi_mc[0] / solo_p.cpi_sc();
+        assert!(slowdown < 1.05, "compute pair slowdown {slowdown}");
+    }
+
+    #[test]
+    fn metrics_against_profiles() {
+        let m = MachineConfig::baseline();
+        let g = geometry();
+        let names = ["gamess", "lbm"];
+        let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
+        let cpi_sc: Vec<f64> =
+            specs.iter().map(|s| profile_single_core(s, &m, g).cpi_sc()).collect();
+        let mix = simulate_mix(&specs, &m, g);
+        let stp = mix.stp(&cpi_sc);
+        let antt = mix.antt(&cpi_sc);
+        assert!(stp > 0.5 && stp <= 2.0 + 1e-9, "stp {stp}");
+        assert!(antt >= 1.0 - 1e-9, "antt {antt}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let specs: Vec<_> =
+            ["gcc", "milc"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
+        let a = simulate_mix(&specs, &m, g);
+        let b = simulate_mix(&specs, &m, g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bandwidth_limit_creates_contention_between_streamers() {
+        // lbm and libquantum have disjoint footprints and already miss the
+        // LLC when alone, so with unlimited bandwidth they barely
+        // interact; a finite shared channel makes them queue behind each
+        // other (§8 extension). The trace must be long enough that the
+        // streams sweep far past the LLC within one pass.
+        let g = TraceGeometry::new(200_000, 10);
+        let specs: Vec<_> =
+            ["lbm", "libquantum"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
+
+        let unlimited = MachineConfig::baseline();
+        let solo_unl: Vec<f64> =
+            specs.iter().map(|s| profile_single_core(s, &unlimited, g).cpi_sc()).collect();
+        let mix_unl = simulate_mix(&specs, &unlimited, g);
+        let slow_unl = mix_unl.cpi_mc[0] / solo_unl[0];
+        assert!(slow_unl < 1.05, "unlimited bandwidth: slowdown {slow_unl}");
+
+        // One access per 25 cycles: enough for either stream alone, not
+        // for both.
+        let limited = MachineConfig::baseline().with_mem_bandwidth(0.04);
+        let solo_lim: Vec<f64> =
+            specs.iter().map(|s| profile_single_core(s, &limited, g).cpi_sc()).collect();
+        let mix_lim = simulate_mix(&specs, &limited, g);
+        let slow_lim = mix_lim.cpi_mc[0] / solo_lim[0];
+        assert!(
+            slow_lim > slow_unl + 0.05,
+            "bandwidth sharing must add slowdown: {slow_lim} vs {slow_unl}"
+        );
+    }
+
+    #[test]
+    fn partitioning_protects_the_victim() {
+        // gamess against a streamer: on a unified LLC the streamer evicts
+        // it; with 7 ways reserved it keeps (7/8 of) its working set.
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::new(100_000, 10);
+        let gamess = suite::benchmark("gamess").unwrap();
+        let lbm = suite::benchmark("lbm").unwrap();
+        let solo = profile_single_core(gamess, &m, g).cpi_sc();
+        let unified = simulate_mix(&[gamess, lbm], &m, g);
+        let partitioned = simulate_mix_partitioned(&[gamess, lbm], &m, g, &[7, 1]);
+        let slow_unified = unified.cpi_mc[0] / solo;
+        let slow_part = partitioned.cpi_mc[0] / solo;
+        assert!(
+            slow_part < slow_unified - 0.2,
+            "partitioning must protect gamess: {slow_part} vs {slow_unified}"
+        );
+    }
+
+    #[test]
+    fn partitioned_slices_isolate_traffic() {
+        // Identical programs on equal slices behave identically.
+        let m = MachineConfig::baseline();
+        let g = geometry();
+        let soplex = suite::benchmark("soplex").unwrap();
+        let mix = simulate_mix_partitioned(&[soplex, soplex], &m, g, &[4, 4]);
+        assert!(
+            (mix.cpi_mc[0] - mix.cpi_mc[1]).abs() < 1e-9,
+            "equal slices, equal CPI: {:?}",
+            mix.cpi_mc
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the LLC associativity")]
+    fn partition_ways_must_cover_cache() {
+        let m = MachineConfig::baseline();
+        let soplex = suite::benchmark("soplex").unwrap();
+        simulate_mix_partitioned(&[soplex, soplex], &m, geometry(), &[4, 3]);
+    }
+
+    #[test]
+    fn heterogeneous_little_core_runs_slower() {
+        let m = MachineConfig::baseline();
+        let g = geometry();
+        let hmmer = suite::benchmark("hmmer").unwrap();
+        // Same program on a big and a little core: the little copy's CPI
+        // must be higher, but by less than 2x (memory time is unscaled).
+        let mix = simulate_mix_heterogeneous(&[hmmer, hmmer], &m, g, &[1.0, 2.0]);
+        let ratio = mix.cpi_mc[1] / mix.cpi_mc[0];
+        assert!(ratio > 1.5, "little core must be slower: ratio {ratio}");
+        assert!(ratio < 2.0 + 1e-9, "memory time does not scale: ratio {ratio}");
+    }
+
+    #[test]
+    fn heterogeneous_matches_scaled_profile_when_solo() {
+        // Simulating a program alone on a 1.5x-scaled core must match the
+        // profile-scaling derivation exactly (same machinery on both
+        // sides of the §8 heterogeneity extension).
+        let m = MachineConfig::baseline();
+        let g = geometry();
+        let spec = suite::benchmark("gobmk").unwrap();
+        let scaled_profile = profile_single_core(spec, &m, g).scaled_core(1.5);
+        let solo = simulate_mix_heterogeneous(&[spec], &m, g, &[1.5]);
+        assert!(
+            (solo.cpi_mc[0] - scaled_profile.cpi_sc()).abs() < 1e-9,
+            "simulated {} vs derived {}",
+            solo.cpi_mc[0],
+            scaled_profile.cpi_sc()
+        );
+    }
+
+    #[test]
+    fn llc_traffic_is_accounted() {
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let specs: Vec<_> =
+            ["lbm", "mcf"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
+        let mix = simulate_mix(&specs, &m, g);
+        assert!(mix.llc_accesses > 0);
+        assert!(mix.llc_misses <= mix.llc_accesses);
+        assert!(mix.llc_misses > 0, "streaming mixes must miss");
+    }
+}

@@ -1,0 +1,156 @@
+//! Workload classification into compute- and memory-intensive categories.
+//!
+//! "Current practice" (paper §5) often builds workload categories —
+//! memory-intensive mixes, compute-intensive mixes, and mixed workloads —
+//! and samples mixes within each category. This module reproduces that
+//! classification from single-core profiles, using the memory fraction of
+//! CPI as the criterion.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::SingleCoreProfile;
+
+/// Workload category of a single benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Memory-intensive: a large fraction of execution time waits on
+    /// main memory.
+    Mem,
+    /// Compute-intensive: negligible time waits on main memory.
+    Comp,
+    /// Everything in between.
+    Mixed,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Category::Mem => "MEM",
+            Category::Comp => "COMP",
+            Category::Mixed => "MIX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Thresholds on the memory fraction of CPI (`CPI_mem / CPI`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// At or above this memory fraction a benchmark is [`Category::Mem`].
+    pub mem_at_least: f64,
+    /// Strictly below this memory fraction a benchmark is
+    /// [`Category::Comp`].
+    pub comp_below: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self { mem_at_least: 0.30, comp_below: 0.10 }
+    }
+}
+
+impl Thresholds {
+    /// Validates `comp_below <= mem_at_least` and both in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.comp_below) || !(0.0..=1.0).contains(&self.mem_at_least) {
+            return Err("thresholds must be within [0, 1]".into());
+        }
+        if self.comp_below > self.mem_at_least {
+            return Err("comp_below must not exceed mem_at_least".into());
+        }
+        Ok(())
+    }
+}
+
+/// Classifies one profile by its memory fraction of CPI.
+///
+/// # Example
+///
+/// ```
+/// use mppm::classify::{classify, Category, Thresholds};
+/// use mppm::SingleCoreProfile;
+///
+/// let streamer = SingleCoreProfile::synthetic("s", 8, 5, 1000, 2.0, 1.0, 500.0, 400.0);
+/// assert_eq!(classify(&streamer, Thresholds::default()), Category::Mem);
+/// let compute = SingleCoreProfile::synthetic("c", 8, 5, 1000, 0.5, 0.01, 10.0, 1.0);
+/// assert_eq!(classify(&compute, Thresholds::default()), Category::Comp);
+/// ```
+pub fn classify(profile: &SingleCoreProfile, thresholds: Thresholds) -> Category {
+    thresholds.validate().expect("thresholds are valid");
+    let frac = profile.cpi_mem() / profile.cpi_sc();
+    if frac >= thresholds.mem_at_least {
+        Category::Mem
+    } else if frac < thresholds.comp_below {
+        Category::Comp
+    } else {
+        Category::Mixed
+    }
+}
+
+/// Partitions benchmark indices into the three category pools, in input
+/// order. Returned as `(mem, comp, mixed)`.
+pub fn pools(
+    profiles: &[SingleCoreProfile],
+    thresholds: Thresholds,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut mem = Vec::new();
+    let mut comp = Vec::new();
+    let mut mixed = Vec::new();
+    for (i, p) in profiles.iter().enumerate() {
+        match classify(p, thresholds) {
+            Category::Mem => mem.push(i),
+            Category::Comp => comp.push(i),
+            Category::Mixed => mixed.push(i),
+        }
+    }
+    (mem, comp, mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SingleCoreProfile;
+
+    fn with_mem_frac(name: &str, frac: f64) -> SingleCoreProfile {
+        let cpi = 1.0;
+        SingleCoreProfile::synthetic(name, 8, 4, 1000, cpi, cpi * frac, 100.0, 50.0)
+    }
+
+    #[test]
+    fn boundaries() {
+        let t = Thresholds::default();
+        assert_eq!(classify(&with_mem_frac("a", 0.30), t), Category::Mem);
+        assert_eq!(classify(&with_mem_frac("b", 0.29), t), Category::Mixed);
+        assert_eq!(classify(&with_mem_frac("c", 0.10), t), Category::Mixed);
+        assert_eq!(classify(&with_mem_frac("d", 0.09), t), Category::Comp);
+        assert_eq!(classify(&with_mem_frac("e", 0.0), t), Category::Comp);
+    }
+
+    #[test]
+    fn pools_partition_everything() {
+        let profiles: Vec<_> = [0.0, 0.05, 0.2, 0.4, 0.8]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| with_mem_frac(&format!("p{i}"), f))
+            .collect();
+        let (mem, comp, mixed) = pools(&profiles, Thresholds::default());
+        assert_eq!(mem, vec![3, 4]);
+        assert_eq!(comp, vec![0, 1]);
+        assert_eq!(mixed, vec![2]);
+        assert_eq!(mem.len() + comp.len() + mixed.len(), profiles.len());
+    }
+
+    #[test]
+    fn threshold_validation() {
+        assert!(Thresholds { mem_at_least: 0.2, comp_below: 0.5 }.validate().is_err());
+        assert!(Thresholds { mem_at_least: 1.5, comp_below: 0.1 }.validate().is_err());
+        assert!(Thresholds::default().validate().is_ok());
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(Category::Mem.to_string(), "MEM");
+        assert_eq!(Category::Comp.to_string(), "COMP");
+        assert_eq!(Category::Mixed.to_string(), "MIX");
+    }
+}

@@ -1,0 +1,164 @@
+//! CPI stacks: the per-component cycle breakdown of §2.1.
+//!
+//! The paper measures the memory CPI component either with two runs
+//! (perfect vs. real LLC) or with the counter architecture of Eyerman et
+//! al. (ASPLOS 2006), which attributes every stall cycle to a cause in a
+//! single run. The simulator implements the counter architecture; this
+//! type is the result: cycles split into the base (compute) component and
+//! the stalls exposed by each level of the memory hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle breakdown of an execution window.
+///
+/// Components are additive: their sum is the window's total cycle count
+/// (see [`CpiStack::total`]). The paper's `CPI_mem` is
+/// [`CpiStack::memory`] + [`CpiStack::queue`] divided by the instruction
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Cycles from the core's base CPI (perfect memory hierarchy).
+    pub base: f64,
+    /// Stall cycles exposed by L2 hits.
+    pub l2_hit: f64,
+    /// Stall cycles exposed by shared-LLC hits.
+    pub llc_hit: f64,
+    /// Off-chip stall cycles (the paper's memory component).
+    pub memory: f64,
+    /// Memory-channel queueing cycles (zero unless the bandwidth-sharing
+    /// extension is enabled).
+    pub queue: f64,
+}
+
+impl CpiStack {
+    /// Total cycles across all components.
+    pub fn total(&self) -> f64 {
+        self.base + self.l2_hit + self.llc_hit + self.memory + self.queue
+    }
+
+    /// The paper's memory CPI numerator: off-chip stall cycles including
+    /// queueing.
+    pub fn mem_component(&self) -> f64 {
+        self.memory + self.queue
+    }
+
+    /// Adds another stack component-wise.
+    pub fn add(&mut self, other: &CpiStack) {
+        self.base += other.base;
+        self.l2_hit += other.l2_hit;
+        self.llc_hit += other.llc_hit;
+        self.memory += other.memory;
+        self.queue += other.queue;
+    }
+
+    /// Difference `self − other`, component-wise (e.g. interval deltas).
+    pub fn delta(&self, other: &CpiStack) -> CpiStack {
+        CpiStack {
+            base: self.base - other.base,
+            l2_hit: self.l2_hit - other.l2_hit,
+            llc_hit: self.llc_hit - other.llc_hit,
+            memory: self.memory - other.memory,
+            queue: self.queue - other.queue,
+        }
+    }
+
+    /// The stack normalized per instruction.
+    pub fn per_insn(&self, insns: u64) -> CpiStack {
+        assert!(insns > 0, "need at least one instruction");
+        let inv = 1.0 / insns as f64;
+        CpiStack {
+            base: self.base * inv,
+            l2_hit: self.l2_hit * inv,
+            llc_hit: self.llc_hit * inv,
+            memory: self.memory * inv,
+            queue: self.queue * inv,
+        }
+    }
+
+    /// Checks internal consistency: all components non-negative and
+    /// finite.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("base", self.base),
+            ("l2_hit", self.l2_hit),
+            ("llc_hit", self.llc_hit),
+            ("memory", self.memory),
+            ("queue", self.queue),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("component {name} is invalid: {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for CpiStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "base {:.3} + L2 {:.3} + LLC {:.3} + mem {:.3} + queue {:.3} = {:.3}",
+            self.base,
+            self.l2_hit,
+            self.llc_hit,
+            self.memory,
+            self.queue,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CpiStack {
+        CpiStack { base: 100.0, l2_hit: 20.0, llc_hit: 10.0, memory: 50.0, queue: 5.0 }
+    }
+
+    #[test]
+    fn total_is_component_sum() {
+        assert_eq!(sample().total(), 185.0);
+        assert_eq!(sample().mem_component(), 55.0);
+    }
+
+    #[test]
+    fn add_and_delta_are_inverse() {
+        let a = sample();
+        let mut b = a;
+        b.add(&a);
+        let back = b.delta(&a);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn per_insn_scales() {
+        let s = sample().per_insn(100);
+        assert!((s.base - 1.0).abs() < 1e-12);
+        assert!((s.total() - 1.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_negatives() {
+        let mut s = sample();
+        assert!(s.validate().is_ok());
+        s.memory = -1.0;
+        assert!(s.validate().is_err());
+        s.memory = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = sample().to_string();
+        assert!(text.contains("base"));
+        assert!(text.contains("185"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<CpiStack>(&json).unwrap());
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors produced when building or evaluating the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The workload mix contained no programs.
+    EmptyWorkload,
+    /// A profile failed its structural validation.
+    InvalidProfile {
+        /// Benchmark name of the offending profile.
+        name: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// Two profiles in the same prediction disagree on machine parameters
+    /// (LLC associativity or memory latency), so they cannot share a cache
+    /// contention model.
+    MismatchedProfiles {
+        /// Names of the two disagreeing profiles.
+        names: (String, String),
+        /// The disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyWorkload => write!(f, "workload mix contains no programs"),
+            ModelError::InvalidProfile { name, detail } => {
+                write!(f, "invalid profile `{name}`: {detail}")
+            }
+            ModelError::MismatchedProfiles { names: (a, b), detail } => {
+                write!(f, "profiles `{a}` and `{b}` are incompatible: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidProfile { name: "x".into(), detail: "no intervals".into() };
+        assert!(e.to_string().contains("x"));
+        assert!(e.to_string().contains("no intervals"));
+        assert!(!ModelError::EmptyWorkload.to_string().is_empty());
+    }
+}

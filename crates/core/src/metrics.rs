@@ -1,0 +1,146 @@
+//! Multi-program performance metrics (Eyerman & Eeckhout, IEEE Micro 2008).
+//!
+//! Both metrics compare each program's multi-core CPI (`CPI_MC`) against
+//! its isolated single-core CPI (`CPI_SC`):
+//!
+//! * **STP** (system throughput, a.k.a. weighted speedup): total progress
+//!   per unit time, `Σ_p CPI_SC,p / CPI_MC,p`. Higher is better; an n-core
+//!   machine with zero interference scores `n`.
+//! * **ANTT** (average normalized turnaround time): the average per-program
+//!   slowdown, `(1/n) Σ_p CPI_MC,p / CPI_SC,p`. Lower is better; 1.0 means
+//!   no interference.
+
+/// System throughput: `Σ CPI_SC / CPI_MC` (higher is better).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain
+/// non-positive values.
+///
+/// # Example
+///
+/// ```
+/// let sc = [1.0, 2.0];
+/// let mc = [2.0, 2.0]; // first program halved, second unaffected
+/// assert_eq!(mppm::metrics::stp(&sc, &mc), 1.5);
+/// ```
+pub fn stp(cpi_sc: &[f64], cpi_mc: &[f64]) -> f64 {
+    check(cpi_sc, cpi_mc);
+    cpi_sc.iter().zip(cpi_mc).map(|(&sc, &mc)| sc / mc).sum()
+}
+
+/// Average normalized turnaround time: `(1/n) Σ CPI_MC / CPI_SC` (lower is
+/// better).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain
+/// non-positive values.
+///
+/// # Example
+///
+/// ```
+/// let sc = [1.0, 2.0];
+/// let mc = [2.0, 2.0];
+/// assert_eq!(mppm::metrics::antt(&sc, &mc), 1.5);
+/// ```
+pub fn antt(cpi_sc: &[f64], cpi_mc: &[f64]) -> f64 {
+    check(cpi_sc, cpi_mc);
+    let total: f64 = cpi_mc.iter().zip(cpi_sc).map(|(&mc, &sc)| mc / sc).sum();
+    total / cpi_sc.len() as f64
+}
+
+/// Per-program slowdowns `CPI_MC / CPI_SC`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`stp`].
+pub fn slowdowns(cpi_sc: &[f64], cpi_mc: &[f64]) -> Vec<f64> {
+    check(cpi_sc, cpi_mc);
+    cpi_mc.iter().zip(cpi_sc).map(|(&mc, &sc)| mc / sc).collect()
+}
+
+fn check(cpi_sc: &[f64], cpi_mc: &[f64]) {
+    assert_eq!(cpi_sc.len(), cpi_mc.len(), "CPI vectors must have equal length");
+    assert!(!cpi_sc.is_empty(), "metrics need at least one program");
+    for (&sc, &mc) in cpi_sc.iter().zip(cpi_mc) {
+        assert!(sc > 0.0 && sc.is_finite(), "CPI_SC must be positive, got {sc}");
+        assert!(mc > 0.0 && mc.is_finite(), "CPI_MC must be positive, got {mc}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_interference_is_ideal() {
+        let cpi = [0.5, 1.0, 2.0, 4.0];
+        assert!((stp(&cpi, &cpi) - 4.0).abs() < 1e-12);
+        assert!((antt(&cpi, &cpi) - 1.0).abs() < 1e-12);
+        assert!(slowdowns(&cpi, &cpi).iter().all(|&s| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn uniform_2x_slowdown() {
+        let sc = [1.0, 1.0];
+        let mc = [2.0, 2.0];
+        assert!((stp(&sc, &mc) - 1.0).abs() < 1e-12);
+        assert!((antt(&sc, &mc) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        stp(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one program")]
+    fn empty_panics() {
+        antt(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_cpi_panics() {
+        stp(&[0.0], &[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn stp_bounded_by_core_count(
+            sc in proptest::collection::vec(0.1f64..10.0, 1..16),
+            factors in proptest::collection::vec(1.0f64..20.0, 16),
+        ) {
+            let mc: Vec<f64> =
+                sc.iter().zip(&factors).map(|(&s, &f)| s * f).collect();
+            let v = stp(&sc, &mc);
+            prop_assert!(v > 0.0);
+            prop_assert!(v <= sc.len() as f64 + 1e-9);
+        }
+
+        #[test]
+        fn antt_at_least_one_when_slowed(
+            sc in proptest::collection::vec(0.1f64..10.0, 1..16),
+            factors in proptest::collection::vec(1.0f64..20.0, 16),
+        ) {
+            let mc: Vec<f64> =
+                sc.iter().zip(&factors).map(|(&s, &f)| s * f).collect();
+            prop_assert!(antt(&sc, &mc) >= 1.0 - 1e-9);
+        }
+
+        #[test]
+        fn antt_is_mean_of_slowdowns(
+            sc in proptest::collection::vec(0.1f64..10.0, 2..8),
+            factors in proptest::collection::vec(1.0f64..5.0, 8),
+        ) {
+            let mc: Vec<f64> =
+                sc.iter().zip(&factors).map(|(&s, &f)| s * f).collect();
+            let s = slowdowns(&sc, &mc);
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            prop_assert!((antt(&sc, &mc) - mean).abs() < 1e-9);
+        }
+    }
+}

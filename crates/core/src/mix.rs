@@ -1,0 +1,304 @@
+//! Multi-program workload mixes: enumeration and sampling.
+//!
+//! For `N` benchmarks and `M` cores there are `C(N+M−1, M)` distinct
+//! multi-program workloads (combinations with repetition) — 435 two-program
+//! mixes for SPEC CPU2006's 29 benchmarks, 35,960 four-program mixes, and
+//! over 30 million eight-program mixes (paper §1). This module provides the
+//! exact count, a lazy enumerator, and the random / per-category sampling
+//! procedures that "current practice" uses (paper §5).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A multi-program workload: a multiset of benchmark indices, stored
+/// sorted so equal mixes compare equal.
+///
+/// # Example
+///
+/// ```
+/// use mppm::mix::Mix;
+///
+/// let a = Mix::new(vec![3, 1, 3]);
+/// let b = Mix::new(vec![3, 3, 1]);
+/// assert_eq!(a, b);
+/// assert_eq!(a.members(), &[1, 3, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Mix {
+    members: Vec<usize>,
+}
+
+impl Mix {
+    /// Creates a mix; members are sorted into canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(mut members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "a mix needs at least one program");
+        members.sort_unstable();
+        Self { members }
+    }
+
+    /// Benchmark indices, sorted ascending (with repetition).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of programs (cores) in the mix.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the mix is empty (never true for a constructed mix).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Resolves the mix against a slice of per-benchmark values (profiles,
+    /// names, ...), yielding one reference per program.
+    pub fn resolve<'a, T>(&self, items: &'a [T]) -> Vec<&'a T> {
+        self.members.iter().map(|&i| &items[i]).collect()
+    }
+}
+
+/// Exact number of distinct `m`-program mixes over `n` benchmarks:
+/// `C(n+m−1, m)`.
+///
+/// # Example
+///
+/// ```
+/// use mppm::mix::count_mixes;
+///
+/// // The paper's counts for SPEC CPU2006 (§1):
+/// assert_eq!(count_mixes(29, 2), 435);
+/// assert_eq!(count_mixes(29, 4), 35_960);
+/// assert_eq!(count_mixes(29, 8), 30_260_340);
+/// ```
+pub fn count_mixes(n: usize, m: usize) -> u128 {
+    if n == 0 {
+        return u128::from(m == 0);
+    }
+    // C(n+m-1, m) computed multiplicatively.
+    let top = (n + m - 1) as u128;
+    let mut result: u128 = 1;
+    for k in 1..=m as u128 {
+        result = result * (top - m as u128 + k) / k;
+    }
+    result
+}
+
+/// Lazy enumerator of every distinct `m`-program mix over `n` benchmarks,
+/// in lexicographic order.
+///
+/// # Example
+///
+/// ```
+/// use mppm::mix::{count_mixes, enumerate_mixes};
+///
+/// let all: Vec<_> = enumerate_mixes(3, 2).collect();
+/// assert_eq!(all.len() as u128, count_mixes(3, 2));
+/// ```
+pub fn enumerate_mixes(n: usize, m: usize) -> EnumerateMixes {
+    assert!(m > 0, "mixes need at least one program");
+    let state = if n == 0 { None } else { Some(vec![0; m]) };
+    EnumerateMixes { n, state }
+}
+
+/// Iterator returned by [`enumerate_mixes`].
+#[derive(Debug, Clone)]
+pub struct EnumerateMixes {
+    n: usize,
+    /// Next non-decreasing index vector to yield, or `None` when done.
+    state: Option<Vec<usize>>,
+}
+
+impl Iterator for EnumerateMixes {
+    type Item = Mix;
+
+    fn next(&mut self) -> Option<Mix> {
+        let current = self.state.clone()?;
+        // Advance to the next non-decreasing vector.
+        let mut next = current.clone();
+        let m = next.len();
+        let mut i = m;
+        loop {
+            if i == 0 {
+                self.state = None;
+                break;
+            }
+            i -= 1;
+            if next[i] + 1 < self.n {
+                let v = next[i] + 1;
+                for slot in next.iter_mut().skip(i) {
+                    *slot = v;
+                }
+                self.state = Some(next);
+                break;
+            }
+        }
+        Some(Mix { members: current })
+    }
+}
+
+/// Samples `count` mixes of `m` programs uniformly (each slot independently
+/// uniform over the `n` benchmarks — the paper's "randomly chosen"
+/// workloads). Duplicates across samples are possible, as in practice.
+///
+/// # Panics
+///
+/// Panics if `n` or `m` is zero.
+pub fn sample_random(n: usize, m: usize, count: usize, rng: &mut impl Rng) -> Vec<Mix> {
+    assert!(n > 0 && m > 0, "need at least one benchmark and one slot");
+    (0..count).map(|_| Mix::new((0..m).map(|_| rng.gen_range(0..n)).collect())).collect()
+}
+
+/// Samples `count` mixes with every member drawn from `pool` (a workload
+/// *category*, e.g. the memory-intensive benchmarks).
+///
+/// # Panics
+///
+/// Panics if `pool` is empty or `m` is zero.
+pub fn sample_from_pool(pool: &[usize], m: usize, count: usize, rng: &mut impl Rng) -> Vec<Mix> {
+    assert!(!pool.is_empty(), "category pool must not be empty");
+    assert!(m > 0, "need at least one slot");
+    (0..count)
+        .map(|_| Mix::new((0..m).map(|_| pool[rng.gen_range(0..pool.len())]).collect()))
+        .collect()
+}
+
+/// Samples a "mixed" workload: half the slots (rounded up) from `pool_a`,
+/// the rest from `pool_b` — the paper's compute+memory mixed category.
+///
+/// # Panics
+///
+/// Panics if either pool is empty or `m` is zero.
+pub fn sample_mixed(
+    pool_a: &[usize],
+    pool_b: &[usize],
+    m: usize,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<Mix> {
+    assert!(!pool_a.is_empty() && !pool_b.is_empty(), "pools must not be empty");
+    assert!(m > 0, "need at least one slot");
+    (0..count)
+        .map(|_| {
+            let a_slots = m.div_ceil(2);
+            let mut members: Vec<usize> =
+                (0..a_slots).map(|_| pool_a[rng.gen_range(0..pool_a.len())]).collect();
+            members
+                .extend((a_slots..m).map(|_| pool_b[rng.gen_range(0..pool_b.len())]));
+            Mix::new(members)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix_is_canonical() {
+        assert_eq!(Mix::new(vec![2, 0, 1]).members(), &[0, 1, 2]);
+        assert_eq!(Mix::new(vec![5, 5]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one program")]
+    fn empty_mix_panics() {
+        Mix::new(vec![]);
+    }
+
+    #[test]
+    fn resolve_maps_indices() {
+        let names = ["a", "b", "c"];
+        let mix = Mix::new(vec![2, 0, 2]);
+        let resolved: Vec<&str> = mix.resolve(&names).into_iter().copied().collect();
+        assert_eq!(resolved, vec!["a", "c", "c"]);
+    }
+
+    #[test]
+    fn count_matches_paper() {
+        assert_eq!(count_mixes(29, 2), 435);
+        assert_eq!(count_mixes(29, 4), 35_960);
+        assert_eq!(count_mixes(29, 8), 30_260_340);
+    }
+
+    #[test]
+    fn count_edge_cases() {
+        assert_eq!(count_mixes(1, 5), 1);
+        assert_eq!(count_mixes(5, 1), 5);
+        assert_eq!(count_mixes(0, 3), 0);
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_unique() {
+        for (n, m) in [(3, 2), (4, 3), (5, 1), (2, 4)] {
+            let all: Vec<Mix> = enumerate_mixes(n, m).collect();
+            assert_eq!(all.len() as u128, count_mixes(n, m), "n={n} m={m}");
+            let set: HashSet<_> = all.iter().collect();
+            assert_eq!(set.len(), all.len(), "no duplicates for n={n} m={m}");
+            for mix in &all {
+                assert!(mix.members().windows(2).all(|w| w[0] <= w[1]));
+                assert!(mix.members().iter().all(|&i| i < n));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_lexicographic() {
+        let all: Vec<Mix> = enumerate_mixes(3, 2).collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+        assert_eq!(all[0].members(), &[0, 0]);
+        assert_eq!(all.last().unwrap().members(), &[2, 2]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(sample_random(29, 4, 10, &mut a), sample_random(29, 4, 10, &mut b));
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for mix in sample_random(7, 3, 100, &mut rng) {
+            assert_eq!(mix.len(), 3);
+            assert!(mix.members().iter().all(|&i| i < 7));
+        }
+    }
+
+    #[test]
+    fn pool_sampling_stays_in_pool() {
+        let pool = [2, 4, 6];
+        let mut rng = SmallRng::seed_from_u64(2);
+        for mix in sample_from_pool(&pool, 4, 50, &mut rng) {
+            assert!(mix.members().iter().all(|i| pool.contains(i)));
+        }
+    }
+
+    #[test]
+    fn mixed_sampling_draws_from_both_pools() {
+        let a = [0, 1];
+        let b = [8, 9];
+        let mut rng = SmallRng::seed_from_u64(3);
+        for mix in sample_mixed(&a, &b, 4, 50, &mut rng) {
+            let from_a = mix.members().iter().filter(|&&i| i < 2).count();
+            let from_b = mix.members().iter().filter(|&&i| i >= 8).count();
+            assert_eq!(from_a, 2);
+            assert_eq!(from_b, 2);
+        }
+        // Odd m: extra slot goes to pool a.
+        for mix in sample_mixed(&a, &b, 3, 20, &mut rng) {
+            let from_a = mix.members().iter().filter(|&&i| i < 2).count();
+            assert_eq!(from_a, 2);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-module property tests on the model: invariants that must hold
+//! for *any* structurally valid profile, not just the suite's.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::contention::{ContentionModel, FoaModel, ProbModel, SdcCompetitionModel};
+use crate::model::{Mppm, MppmConfig};
+use crate::profile::SingleCoreProfile;
+use mppm_cache::Sdc;
+
+/// Strategy producing a random but valid synthetic profile.
+///
+/// Interval count is fixed at the paper's 50 so the default step size
+/// (10 intervals) yields the paper's 25 smoothing iterations; profiles
+/// with only a handful of intervals leave the EMA visibly unconverged,
+/// which is a documented scale requirement, not a property to test.
+fn profile_strategy(name: &'static str) -> impl Strategy<Value = SingleCoreProfile> {
+    (
+        0.3f64..3.0,            // cpi
+        0.0f64..0.5,            // mem fraction of cpi
+        0.0f64..2_000.0,        // llc accesses per interval
+        0.0f64..1.0,            // miss fraction of accesses
+    )
+        .prop_map(move |(cpi, mem_frac, accesses, miss_frac)| {
+            SingleCoreProfile::synthetic(
+                name,
+                8,
+                50,
+                10_000,
+                cpi,
+                cpi * mem_frac,
+                accesses,
+                accesses * miss_frac,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slowdowns are finite, ≥ 1, and the derived metrics respect their
+    /// bounds for any 2-program workload.
+    #[test]
+    fn model_invariants_hold_for_arbitrary_profiles(
+        a in profile_strategy("a"),
+        b in profile_strategy("b"),
+    ) {
+        let model = Mppm::new(MppmConfig::default(), FoaModel);
+        let pred = model.predict(&[&a, &b]).expect("valid profiles");
+        prop_assert!(pred.converged());
+        for &r in pred.slowdowns() {
+            prop_assert!(r.is_finite());
+            prop_assert!(r >= 1.0 - 1e-9, "slowdown {r} below 1");
+        }
+        let stp = pred.stp();
+        prop_assert!(stp > 0.0 && stp <= 2.0 + 1e-9, "STP {stp} out of range");
+        prop_assert!(pred.antt() >= 1.0 - 1e-9);
+    }
+
+    /// Adding a cache-idle co-runner (no LLC traffic at all) changes
+    /// nobody's prediction. Note that adding a *busy* co-runner is NOT
+    /// monotone: slowing one competitor lowers its per-cycle LLC pressure
+    /// on the others — exactly the performance entanglement the iterative
+    /// model exists to capture.
+    #[test]
+    fn cache_idle_corunner_is_a_noop(
+        a in profile_strategy("a"),
+        b in profile_strategy("b"),
+    ) {
+        let idle = SingleCoreProfile::synthetic("idle", 8, 4, 10_000, 0.5, 0.0, 0.0, 0.0);
+        let model = Mppm::new(MppmConfig::default(), FoaModel);
+        let two = model.predict(&[&a, &b]).expect("valid");
+        let three = model.predict(&[&a, &b, &idle]).expect("valid");
+        prop_assert!(
+            (three.slowdowns()[0] - two.slowdowns()[0]).abs() < 1e-6,
+            "idle co-runner changed a's slowdown: {} -> {}",
+            two.slowdowns()[0],
+            three.slowdowns()[0]
+        );
+        prop_assert!((three.slowdowns()[2] - 1.0).abs() < 1e-9, "idle program unaffected");
+    }
+
+    /// Identical programs get identical predictions (symmetry). FOA and
+    /// Prob are continuous, so any count works; SDC-competition allocates
+    /// whole ways, so symmetry only holds when the way count divides
+    /// evenly among the programs.
+    #[test]
+    fn symmetric_mixes_predict_symmetrically(p in profile_strategy("p")) {
+        let configs = MppmConfig::default();
+        fn check<M: ContentionModel>(p: &SingleCoreProfile, n: usize, cfg: MppmConfig, m: M) {
+            let mix: Vec<&SingleCoreProfile> = std::iter::repeat_n(p, n).collect();
+            let pred = Mppm::new(cfg, m).predict(&mix).expect("valid");
+            let s = pred.slowdowns();
+            for w in s.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-9, "{s:?}");
+            }
+        }
+        check(&p, 3, configs.clone(), FoaModel);
+        check(&p, 3, configs.clone(), ProbModel);
+        // 8 ways split evenly over 2 or 4 programs.
+        check(&p, 2, configs.clone(), SdcCompetitionModel);
+        check(&p, 4, configs, SdcCompetitionModel);
+    }
+
+    /// Contention models never report more extra misses than there are
+    /// hits to convert, for arbitrary windows.
+    #[test]
+    fn extra_misses_bounded_by_hits(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10_000.0, 9),
+            2..5
+        ),
+    ) {
+        let windows: Vec<Sdc> = counts
+            .iter()
+            .map(|cs| {
+                let mut sdc = Sdc::new(8);
+                for (d, &n) in cs.iter().enumerate() {
+                    let mut unit = Sdc::new(8);
+                    if d < 8 {
+                        unit.record(Some(d as u32));
+                    } else {
+                        unit.record(None);
+                    }
+                    sdc.add_scaled(&unit, n);
+                }
+                sdc
+            })
+            .collect();
+        for model in [&FoaModel as &dyn ContentionModel, &SdcCompetitionModel, &ProbModel] {
+            let extra = model.extra_misses(&windows, 8);
+            prop_assert_eq!(extra.len(), windows.len());
+            for (e, w) in extra.iter().zip(&windows) {
+                prop_assert!(*e >= -1e-9, "{}: negative extra", model.name());
+                prop_assert!(
+                    *e <= w.hits() + 1e-6,
+                    "{}: extra {} > hits {}",
+                    model.name(),
+                    e,
+                    w.hits()
+                );
+            }
+        }
+    }
+
+    /// The EMA factor changes convergence dynamics but not the invariants.
+    #[test]
+    fn ema_sweep_stays_valid(
+        a in profile_strategy("a"),
+        b in profile_strategy("b"),
+        ema in 0.0f64..0.95,
+    ) {
+        let model = Mppm::new(MppmConfig { ema, ..Default::default() }, FoaModel);
+        let pred = model.predict(&[&a, &b]).expect("valid");
+        prop_assert!(pred.converged());
+        prop_assert!(pred.slowdowns().iter().all(|r| r.is_finite() && *r >= 1.0 - 1e-9));
+    }
+}

@@ -1,0 +1,415 @@
+//! Statistics used by the paper's methodology: Student-t confidence
+//! intervals over workload-mix populations (§4.1) and Spearman rank
+//! correlation for comparing design-space rankings (§5).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (n−1 denominator). Returns `None` for fewer
+/// than two samples.
+pub fn sample_std(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    let var = xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+    Some(var.sqrt())
+}
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom (the
+/// multiplier of a 95% confidence interval), by table lookup with
+/// interpolation in `1/df`.
+///
+/// # Panics
+///
+/// Panics if `df` is zero.
+pub fn t_quantile_975(df: usize) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    /// (df, t) pairs; beyond the last entry the normal quantile applies.
+    const TABLE: &[(usize, f64)] = &[
+        (1, 12.706),
+        (2, 4.303),
+        (3, 3.182),
+        (4, 2.776),
+        (5, 2.571),
+        (6, 2.447),
+        (7, 2.365),
+        (8, 2.306),
+        (9, 2.262),
+        (10, 2.228),
+        (11, 2.201),
+        (12, 2.179),
+        (13, 2.160),
+        (14, 2.145),
+        (15, 2.131),
+        (16, 2.120),
+        (17, 2.110),
+        (18, 2.101),
+        (19, 2.093),
+        (20, 2.086),
+        (21, 2.080),
+        (22, 2.074),
+        (23, 2.069),
+        (24, 2.064),
+        (25, 2.060),
+        (26, 2.056),
+        (27, 2.052),
+        (28, 2.048),
+        (29, 2.045),
+        (30, 2.042),
+        (40, 2.021),
+        (50, 2.009),
+        (60, 2.000),
+        (80, 1.990),
+        (100, 1.984),
+        (120, 1.980),
+    ];
+    const NORMAL: f64 = 1.959964;
+    if let Some(&(_, t)) = TABLE.iter().find(|&&(d, _)| d == df) {
+        return t;
+    }
+    if df > 120 {
+        // Interpolate between t(120) and the normal limit in 1/df.
+        let w = (1.0 / df as f64) / (1.0 / 120.0);
+        return NORMAL + w * (1.980 - NORMAL);
+    }
+    // df between table entries (31..=119, not a listed point): linear
+    // interpolation in 1/df between the bracketing entries.
+    let (lo, hi) = TABLE
+        .windows(2)
+        .find_map(|w| {
+            let (d0, t0) = w[0];
+            let (d1, t1) = w[1];
+            (d0 < df && df < d1).then_some(((d0, t0), (d1, t1)))
+        })
+        .expect("df is bracketed by the table");
+    let (d0, t0) = lo;
+    let (d1, t1) = hi;
+    let x = 1.0 / df as f64;
+    let (x0, x1) = (1.0 / d0 as f64, 1.0 / d1 as f64);
+    t1 + (t0 - t1) * (x - x1) / (x0 - x1)
+}
+
+/// A 95% confidence interval on a population mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (`t × s / √n`).
+    pub half_width: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Half-width relative to the mean (the "x% confidence interval" the
+    /// paper quotes, e.g. 10% for 10 mixes).
+    pub fn relative(&self) -> f64 {
+        self.half_width / self.mean.abs()
+    }
+}
+
+/// 95% Student-t confidence interval of the mean. Returns `None` for fewer
+/// than two samples.
+///
+/// # Example
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let ci = mppm::stats::ci95(&xs).unwrap();
+/// assert_eq!(ci.mean, 3.0);
+/// assert!(ci.lo() < 3.0 && ci.hi() > 3.0);
+/// ```
+pub fn ci95(xs: &[f64]) -> Option<ConfidenceInterval> {
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let s = sample_std(xs)?;
+    let t = t_quantile_975(n - 1);
+    Some(ConfidenceInterval { mean: m, half_width: t * s / (n as f64).sqrt(), n })
+}
+
+/// Fractional ranks (1-based, ties averaged).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("values are comparable"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation coefficient. Returns `None` if either input has
+/// zero variance or fewer than two points.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "inputs must have equal length");
+    if a.len() < 2 {
+        return None;
+    }
+    let ma = mean(a)?;
+    let mb = mean(b)?;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Kendall's τ-b rank correlation (tie-adjusted). Returns `None` if
+/// either input is constant or shorter than two elements.
+///
+/// Provided alongside [`spearman`] as a robustness check for the
+/// design-space ranking experiments: the two statistics agree on
+/// direction but weight disagreements differently.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Example
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [10.0, 30.0, 20.0]; // one discordant pair of three
+/// let tau = mppm::stats::kendall_tau(&a, &b).unwrap();
+/// assert!((tau - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "inputs must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0.0;
+    let mut discordant = 0.0;
+    let mut ties_a = 0.0;
+    let mut ties_b = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            match (da == 0.0, db == 0.0) {
+                (true, true) => {}
+                (true, false) => ties_a += 1.0,
+                (false, true) => ties_b += 1.0,
+                (false, false) => {
+                    if (da > 0.0) == (db > 0.0) {
+                        concordant += 1.0;
+                    } else {
+                        discordant += 1.0;
+                    }
+                }
+            }
+        }
+    }
+    let denom = f64::sqrt(
+        (concordant + discordant + ties_a) * (concordant + discordant + ties_b),
+    );
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) / denom)
+}
+
+/// Spearman rank correlation coefficient (tie-aware: Pearson over
+/// fractional ranks). Returns `None` if either ranking is constant.
+///
+/// A value of 1.0 means the two rankings agree exactly — the paper's
+/// criterion for a workload-selection method ranking design options
+/// correctly (§5, Figure 7).
+///
+/// # Example
+///
+/// ```
+/// let measured = [3.1, 2.9, 3.6, 3.3];
+/// let predicted = [3.0, 2.8, 3.7, 3.2]; // same ordering
+/// let rho = mppm::stats::spearman(&measured, &predicted).unwrap();
+/// assert!((rho - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    pearson(&ranks(a), &ranks(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(sample_std(&[1.0]), None);
+        assert!((sample_std(&[2.0, 4.0]).unwrap() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_table_known_values() {
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-9);
+        assert!((t_quantile_975(10) - 2.228).abs() < 1e-9);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-9);
+        assert!((t_quantile_975(120) - 1.980).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_table_interpolates_sensibly() {
+        // 35 is between 30 (2.042) and 40 (2.021).
+        let t = t_quantile_975(35);
+        assert!(t < 2.042 && t > 2.021, "got {t}");
+        // Very large df approaches the normal quantile.
+        assert!((t_quantile_975(100_000) - 1.959964).abs() < 1e-3);
+        // Monotone decreasing overall.
+        let mut prev = t_quantile_975(1);
+        for df in 2..300 {
+            let t = t_quantile_975(df);
+            assert!(t <= prev + 1e-9, "df {df}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ci95_shrinks_with_samples() {
+        // Same spread, more samples -> tighter interval.
+        let small: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
+        let large: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let ci_s = ci95(&small).unwrap();
+        let ci_l = ci95(&large).unwrap();
+        assert!(ci_l.half_width < ci_s.half_width);
+        assert!((ci_s.mean - 0.5).abs() < 1e-12);
+        assert!(ci_s.lo() < 0.5 && ci_s.hi() > 0.5);
+    }
+
+    #[test]
+    fn ci95_needs_two_samples() {
+        assert!(ci95(&[1.0]).is_none());
+        assert!(ci95(&[]).is_none());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ignores_monotone_transform() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_input_is_none() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn kendall_known_values() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [1.0, 2.0, 3.0, 4.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &up), Some(1.0));
+        assert_eq!(kendall_tau(&a, &down), Some(-1.0));
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), None, "constant input");
+    }
+
+    #[test]
+    fn kendall_handles_ties() {
+        // a has a tie; tau-b normalizes it away symmetrically.
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        let tau = kendall_tau(&a, &b).unwrap();
+        assert!(tau > 0.0 && tau < 1.0, "got {tau}");
+    }
+
+    proptest! {
+        #[test]
+        fn kendall_and_spearman_agree_on_direction(
+            a in proptest::collection::vec(-100.0f64..100.0, 4..16),
+            b in proptest::collection::vec(-100.0f64..100.0, 4..16),
+        ) {
+            let n = a.len().min(b.len());
+            if let (Some(rho), Some(tau)) =
+                (spearman(&a[..n], &b[..n]), kendall_tau(&a[..n], &b[..n]))
+            {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&tau));
+                // Strong correlations agree in sign.
+                if rho.abs() > 0.5 && tau.abs() > 1e-9 {
+                    prop_assert_eq!(rho > 0.0, tau > 0.0, "rho {} tau {}", rho, tau);
+                }
+            }
+        }
+
+        #[test]
+        fn spearman_in_unit_range(
+            a in proptest::collection::vec(-100.0f64..100.0, 3..20),
+            b in proptest::collection::vec(-100.0f64..100.0, 3..20),
+        ) {
+            let n = a.len().min(b.len());
+            if let Some(r) = spearman(&a[..n], &b[..n]) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn ci_contains_mean(xs in proptest::collection::vec(-50.0f64..50.0, 2..40)) {
+            if let Some(ci) = ci95(&xs) {
+                prop_assert!(ci.lo() <= ci.mean + 1e-9);
+                prop_assert!(ci.hi() >= ci.mean - 1e-9);
+            }
+        }
+
+        #[test]
+        fn ranks_are_a_permutation_sum(xs in proptest::collection::vec(-50.0f64..50.0, 1..30)) {
+            let r = ranks(&xs);
+            let sum: f64 = r.iter().sum();
+            let n = xs.len() as f64;
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+    }
+}

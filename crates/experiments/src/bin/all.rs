@@ -1,0 +1,47 @@
+//! Runs the complete reproduction: every figure in order, reusing the
+//! shared caches.
+//!
+//! Usage: `cargo run --release -p mppm-experiments --bin all [--quick]`
+
+use mppm_experiments::{fig3, fig4, fig5, fig6, fig7, fig8, fig9, speed, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+
+    println!("== Figure 3: variability ==");
+    let f3 = fig3::run(&ctx);
+    println!("{}", fig3::report(&f3).render());
+
+    println!("== Figure 4: accuracy ==");
+    let f4 = fig4::run(&ctx);
+    println!("{}", fig4::report(&f4).render());
+
+    println!("== Figure 5: per-program slowdowns ==");
+    println!("{}", fig5::report(&f4).render());
+
+    println!("== Figure 6: worst-mix CPI ==");
+    println!("{}", fig6::report(&fig6::run(&ctx)).render());
+
+    println!("== Figure 7: design-space ranking ==");
+    let f7 = fig7::run(&ctx, fig7::Fig7Options::default());
+    println!("{}", fig7::report(&f7).render());
+    println!(
+        "MPPM rho: STP {:.3} ANTT {:.3}; practice avg rho_STP: random {:.3}, category {:.3}",
+        f7.mppm_rho_stp,
+        f7.mppm_rho_antt,
+        fig7::Fig7Output::average_rho_stp(&f7.random_sets),
+        fig7::Fig7Output::average_rho_stp(&f7.category_sets),
+    );
+
+    println!("\n== Figure 8: pairwise decisions ==");
+    println!("{}", fig8::report(&fig8::run(&f7)).render());
+
+    println!("== Figure 9: stress workloads ==");
+    let four_core = &f4[1];
+    println!("{}", fig9::report(&fig9::run(four_core)).render());
+
+    println!("== Speed ==");
+    println!("{}", speed::report(&speed::run(&ctx, &[2, 4, 8], 5)).render());
+
+    println!("All CSVs are under results/.");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 6: per-program CPI tracking for the paper's
+//! worst-STP 4-program workload (gamess + gamess + hmmer + soplex).
+//!
+//! Usage: `cargo run --release -p mppm-experiments --bin fig6 [--quick]`
+
+use mppm_experiments::{fig6, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    let out = fig6::run(&ctx);
+    let table = fig6::report(&out);
+    println!("\nFigure 6 — individual-program CPI in the worst-STP mix");
+    println!("{}", table.render());
+    println!("CSV written to results/fig6_worst_mix_cpi.csv");
+}

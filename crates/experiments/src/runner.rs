@@ -1,0 +1,72 @@
+//! Small parallel-map helper for running independent simulations on all
+//! available cores.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, using all available parallelism, and returns
+/// the outputs in input order. Progress is printed to stderr every few
+/// completions because detailed simulations take seconds to minutes each.
+pub fn parallel_map<T, U, F>(label: &str, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let total = items.len();
+    let mut slots: Vec<Option<U>> = (0..total).map(|_| None).collect();
+    {
+        // Hand each worker a disjoint set of output slots.
+        let slot_refs: Vec<parking_lot::Mutex<&mut Option<U>>> =
+            slots.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(total.max(1)) {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let out = f(&items[idx]);
+                    **slot_refs[idx].lock() = Some(out);
+                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if d.is_multiple_of(10) || d == total {
+                        eprintln!("  [{label}] {d}/{total}");
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+    slots.into_iter().map(|s| s.expect("every slot was filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map("test", &items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map("test", &Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn heavyish_work() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map("test", &items, |&x| (0..10_000u64).map(|i| i ^ x).sum::<u64>());
+        assert_eq!(out.len(), 32);
+        // Deterministic regardless of scheduling.
+        let serial: Vec<u64> =
+            items.iter().map(|&x| (0..10_000u64).map(|i| i ^ x).sum::<u64>()).collect();
+        assert_eq!(out, serial);
+    }
+}

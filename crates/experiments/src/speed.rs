@@ -1,0 +1,105 @@
+//! §4.3: speed of MPPM versus detailed simulation.
+//!
+//! The paper: detailed simulation of one 8-core mix takes ~12 hours on
+//! CMP$im; MPPM takes a couple tenths of a second per mix after a one-time
+//! single-core profiling cost (~1 hour per benchmark), making it up to
+//! five orders of magnitude faster. Our "detailed simulator" is itself
+//! fast (it exists precisely so this reproduction can measure ground
+//! truth), so the *absolute* gap compresses; the shape — an analytic model
+//! thousands of times faster than simulation, with per-mix model cost
+//! linear in the number of programs — is what this experiment checks.
+
+use mppm::mix::Mix;
+use std::time::Instant;
+
+use crate::fig4::mixes_for;
+use crate::table::{f3, Table};
+use crate::Context;
+
+/// Timing results for one core count.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedPoint {
+    /// Programs per mix.
+    pub cores: usize,
+    /// Average seconds of detailed simulation per mix.
+    pub sim_seconds: f64,
+    /// Average seconds of MPPM evaluation per mix.
+    pub model_seconds: f64,
+}
+
+impl SpeedPoint {
+    /// Detailed-simulation time over model time.
+    pub fn speedup(&self) -> f64 {
+        self.sim_seconds / self.model_seconds
+    }
+}
+
+/// Measures simulation and model time per mix for each core count.
+///
+/// `mixes_per_point` controls how many mixes are averaged (they hit the
+/// store cache if Figure 4 ran first, in which case the recorded
+/// simulation times are reused rather than re-measured).
+pub fn run(ctx: &Context, core_counts: &[usize], mixes_per_point: usize) -> Vec<SpeedPoint> {
+    let machine = ctx.baseline();
+    let profiles = ctx.profiles(&machine);
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let mixes: Vec<Mix> = mixes_for(cores, mixes_per_point);
+            let mut sim_total = 0.0;
+            for mix in &mixes {
+                // The record stores the wall time of the original run even
+                // on a cache hit.
+                sim_total += ctx.simulate(mix, &profiles, &machine).sim_seconds;
+            }
+            let started = Instant::now();
+            for mix in &mixes {
+                let _ = ctx.predict(mix, &profiles);
+            }
+            let model_total = started.elapsed().as_secs_f64();
+            SpeedPoint {
+                cores,
+                sim_seconds: sim_total / mixes.len() as f64,
+                model_seconds: model_total / mixes.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the timing table and writes the CSV.
+pub fn report(points: &[SpeedPoint]) -> Table {
+    let mut t = Table::new(&["cores", "sim s/mix", "model s/mix", "speedup"]);
+    for p in points {
+        t.row(vec![
+            p.cores.to_string(),
+            f3(p.sim_seconds),
+            format!("{:.6}", p.model_seconds),
+            format!("{:.0}x", p.speedup()),
+        ]);
+    }
+    let _ = t.save_csv("speed");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn model_is_much_faster_than_simulation() {
+        let ctx = Context::new(Scale::Quick);
+        let points = run(&ctx, &[2], 2);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.sim_seconds > 0.0);
+        assert!(p.model_seconds > 0.0);
+        assert!(
+            p.speedup() > 10.0,
+            "even at smoke-test scale the model should be >10x faster, got {:.1}x",
+            p.speedup()
+        );
+        let table = report(&points);
+        assert_eq!(table.len(), 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! On-disk caches for single-core profiles and detailed-simulation
+//! results.
+//!
+//! Detailed simulation is the expensive side of this reproduction (as it
+//! is the paper's motivating problem), so every simulated mix and every
+//! single-core profile is cached as JSON keyed by everything that affects
+//! it: the machine configuration, the trace geometry, the workload mix and
+//! the benchmark-suite version.
+
+use mppm::SingleCoreProfile;
+use mppm_cache::CacheConfig;
+use mppm_sim::{simulate_mix, MachineConfig, MixResult};
+use mppm_trace::{suite, BenchmarkSpec, TraceGeometry};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version stamp for the synthetic suite's calibration; bump to invalidate
+/// caches after retuning benchmark parameters.
+pub const SUITE_VERSION: u32 = 6;
+
+fn llc_tag(llc: &CacheConfig) -> String {
+    format!("{}k{}w{}", llc.size_bytes / 1024, llc.assoc, llc.latency)
+}
+
+fn machine_tag(machine: &MachineConfig) -> String {
+    let bw = machine.mem_bandwidth.map(|b| format!("_bw{b}")).unwrap_or_default();
+    format!("{}_m{}h{}{bw}", llc_tag(&machine.llc), machine.mem_latency, machine.core.hide_cycles)
+}
+
+fn geometry_tag(geometry: TraceGeometry) -> String {
+    format!("{}x{}", geometry.interval_insns, geometry.intervals)
+}
+
+/// Key identifying one simulated mix measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MixKey {
+    /// Benchmark names in canonical (sorted) order.
+    pub names: Vec<String>,
+}
+
+impl MixKey {
+    /// Builds the canonical key for a set of benchmark names.
+    pub fn new(mut names: Vec<String>) -> Self {
+        names.sort();
+        Self { names }
+    }
+
+    fn as_string(&self) -> String {
+        self.names.join("+")
+    }
+}
+
+/// One cached detailed-simulation measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixRecord {
+    /// Benchmark names in the simulated (canonical) order.
+    pub names: Vec<String>,
+    /// Isolated CPI per program (from the matching profiles).
+    pub cpi_sc: Vec<f64>,
+    /// Measured multi-core CPI per program.
+    pub cpi_mc: Vec<f64>,
+    /// Wall-clock seconds the detailed simulation took.
+    pub sim_seconds: f64,
+}
+
+impl MixRecord {
+    /// Measured system throughput.
+    pub fn stp(&self) -> f64 {
+        mppm::metrics::stp(&self.cpi_sc, &self.cpi_mc)
+    }
+
+    /// Measured average normalized turnaround time.
+    pub fn antt(&self) -> f64 {
+        mppm::metrics::antt(&self.cpi_sc, &self.cpi_mc)
+    }
+
+    /// Measured per-program slowdowns.
+    pub fn slowdowns(&self) -> Vec<f64> {
+        mppm::metrics::slowdowns(&self.cpi_sc, &self.cpi_mc)
+    }
+}
+
+/// Disk-backed store of profiles and mix measurements.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    /// Cached mix measurements per (machine, geometry) file, loaded
+    /// lazily.
+    mixes: Mutex<HashMap<String, HashMap<String, MixRecord>>>,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("profiles"))?;
+        std::fs::create_dir_all(root.join("sims"))?;
+        Ok(Self { root, mixes: Mutex::new(HashMap::new()) })
+    }
+
+    /// Opens the workspace-default store under `target/mppm-store`.
+    pub fn open_default() -> std::io::Result<Self> {
+        Self::open(default_root())
+    }
+
+    fn profile_path(
+        &self,
+        name: &str,
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+    ) -> PathBuf {
+        self.root.join("profiles").join(format!(
+            "{name}_{}_{}_v{SUITE_VERSION}.json",
+            machine_tag(machine),
+            geometry_tag(geometry),
+        ))
+    }
+
+    /// Loads or (re)computes the single-core profile of `spec`.
+    pub fn profile(
+        &self,
+        spec: &BenchmarkSpec,
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+    ) -> SingleCoreProfile {
+        let path = self.profile_path(spec.name(), machine, geometry);
+        if let Some(profile) = read_json::<SingleCoreProfile>(&path) {
+            if profile.validate().is_ok() {
+                return profile;
+            }
+        }
+        let profile = mppm_sim::profile_single_core(spec, machine, geometry);
+        write_json(&path, &profile);
+        profile
+    }
+
+    /// Loads or computes the profiles of the whole suite, in suite order.
+    pub fn suite_profiles(
+        &self,
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+    ) -> Vec<SingleCoreProfile> {
+        suite::spec_suite().iter().map(|s| self.profile(s, machine, geometry)).collect()
+    }
+
+    fn sim_file_tag(machine: &MachineConfig, geometry: TraceGeometry, cores: usize) -> String {
+        format!("{}_{}_{}c_v{SUITE_VERSION}", machine_tag(machine), geometry_tag(geometry), cores)
+    }
+
+    fn sim_path(&self, tag: &str) -> PathBuf {
+        self.root.join("sims").join(format!("{tag}.json"))
+    }
+
+    /// Loads or runs the detailed simulation of `mix` (benchmark names).
+    ///
+    /// `cpi_sc` must be the isolated CPIs matching the mix order; they are
+    /// stored alongside the measurement so downstream figures need not
+    /// recompute profiles.
+    pub fn simulate(
+        &self,
+        mix_names: &[&str],
+        cpi_sc: &[f64],
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+    ) -> MixRecord {
+        let key = MixKey::new(mix_names.iter().map(|s| s.to_string()).collect());
+        let tag = Self::sim_file_tag(machine, geometry, mix_names.len());
+        // Fast path: cached.
+        {
+            let mut files = self.mixes.lock();
+            let file = files
+                .entry(tag.clone())
+                .or_insert_with(|| read_json(&self.sim_path(&tag)).unwrap_or_default());
+            if let Some(rec) = file.get(&key.as_string()) {
+                return rec.clone();
+            }
+        }
+        // Simulate outside the lock (these take seconds to minutes).
+        let specs: Vec<&BenchmarkSpec> = key
+            .names
+            .iter()
+            .map(|n| suite::benchmark(n).expect("mix references a suite benchmark"))
+            .collect();
+        let started = Instant::now();
+        let result: MixResult = simulate_mix(&specs, machine, geometry);
+        // `cpi_sc` arrives in caller order; rebuild it in canonical order.
+        let mut sc_by_name: HashMap<&str, f64> = HashMap::new();
+        for (n, &sc) in mix_names.iter().zip(cpi_sc) {
+            sc_by_name.insert(n, sc);
+        }
+        let record = MixRecord {
+            names: key.names.clone(),
+            cpi_sc: key.names.iter().map(|n| sc_by_name[n.as_str()]).collect(),
+            cpi_mc: result.cpi_mc,
+            sim_seconds: started.elapsed().as_secs_f64(),
+        };
+        let mut files = self.mixes.lock();
+        let file = files.entry(tag.clone()).or_default();
+        file.insert(key.as_string(), record.clone());
+        write_json(&self.sim_path(&tag), file);
+        record
+    }
+
+    /// Number of cached simulations for a (machine, geometry, cores)
+    /// combination.
+    pub fn cached_sims(
+        &self,
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+        cores: usize,
+    ) -> usize {
+        let tag = Self::sim_file_tag(machine, geometry, cores);
+        let mut files = self.mixes.lock();
+        files
+            .entry(tag.clone())
+            .or_insert_with(|| read_json(&self.sim_path(&tag)).unwrap_or_default())
+            .len()
+    }
+}
+
+/// Workspace-default store root: `<workspace>/target/mppm-store`.
+pub fn default_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/experiments; the workspace root is two
+    // levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/mppm-store")
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &Path) -> Option<T> {
+    let bytes = std::fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) {
+    let json = serde_json::to_vec(value).expect("serialization cannot fail");
+    // Write-then-rename so interrupted runs never corrupt the cache.
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, &json).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mppm_sim::MachineConfig;
+
+    fn tmp_store() -> (tempdir::TempDir, Store) {
+        let dir = tempdir::TempDir::new();
+        let store = Store::open(dir.path.clone()).unwrap();
+        (dir, store)
+    }
+
+    /// Minimal self-made tempdir (avoids an extra dependency).
+    mod tempdir {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempDir {
+            pub path: PathBuf,
+        }
+
+        impl TempDir {
+            pub fn new() -> Self {
+                let path = std::env::temp_dir().join(format!(
+                    "mppm-store-test-{}-{}",
+                    std::process::id(),
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&path).unwrap();
+                Self { path }
+            }
+        }
+
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.path);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_round_trips_through_cache() {
+        let (_dir, store) = tmp_store();
+        let machine = MachineConfig::baseline();
+        let geometry = TraceGeometry::tiny();
+        let spec = suite::benchmark("hmmer").unwrap();
+        let first = store.profile(spec, &machine, geometry);
+        let second = store.profile(spec, &machine, geometry);
+        assert_eq!(first, second, "cache hit returns the identical profile");
+    }
+
+    #[test]
+    fn sim_cache_hits_after_first_run() {
+        let (_dir, store) = tmp_store();
+        let machine = MachineConfig::baseline();
+        let geometry = TraceGeometry::tiny();
+        let names = ["hmmer", "povray"];
+        let sc: Vec<f64> = names
+            .iter()
+            .map(|n| store.profile(suite::benchmark(n).unwrap(), &machine, geometry).cpi_sc())
+            .collect();
+        assert_eq!(store.cached_sims(&machine, geometry, 2), 0);
+        let a = store.simulate(&names, &sc, &machine, geometry);
+        assert_eq!(store.cached_sims(&machine, geometry, 2), 1);
+        let b = store.simulate(&names, &sc, &machine, geometry);
+        assert_eq!(a.cpi_mc, b.cpi_mc);
+        assert!(a.stp() > 0.0 && a.antt() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn machine_tags_distinguish_bandwidth() {
+        let base = MachineConfig::baseline();
+        let limited = MachineConfig::baseline().with_mem_bandwidth(0.04);
+        assert_ne!(machine_tag(&base), machine_tag(&limited));
+        let other = MachineConfig::baseline().with_mem_bandwidth(0.08);
+        assert_ne!(machine_tag(&limited), machine_tag(&other));
+    }
+
+    #[test]
+    fn machine_tags_distinguish_llc_configs() {
+        let tags: Vec<String> = mppm_sim::llc_configs()
+            .iter()
+            .map(|llc| machine_tag(&MachineConfig::baseline().with_llc(*llc)))
+            .collect();
+        let unique: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(unique.len(), tags.len(), "all six configs get distinct tags");
+    }
+
+    #[test]
+    fn mix_key_is_order_insensitive() {
+        let a = MixKey::new(vec!["b".into(), "a".into()]);
+        let b = MixKey::new(vec!["a".into(), "b".into()]);
+        assert_eq!(a, b);
+        assert_eq!(a.as_string(), "a+b");
+    }
+
+    #[test]
+    fn cache_survives_reopen() {
+        let (dir, store) = tmp_store();
+        let machine = MachineConfig::baseline();
+        let geometry = TraceGeometry::tiny();
+        let names = ["hmmer", "hmmer"];
+        let sc: Vec<f64> = names
+            .iter()
+            .map(|n| store.profile(suite::benchmark(n).unwrap(), &machine, geometry).cpi_sc())
+            .collect();
+        let a = store.simulate(&names, &sc, &machine, geometry);
+        drop(store);
+        let reopened = Store::open(dir.path.clone()).unwrap();
+        assert_eq!(reopened.cached_sims(&machine, geometry, 2), 1);
+        let b = reopened.simulate(&names, &sc, &machine, geometry);
+        assert_eq!(a.cpi_mc, b.cpi_mc);
+    }
+}

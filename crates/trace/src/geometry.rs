@@ -1,0 +1,112 @@
+use serde::{Deserialize, Serialize};
+
+/// Shape of a trace: how many profiling intervals it has and how many
+/// instructions each interval contains.
+///
+/// The paper uses 1B-instruction traces profiled per 20M-instruction
+/// interval (50 intervals per trace). We keep the *ratios* and scale the
+/// absolute counts down so that a full reproduction runs on a laptop: the
+/// default is 50 intervals of 200K instructions (10M per trace).
+///
+/// # Example
+///
+/// ```
+/// use mppm_trace::TraceGeometry;
+///
+/// let g = TraceGeometry::default();
+/// assert_eq!(g.trace_insns(), 10_000_000);
+/// assert_eq!(g.intervals, 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceGeometry {
+    /// Instructions per profiling interval.
+    pub interval_insns: u64,
+    /// Number of intervals in one trace.
+    pub intervals: u32,
+}
+
+impl TraceGeometry {
+    /// Creates a geometry from interval length and interval count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(interval_insns: u64, intervals: u32) -> Self {
+        assert!(interval_insns > 0, "interval_insns must be positive");
+        assert!(intervals > 0, "intervals must be positive");
+        Self { interval_insns, intervals }
+    }
+
+    /// A small geometry for fast tests: 10 intervals of 10K instructions.
+    pub fn tiny() -> Self {
+        Self::new(10_000, 10)
+    }
+
+    /// Total instructions in one trace pass.
+    pub fn trace_insns(&self) -> u64 {
+        self.interval_insns * u64::from(self.intervals)
+    }
+
+    /// Interval index containing instruction `insn` (which may exceed one
+    /// trace length; positions wrap around the trace).
+    pub fn interval_of(&self, insn: u64) -> u32 {
+        ((insn % self.trace_insns()) / self.interval_insns) as u32
+    }
+
+    /// First instruction of interval `idx` (0-based, `idx < intervals`).
+    pub fn interval_start(&self, idx: u32) -> u64 {
+        u64::from(idx) * self.interval_insns
+    }
+}
+
+impl Default for TraceGeometry {
+    /// 50 intervals of 200K instructions: the paper's 50×20M geometry scaled
+    /// down 100×.
+    fn default() -> Self {
+        Self::new(200_000, 50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_ratios() {
+        let g = TraceGeometry::default();
+        assert_eq!(g.intervals, 50, "paper: 1B trace / 20M interval = 50");
+        assert_eq!(g.trace_insns(), 50 * 200_000);
+    }
+
+    #[test]
+    fn interval_of_wraps() {
+        let g = TraceGeometry::tiny();
+        assert_eq!(g.interval_of(0), 0);
+        assert_eq!(g.interval_of(9_999), 0);
+        assert_eq!(g.interval_of(10_000), 1);
+        assert_eq!(g.interval_of(99_999), 9);
+        // wraps past one trace
+        assert_eq!(g.interval_of(100_000), 0);
+        assert_eq!(g.interval_of(100_000 + 25_000), 2);
+    }
+
+    #[test]
+    fn interval_start_is_inverse_of_interval_of() {
+        let g = TraceGeometry::tiny();
+        for idx in 0..g.intervals {
+            assert_eq!(g.interval_of(g.interval_start(idx)), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval_insns must be positive")]
+    fn zero_interval_panics() {
+        TraceGeometry::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "intervals must be positive")]
+    fn zero_intervals_panics() {
+        TraceGeometry::new(5, 0);
+    }
+}

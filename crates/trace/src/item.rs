@@ -1,0 +1,77 @@
+use crate::LINE_SHIFT;
+
+/// A single memory access emitted by a trace stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Cache-block identifier within the program's private address space.
+    ///
+    /// Multiply by [`crate::LINE_BYTES`] (or shift by [`crate::LINE_SHIFT`])
+    /// for a byte address. Multi-core simulators must additionally tag the
+    /// block with a program identifier because multi-program workloads share
+    /// no data.
+    pub block: u64,
+    /// `true` for a store, `false` for a load.
+    pub store: bool,
+}
+
+impl MemAccess {
+    /// Byte address of the first byte of the accessed block.
+    pub fn byte_addr(&self) -> u64 {
+        self.block << LINE_SHIFT
+    }
+}
+
+/// One unit of work in an instruction stream.
+///
+/// Streams interleave batches of non-memory instructions with individual
+/// memory-accessing instructions. A [`TraceItem::Access`] accounts for
+/// exactly one instruction; a [`TraceItem::Compute`] accounts for
+/// `insns` instructions that touch no memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceItem {
+    /// A run of `insns` instructions with no memory access.
+    Compute {
+        /// Number of instructions in the batch (always ≥ 1).
+        insns: u32,
+    },
+    /// A single instruction performing one memory access.
+    Access(MemAccess),
+}
+
+impl TraceItem {
+    /// Number of instructions this item accounts for.
+    pub fn insns(&self) -> u64 {
+        match self {
+            TraceItem::Compute { insns } => u64::from(*insns),
+            TraceItem::Access(_) => 1,
+        }
+    }
+
+    /// The memory access, if this item is one.
+    pub fn access(&self) -> Option<MemAccess> {
+        match self {
+            TraceItem::Compute { .. } => None,
+            TraceItem::Access(a) => Some(*a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_addr_shifts_by_line_size() {
+        let a = MemAccess { block: 3, store: false };
+        assert_eq!(a.byte_addr(), 3 * 64);
+    }
+
+    #[test]
+    fn insns_accounting() {
+        assert_eq!(TraceItem::Compute { insns: 17 }.insns(), 17);
+        let acc = TraceItem::Access(MemAccess { block: 0, store: true });
+        assert_eq!(acc.insns(), 1);
+        assert!(acc.access().unwrap().store);
+        assert!(TraceItem::Compute { insns: 1 }.access().is_none());
+    }
+}

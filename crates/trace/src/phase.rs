@@ -1,0 +1,124 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Region;
+
+/// One execution phase of a benchmark.
+///
+/// A phase fixes the statistical character of the instruction stream for the
+/// intervals it is scheduled on: the memory instruction mix, the core-side
+/// CPI with a perfect memory hierarchy, the amount of memory-level
+/// parallelism available to overlap miss stalls, and the mixture of memory
+/// regions being referenced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Fraction of instructions that perform a memory access, in `(0, 1)`.
+    pub mem_ratio: f64,
+    /// Fraction of memory accesses that are stores, in `[0, 1)`.
+    pub store_ratio: f64,
+    /// Cycles per instruction with a perfect memory hierarchy (> 0). A
+    /// 4-wide out-of-order core sustains 0.25 at best; realistic values for
+    /// the modeled core are 0.3–1.0.
+    pub base_cpi: f64,
+    /// Memory-level parallelism: the number of outstanding misses whose
+    /// latency overlaps (≥ 1). Miss stalls are divided by this factor.
+    pub mlp: f64,
+    /// Weighted mixture of referenced regions. Must be non-empty.
+    pub regions: Vec<Region>,
+}
+
+impl Phase {
+    /// Checks the structural invariants, returning the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mem_ratio > 0.0 && self.mem_ratio < 1.0) {
+            return Err(format!("mem_ratio {} outside (0, 1)", self.mem_ratio));
+        }
+        if !(0.0..1.0).contains(&self.store_ratio) {
+            return Err(format!("store_ratio {} outside [0, 1)", self.store_ratio));
+        }
+        if !self.base_cpi.is_finite() || self.base_cpi <= 0.0 {
+            return Err(format!("base_cpi {} must be positive", self.base_cpi));
+        }
+        if !self.mlp.is_finite() || self.mlp < 1.0 {
+            return Err(format!("mlp {} must be >= 1", self.mlp));
+        }
+        if self.regions.is_empty() {
+            return Err("phase has no regions".to_string());
+        }
+        for r in &self.regions {
+            r.validate()?;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for r in &self.regions {
+            if !seen.insert(r.id) {
+                return Err(format!("phase references region id {} twice", r.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total weight over all regions.
+    pub fn total_weight(&self) -> f64 {
+        self.regions.iter().map(|r| r.weight).sum()
+    }
+
+    /// Total distinct working-set size of the phase, in blocks.
+    pub fn footprint_blocks(&self) -> u64 {
+        self.regions.iter().map(|r| r.blocks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Region;
+
+    fn valid_phase() -> Phase {
+        Phase {
+            mem_ratio: 0.3,
+            store_ratio: 0.3,
+            base_cpi: 0.4,
+            mlp: 2.0,
+            regions: vec![Region::uniform(0, 100, 0.8), Region::stream(1, 10_000, 0.2)],
+        }
+    }
+
+    #[test]
+    fn valid_phase_passes() {
+        assert!(valid_phase().validate().is_ok());
+        assert!((valid_phase().total_weight() - 1.0).abs() < 1e-12);
+        assert_eq!(valid_phase().footprint_blocks(), 10_100);
+    }
+
+    #[test]
+    fn rejects_bad_mem_ratio() {
+        let mut p = valid_phase();
+        p.mem_ratio = 0.0;
+        assert!(p.validate().is_err());
+        p.mem_ratio = 1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_mlp_and_cpi() {
+        let mut p = valid_phase();
+        p.mlp = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = valid_phase();
+        p.base_cpi = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_region_ids() {
+        let mut p = valid_phase();
+        p.regions.push(Region::uniform(0, 5, 0.1));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_regions() {
+        let mut p = valid_phase();
+        p.regions.clear();
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Recorded traces: capture one pass of an instruction stream into a
+//! compact binary buffer and replay it without regenerating.
+//!
+//! Two uses:
+//!
+//! * **External traces.** The synthetic suite stands in for SPEC CPU2006,
+//!   but users with real address traces (from Pin, DynamoRIO, QEMU, ...)
+//!   can convert them to [`RecordedTrace`]s and drive the simulator and
+//!   profiler with production behavior.
+//! * **Archival reproducibility.** A recorded trace pins the exact item
+//!   sequence independent of the generator's RNG implementation, so
+//!   results can be reproduced across versions.
+//!
+//! The binary format is little-endian: a 16-byte header (magic,
+//! version, item count) followed by one `u64` per item — the two top bits
+//! tag the kind (`00` compute, `01` load, `10` store) and the low 62 bits
+//! carry the payload (batch length or block id).
+
+use bytes::{Buf, BufMut};
+
+use crate::{MemAccess, TraceItem};
+
+/// Magic bytes introducing a recorded-trace buffer.
+pub const MAGIC: [u8; 4] = *b"MPPM";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_SHIFT: u32 = 62;
+const TAG_COMPUTE: u64 = 0b00;
+const TAG_LOAD: u64 = 0b01;
+const TAG_STORE: u64 = 0b10;
+const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+/// Error decoding a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Buffer too short or missing trailing items.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Unknown item tag at the given index.
+    BadTag(usize),
+    /// A compute batch with zero instructions at the given index.
+    EmptyBatch(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer is truncated"),
+            DecodeError::BadMagic => write!(f, "missing MPPM trace magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::BadTag(i) => write!(f, "unknown item tag at index {i}"),
+            DecodeError::EmptyBatch(i) => write!(f, "empty compute batch at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An immutable, replayable sequence of trace items.
+///
+/// # Example
+///
+/// ```
+/// use mppm_trace::{suite, RecordedTrace, TraceGeometry, TraceStream};
+///
+/// let geometry = TraceGeometry::tiny();
+/// let mut stream = TraceStream::new(suite::benchmark("mcf").unwrap().clone(), geometry);
+/// let recorded = RecordedTrace::capture(&mut stream, geometry.trace_insns());
+/// assert_eq!(recorded.insns(), geometry.trace_insns());
+///
+/// let bytes = recorded.to_bytes();
+/// let back = RecordedTrace::from_bytes(&bytes).unwrap();
+/// assert_eq!(recorded, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedTrace {
+    items: Vec<TraceItem>,
+    insns: u64,
+}
+
+impl RecordedTrace {
+    /// Builds a trace from items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block id exceeds the 62-bit payload or a compute
+    /// batch is empty.
+    pub fn new(items: Vec<TraceItem>) -> Self {
+        let mut insns = 0;
+        for item in &items {
+            match item {
+                TraceItem::Compute { insns: n } => {
+                    assert!(*n > 0, "compute batches must be non-empty");
+                }
+                TraceItem::Access(a) => {
+                    assert!(a.block <= PAYLOAD_MASK, "block id exceeds 62 bits");
+                }
+            }
+            insns += item.insns();
+        }
+        Self { items, insns }
+    }
+
+    /// Captures the next `insns` instructions of a generator.
+    ///
+    /// The final item may overshoot by the tail of a compute batch; it is
+    /// clipped so the recorded length is exact.
+    pub fn capture(stream: &mut crate::TraceStream, insns: u64) -> Self {
+        let mut items = Vec::new();
+        let mut captured = 0;
+        while captured < insns {
+            let item = stream.next_item();
+            let take = item.insns().min(insns - captured);
+            match item {
+                TraceItem::Compute { .. } => {
+                    items.push(TraceItem::Compute { insns: take as u32 });
+                }
+                access => items.push(access),
+            }
+            captured += take;
+        }
+        Self::new(items)
+    }
+
+    /// The items, in order.
+    pub fn items(&self) -> &[TraceItem] {
+        &self.items
+    }
+
+    /// Total instructions in one replay pass.
+    pub fn insns(&self) -> u64 {
+        self.insns
+    }
+
+    /// Serializes to the binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.items.len() * 8);
+        out.put_slice(&MAGIC);
+        out.put_u32_le(FORMAT_VERSION);
+        out.put_u64_le(self.items.len() as u64);
+        for item in &self.items {
+            let word = match item {
+                TraceItem::Compute { insns } => {
+                    (TAG_COMPUTE << TAG_SHIFT) | u64::from(*insns)
+                }
+                TraceItem::Access(MemAccess { block, store: false }) => {
+                    (TAG_LOAD << TAG_SHIFT) | block
+                }
+                TraceItem::Access(MemAccess { block, store: true }) => {
+                    (TAG_STORE << TAG_SHIFT) | block
+                }
+            };
+            out.put_u64_le(word);
+        }
+        out
+    }
+
+    /// Deserializes from the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the first problem found.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.remaining() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != FORMAT_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let count = buf.get_u64_le() as usize;
+        if buf.remaining() < count * 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut items = Vec::with_capacity(count);
+        for i in 0..count {
+            let word = buf.get_u64_le();
+            let payload = word & PAYLOAD_MASK;
+            let item = match word >> TAG_SHIFT {
+                TAG_COMPUTE => {
+                    if payload == 0 || payload > u64::from(u32::MAX) {
+                        return Err(DecodeError::EmptyBatch(i));
+                    }
+                    TraceItem::Compute { insns: payload as u32 }
+                }
+                TAG_LOAD => TraceItem::Access(MemAccess { block: payload, store: false }),
+                TAG_STORE => TraceItem::Access(MemAccess { block: payload, store: true }),
+                _ => return Err(DecodeError::BadTag(i)),
+            };
+            items.push(item);
+        }
+        Ok(Self::new(items))
+    }
+
+    /// An infinite cyclic replay of the trace.
+    pub fn replay(&self) -> Replay<'_> {
+        Replay { trace: self, next: 0, wraps: 0, insns_done: 0 }
+    }
+}
+
+/// Cyclic replay iterator over a [`RecordedTrace`]; the replay-side
+/// counterpart of [`crate::TraceStream`].
+#[derive(Debug, Clone)]
+pub struct Replay<'a> {
+    trace: &'a RecordedTrace,
+    next: usize,
+    wraps: u64,
+    insns_done: u64,
+}
+
+impl Replay<'_> {
+    /// The next item, wrapping at the end of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn next_item(&mut self) -> TraceItem {
+        assert!(!self.trace.items.is_empty(), "cannot replay an empty trace");
+        let item = self.trace.items[self.next];
+        self.next += 1;
+        if self.next == self.trace.items.len() {
+            self.next = 0;
+            self.wraps += 1;
+        }
+        self.insns_done += item.insns();
+        item
+    }
+
+    /// Total instructions replayed so far.
+    pub fn position(&self) -> u64 {
+        self.insns_done
+    }
+
+    /// Completed passes.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{suite, TraceGeometry, TraceStream};
+
+    fn recorded() -> RecordedTrace {
+        let g = TraceGeometry::tiny();
+        let mut stream = TraceStream::new(suite::benchmark("gcc").unwrap().clone(), g);
+        RecordedTrace::capture(&mut stream, g.trace_insns())
+    }
+
+    #[test]
+    fn capture_has_exact_length() {
+        let g = TraceGeometry::tiny();
+        let trace = recorded();
+        assert_eq!(trace.insns(), g.trace_insns());
+        let total: u64 = trace.items().iter().map(TraceItem::insns).sum();
+        assert_eq!(total, g.trace_insns());
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let trace = recorded();
+        let bytes = trace.to_bytes();
+        let back = RecordedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn replay_matches_items_and_wraps() {
+        let trace = recorded();
+        let mut replay = trace.replay();
+        for item in trace.items() {
+            assert_eq!(*item, replay.next_item());
+        }
+        assert_eq!(replay.wraps(), 1);
+        assert_eq!(replay.position(), trace.insns());
+        // Second pass identical.
+        assert_eq!(trace.items()[0], replay.next_item());
+    }
+
+    #[test]
+    fn capture_matches_generator_exactly() {
+        // Capturing then replaying must equal generating directly,
+        // access for access.
+        let g = TraceGeometry::tiny();
+        let spec = suite::benchmark("milc").unwrap().clone();
+        let mut gen_stream = TraceStream::new(spec.clone(), g);
+        let trace = {
+            let mut s = TraceStream::new(spec, g);
+            RecordedTrace::capture(&mut s, g.trace_insns())
+        };
+        let mut replay = trace.replay();
+        let mut replayed_accesses = Vec::new();
+        let mut generated_accesses = Vec::new();
+        while replay.position() < g.trace_insns() {
+            if let Some(a) = replay.next_item().access() {
+                replayed_accesses.push(a);
+            }
+        }
+        while gen_stream.position() < g.trace_insns() {
+            if let Some(a) = gen_stream.next_item().access() {
+                generated_accesses.push(a);
+            }
+        }
+        assert_eq!(replayed_accesses, generated_accesses);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(RecordedTrace::from_bytes(b"xx").unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            RecordedTrace::from_bytes(b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")
+                .unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let mut bad_version = recorded().to_bytes();
+        bad_version[4] = 99;
+        assert_eq!(
+            RecordedTrace::from_bytes(&bad_version).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
+        let mut truncated = recorded().to_bytes();
+        truncated.truncate(truncated.len() - 4);
+        assert_eq!(RecordedTrace::from_bytes(&truncated).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let trace = RecordedTrace::new(vec![TraceItem::Compute { insns: 1 }]);
+        let mut bytes = trace.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xC0; // tag 0b11
+        assert_eq!(RecordedTrace::from_bytes(&bytes).unwrap_err(), DecodeError::BadTag(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_batches() {
+        RecordedTrace::new(vec![TraceItem::Compute { insns: 0 }]);
+    }
+}

@@ -1,0 +1,112 @@
+use serde::{Deserialize, Serialize};
+
+/// How a region's blocks are referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Every access picks a uniformly random block in the region.
+    ///
+    /// Under LRU this yields reuse distances concentrated around the region
+    /// size: the region hits in any cache level whose capacity exceeds the
+    /// region and misses in smaller ones, which is the knob the suite uses
+    /// to place working sets between cache levels.
+    Uniform,
+    /// Accesses walk the region sequentially, wrapping at the end.
+    ///
+    /// For regions larger than the cache this produces a pure streaming
+    /// (always-miss) reference pattern with high memory-level parallelism.
+    Stream,
+}
+
+/// A contiguous set of cache blocks referenced with one pattern.
+///
+/// Regions with the same [`Region::id`] alias the same storage across
+/// phases (a program whose phases revisit the same data), while distinct
+/// ids are disjoint address ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Identifier selecting the region's base address (`id << 32` blocks).
+    pub id: u32,
+    /// Reference pattern.
+    pub kind: RegionKind,
+    /// Region size in cache blocks. Must be ≥ 1.
+    pub blocks: u64,
+    /// Relative probability that an access goes to this region (normalized
+    /// against the other regions of the phase). Must be > 0.
+    pub weight: f64,
+}
+
+impl Region {
+    /// Maximum representable region size in blocks (regions are spaced
+    /// `1 << 32` blocks apart).
+    pub const MAX_BLOCKS: u64 = 1 << 32;
+
+    /// Maximum region id. Keeps every block id below `1 << 44`, the bit
+    /// range multi-core simulators use to tag per-program address spaces.
+    pub const MAX_ID: u32 = (1 << 12) - 1;
+
+    /// A uniformly-referenced region.
+    pub fn uniform(id: u32, blocks: u64, weight: f64) -> Self {
+        Self { id, kind: RegionKind::Uniform, blocks, weight }
+    }
+
+    /// A sequentially-streamed region.
+    pub fn stream(id: u32, blocks: u64, weight: f64) -> Self {
+        Self { id, kind: RegionKind::Stream, blocks, weight }
+    }
+
+    /// First block of the region in the program's private block space.
+    pub fn base_block(&self) -> u64 {
+        u64::from(self.id) << 32
+    }
+
+    /// Checks the structural invariants (`blocks ≥ 1`, `0 < weight`, size
+    /// within bounds), returning a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.id > Self::MAX_ID {
+            return Err(format!(
+                "region id {} exceeds the maximum {} (block ids must stay below 2^44)",
+                self.id,
+                Self::MAX_ID
+            ));
+        }
+        if self.blocks == 0 {
+            return Err(format!("region {} has zero blocks", self.id));
+        }
+        if self.blocks > Self::MAX_BLOCKS {
+            return Err(format!(
+                "region {} has {} blocks, above the maximum {}",
+                self.id,
+                self.blocks,
+                Self::MAX_BLOCKS
+            ));
+        }
+        if !self.weight.is_finite() || self.weight <= 0.0 {
+            return Err(format!("region {} has non-positive weight {}", self.id, self.weight));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bases_do_not_overlap() {
+        let a = Region::uniform(0, Region::MAX_BLOCKS, 1.0);
+        let b = Region::uniform(1, Region::MAX_BLOCKS, 1.0);
+        assert!(a.base_block() + a.blocks <= b.base_block());
+    }
+
+    #[test]
+    fn validate_rejects_bad_regions() {
+        assert!(Region::uniform(0, 0, 1.0).validate().is_err());
+        assert!(Region::uniform(0, 10, 0.0).validate().is_err());
+        assert!(Region::uniform(0, 10, f64::NAN).validate().is_err());
+        assert!(Region::uniform(0, Region::MAX_BLOCKS + 1, 1.0).validate().is_err());
+        assert!(Region::stream(3, 1000, 0.5).validate().is_ok());
+        // Region ids must stay below the simulator's per-program tag bits.
+        assert!(Region::uniform(Region::MAX_ID, 10, 1.0).validate().is_ok());
+        assert!(Region::uniform(Region::MAX_ID + 1, 10, 1.0).validate().is_err());
+    }
+}

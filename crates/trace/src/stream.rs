@@ -1,0 +1,377 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::{BenchmarkSpec, MemAccess, Region, RegionKind, TraceGeometry, TraceItem};
+
+/// Deterministic, cyclic instruction stream generated from a
+/// [`BenchmarkSpec`].
+///
+/// The stream is infinite: when one trace length (per the
+/// [`TraceGeometry`]) has been produced, the generator resets to its
+/// initial state and replays the identical trace. That mirrors the
+/// re-iteration methodology used when simulating multi-program workloads
+/// (a program that finishes keeps running so contention stays live), and it
+/// guarantees the analytical model and the detailed simulator see the same
+/// workload.
+///
+/// Two streams built from the same spec and geometry produce bit-identical
+/// item sequences.
+///
+/// # Example
+///
+/// ```
+/// use mppm_trace::{suite, TraceGeometry, TraceStream};
+///
+/// let spec = suite::benchmark("mcf").unwrap().clone();
+/// let g = TraceGeometry::tiny();
+/// let mut a = TraceStream::new(spec.clone(), g);
+/// let mut b = TraceStream::new(spec, g);
+/// for _ in 0..1000 {
+///     assert_eq!(a.next_item(), b.next_item());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    spec: Arc<BenchmarkSpec>,
+    geometry: TraceGeometry,
+    rng: SmallRng,
+    /// Position within the current trace pass, in instructions.
+    insn: u64,
+    /// Completed trace passes.
+    wraps: u64,
+    /// Per-region-id stream walk positions.
+    stream_pos: HashMap<u32, u64>,
+    /// Remaining compute instructions before the next memory access,
+    /// together with the phase index it was sampled under; `None` means
+    /// the gap has not been sampled yet. Geometric memorylessness makes
+    /// carrying a clipped gap exact *within* a phase; across a phase
+    /// change the remainder is resampled under the new access rate.
+    pending_gap: Option<(usize, u64)>,
+    /// Per-phase cumulative (unnormalized) region weights, precomputed.
+    cum_weights: Vec<Vec<f64>>,
+}
+
+impl TraceStream {
+    /// Creates a stream at the beginning of the trace.
+    pub fn new(spec: impl Into<Arc<BenchmarkSpec>>, geometry: TraceGeometry) -> Self {
+        let spec = spec.into();
+        let cum_weights = spec
+            .phases()
+            .iter()
+            .map(|p| {
+                let mut acc = 0.0;
+                p.regions
+                    .iter()
+                    .map(|r| {
+                        acc += r.weight;
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        let rng = SmallRng::seed_from_u64(spec.seed());
+        Self {
+            spec,
+            geometry,
+            rng,
+            insn: 0,
+            wraps: 0,
+            stream_pos: HashMap::new(),
+            pending_gap: None,
+            cum_weights,
+        }
+    }
+
+    /// The spec this stream generates.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        &self.spec
+    }
+
+    /// The geometry the stream is laid out on.
+    pub fn geometry(&self) -> TraceGeometry {
+        self.geometry
+    }
+
+    /// Total instructions generated so far (monotonic across wraps).
+    pub fn position(&self) -> u64 {
+        self.wraps * self.geometry.trace_insns() + self.insn
+    }
+
+    /// Number of completed trace passes.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+
+    /// Index of the phase active at the current position.
+    pub fn current_phase(&self) -> usize {
+        self.spec.phase_for_interval(self.geometry.interval_of(self.insn), self.geometry.intervals)
+    }
+
+    /// Produces the next item of the stream, advancing the position by
+    /// [`TraceItem::insns`] instructions.
+    pub fn next_item(&mut self) -> TraceItem {
+        let trace_len = self.geometry.trace_insns();
+        if self.insn == trace_len {
+            self.rewind();
+        }
+        let interval = self.geometry.interval_of(self.insn);
+        let phase_idx =
+            self.spec.phase_for_interval(interval, self.geometry.intervals);
+        let phase = &self.spec.phases()[phase_idx];
+        let interval_end = self.geometry.interval_start(interval) + self.geometry.interval_insns;
+        let remaining = interval_end - self.insn;
+        debug_assert!(remaining > 0);
+
+        // Geometric gap to the next memory access. Geometric memorylessness
+        // means a gap clipped at an interval boundary carries its remainder
+        // over without distorting the per-instruction access rate — but
+        // only while the access rate is unchanged, so a remainder sampled
+        // under a different phase is resampled at the new phase's rate.
+        let gap = match self.pending_gap {
+            Some((sampled_phase, g)) if sampled_phase == phase_idx => g,
+            _ => {
+                let g = self.sample_gap(phase.mem_ratio);
+                self.pending_gap = Some((phase_idx, g));
+                g
+            }
+        };
+        if gap == 0 {
+            self.pending_gap = None;
+            let access = self.sample_access(phase_idx);
+            self.insn += 1;
+            return TraceItem::Access(access);
+        }
+        let batch = gap.min(remaining).min(u64::from(u32::MAX)) as u32;
+        self.pending_gap = Some((phase_idx, gap - u64::from(batch)));
+        self.insn += u64::from(batch);
+        TraceItem::Compute { insns: batch }
+    }
+
+    /// Resets to the start of the trace, bumping the wrap count.
+    fn rewind(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.spec.seed());
+        self.stream_pos.clear();
+        self.pending_gap = None;
+        self.insn = 0;
+        self.wraps += 1;
+    }
+
+    /// Number of non-memory instructions before the next access
+    /// (geometric with per-instruction access probability `m`).
+    fn sample_gap(&mut self, m: f64) -> u64 {
+        let u: f64 = self.rng.gen();
+        if u < m {
+            return 0;
+        }
+        // Inverse-CDF geometric sampling on the remaining mass.
+        let k = ((1.0 - u).ln() / (1.0 - m).ln()).floor();
+        if k.is_finite() && k >= 1.0 {
+            k as u64
+        } else {
+            1
+        }
+    }
+
+    fn sample_access(&mut self, phase_idx: usize) -> MemAccess {
+        let cum = &self.cum_weights[phase_idx];
+        let total = *cum.last().expect("phases have at least one region");
+        let pick: f64 = self.rng.gen::<f64>() * total;
+        let n_regions = self.spec.phases()[phase_idx].regions.len();
+        let region_idx = cum.partition_point(|&w| w <= pick).min(n_regions - 1);
+        let region = self.spec.phases()[phase_idx].regions[region_idx];
+        let store_ratio = self.spec.phases()[phase_idx].store_ratio;
+        let block = self.sample_block(region);
+        let store = self.rng.gen::<f64>() < store_ratio;
+        MemAccess { block, store }
+    }
+
+    fn sample_block(&mut self, region: Region) -> u64 {
+        let offset = match region.kind {
+            RegionKind::Uniform => self.rng.gen_range(0..region.blocks),
+            RegionKind::Stream => {
+                let pos = self.stream_pos.entry(region.id).or_insert(0);
+                let cur = *pos;
+                *pos = (cur + 1) % region.blocks;
+                cur
+            }
+        };
+        region.base_block() + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, Region};
+
+    fn spec(mem_ratio: f64, regions: Vec<Region>) -> BenchmarkSpec {
+        BenchmarkSpec::new(
+            "t",
+            99,
+            vec![Phase { mem_ratio, store_ratio: 0.25, base_cpi: 0.5, mlp: 2.0, regions }],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    fn drain(stream: &mut TraceStream, insns: u64) -> Vec<TraceItem> {
+        let mut out = Vec::new();
+        let start = stream.position();
+        while stream.position() - start < insns {
+            out.push(stream.next_item());
+        }
+        out
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let s = spec(0.3, vec![Region::uniform(0, 100, 1.0)]);
+        let g = TraceGeometry::tiny();
+        let mut a = TraceStream::new(s.clone(), g);
+        let mut b = TraceStream::new(s, g);
+        assert_eq!(drain(&mut a, 20_000), drain(&mut b, 20_000));
+    }
+
+    #[test]
+    fn wraps_replay_identically() {
+        let s = spec(0.3, vec![Region::uniform(0, 100, 0.7), Region::stream(1, 50, 0.3)]);
+        let g = TraceGeometry::tiny();
+        let mut stream = TraceStream::new(s, g);
+        let first_pass = drain(&mut stream, g.trace_insns());
+        assert_eq!(stream.wraps(), 0, "wrap happens lazily on next item");
+        let second_pass = drain(&mut stream, g.trace_insns());
+        assert_eq!(stream.wraps(), 1);
+        assert_eq!(first_pass, second_pass);
+    }
+
+    #[test]
+    fn memory_ratio_is_respected() {
+        let m = 0.3;
+        let s = spec(m, vec![Region::uniform(0, 1000, 1.0)]);
+        let g = TraceGeometry::default();
+        let mut stream = TraceStream::new(s, g);
+        let items = drain(&mut stream, 500_000);
+        let insns: u64 = items.iter().map(TraceItem::insns).sum();
+        let accesses = items.iter().filter(|i| i.access().is_some()).count() as f64;
+        let observed = accesses / insns as f64;
+        assert!(
+            (observed - m).abs() < 0.01,
+            "observed mem ratio {observed} too far from {m}"
+        );
+    }
+
+    #[test]
+    fn store_ratio_is_respected() {
+        let s = spec(0.5, vec![Region::uniform(0, 1000, 1.0)]);
+        let mut stream = TraceStream::new(s, TraceGeometry::default());
+        let items = drain(&mut stream, 200_000);
+        let accesses: Vec<_> = items.iter().filter_map(TraceItem::access).collect();
+        let stores = accesses.iter().filter(|a| a.store).count() as f64;
+        let ratio = stores / accesses.len() as f64;
+        assert!((ratio - 0.25).abs() < 0.02, "store ratio {ratio} should be near 0.25");
+    }
+
+    #[test]
+    fn uniform_region_covers_range() {
+        let blocks = 64;
+        let s = spec(0.9, vec![Region::uniform(3, blocks, 1.0)]);
+        let mut stream = TraceStream::new(s, TraceGeometry::default());
+        let items = drain(&mut stream, 50_000);
+        let base = 3u64 << 32;
+        let mut seen = std::collections::HashSet::new();
+        for a in items.iter().filter_map(TraceItem::access) {
+            assert!(a.block >= base && a.block < base + blocks);
+            seen.insert(a.block);
+        }
+        assert_eq!(seen.len() as u64, blocks, "all blocks should be touched");
+    }
+
+    #[test]
+    fn stream_region_is_sequential() {
+        let s = spec(0.9, vec![Region::stream(0, 1_000_000, 1.0)]);
+        let mut stream = TraceStream::new(s, TraceGeometry::tiny());
+        let items = drain(&mut stream, 10_000);
+        let blocks: Vec<u64> = items.iter().filter_map(|i| i.access().map(|a| a.block)).collect();
+        for w in blocks.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "stream walks sequentially");
+        }
+    }
+
+    #[test]
+    fn region_weights_are_respected() {
+        let s = spec(
+            0.5,
+            vec![Region::uniform(0, 100, 0.8), Region::uniform(1, 100, 0.2)],
+        );
+        let mut stream = TraceStream::new(s, TraceGeometry::default());
+        let items = drain(&mut stream, 400_000);
+        let accesses: Vec<_> = items.iter().filter_map(TraceItem::access).collect();
+        let r0 = accesses.iter().filter(|a| a.block < (1 << 32)).count() as f64;
+        let frac = r0 / accesses.len() as f64;
+        assert!((frac - 0.8).abs() < 0.02, "region 0 fraction {frac} should be near 0.8");
+    }
+
+    #[test]
+    fn phase_switch_changes_behavior() {
+        let heavy = Phase {
+            mem_ratio: 0.6,
+            store_ratio: 0.0,
+            base_cpi: 0.5,
+            mlp: 2.0,
+            regions: vec![Region::uniform(0, 10, 1.0)],
+        };
+        let light = Phase {
+            mem_ratio: 0.05,
+            store_ratio: 0.0,
+            base_cpi: 0.5,
+            mlp: 2.0,
+            regions: vec![Region::uniform(0, 10, 1.0)],
+        };
+        let s = BenchmarkSpec::new("p", 5, vec![heavy, light], vec![0, 1]).unwrap();
+        let g = TraceGeometry::tiny();
+        let mut stream = TraceStream::new(s, g);
+        let half = g.trace_insns() / 2;
+        let first = drain(&mut stream, half);
+        let second = drain(&mut stream, half);
+        let rate = |items: &[TraceItem]| {
+            let insns: u64 = items.iter().map(TraceItem::insns).sum();
+            items.iter().filter(|i| i.access().is_some()).count() as f64 / insns as f64
+        };
+        assert!(rate(&first) > 0.5, "first half is memory heavy: {}", rate(&first));
+        assert!(rate(&second) < 0.1, "second half is light: {}", rate(&second));
+    }
+
+    #[test]
+    fn position_tracks_insns_exactly() {
+        let s = spec(0.3, vec![Region::uniform(0, 100, 1.0)]);
+        let mut stream = TraceStream::new(s, TraceGeometry::tiny());
+        let mut total = 0;
+        for _ in 0..1000 {
+            total += stream.next_item().insns();
+            assert_eq!(stream.position(), total);
+        }
+    }
+
+    #[test]
+    fn compute_batches_never_cross_interval_boundaries() {
+        let s = spec(0.001, vec![Region::uniform(0, 100, 1.0)]);
+        let g = TraceGeometry::tiny();
+        let mut stream = TraceStream::new(s, g);
+        let mut pos = 0u64;
+        for _ in 0..5000 {
+            let before_interval = pos / g.interval_insns;
+            let item = stream.next_item();
+            pos += item.insns();
+            // the *last* instruction of the item must still be in the same interval
+            let after_interval = (pos - 1) / g.interval_insns % u64::from(g.intervals);
+            assert_eq!(
+                before_interval % u64::from(g.intervals),
+                after_interval,
+                "item crossed an interval boundary"
+            );
+            pos %= g.trace_insns();
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Runnable examples for the MPPM reproduction.
+//!
+//! * `quickstart` — profile two benchmarks, predict a 2-program mix, and
+//!   compare against detailed simulation.
+//! * `design_space` — rank the paper's six LLC configurations with MPPM.
+//! * `stress_hunt` — search a large mix population for stress workloads.
+//!
+//! Run one with `cargo run -p mppm-examples --release --example quickstart`.

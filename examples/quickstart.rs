@@ -1,0 +1,89 @@
+//! Quickstart: profile two benchmarks once, then predict their co-run
+//! performance analytically — and check the prediction against the
+//! detailed simulator.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p mppm-examples --example quickstart
+//! ```
+
+use mppm::{metrics, FoaModel, Mppm, MppmConfig};
+use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm_trace::{suite, TraceGeometry};
+
+fn main() {
+    // The paper's baseline machine: 4-wide cores, private L1/L2, a shared
+    // 512KB 8-way LLC (Table 1 + Table 2 config #1).
+    let machine = MachineConfig::baseline();
+    // A reduced trace geometry so the example runs in a few seconds; use
+    // TraceGeometry::default() for the full 10M-instruction traces.
+    let geometry = TraceGeometry::new(50_000, 20);
+
+    // Step 1 — one-time single-core profiling (paper §2.1). This is the
+    // only simulation MPPM ever needs.
+    let gamess = suite::benchmark("gamess").expect("in suite");
+    let lbm = suite::benchmark("lbm").expect("in suite");
+    println!("profiling {} and {} in isolation...", gamess.name(), lbm.name());
+    let profile_a = profile_single_core(gamess, &machine, geometry);
+    let profile_b = profile_single_core(lbm, &machine, geometry);
+    println!(
+        "  {:<8} CPI {:.3} (memory component {:.3}), {:.1} LLC accesses/kinsn",
+        profile_a.name,
+        profile_a.cpi_sc(),
+        profile_a.cpi_mem(),
+        profile_a.apki()
+    );
+    println!(
+        "  {:<8} CPI {:.3} (memory component {:.3}), {:.1} LLC accesses/kinsn",
+        profile_b.name,
+        profile_b.cpi_sc(),
+        profile_b.cpi_mem(),
+        profile_b.apki()
+    );
+
+    // Step 2 — predict the 2-program co-run with the analytic model
+    // (paper §2.2, Figure 2).
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let prediction = model.predict(&[&profile_a, &profile_b]).expect("compatible profiles");
+    println!("\nMPPM prediction ({} iterations):", prediction.steps());
+    for (name, (slow, cpi)) in prediction
+        .names()
+        .iter()
+        .zip(prediction.slowdowns().iter().zip(prediction.cpi_mc()))
+    {
+        println!("  {name:<8} slowdown {slow:.3}  multi-core CPI {cpi:.3}");
+    }
+    println!("  STP {:.3}   ANTT {:.3}", prediction.stp(), prediction.antt());
+
+    // Step 3 — ground truth from the detailed multi-core simulator.
+    println!("\ndetailed simulation of the same mix...");
+    let measured = simulate_mix(&[gamess, lbm], &machine, geometry);
+    let cpi_sc = [profile_a.cpi_sc(), profile_b.cpi_sc()];
+    println!(
+        "  measured STP {:.3}   ANTT {:.3}",
+        measured.stp(&cpi_sc),
+        measured.antt(&cpi_sc)
+    );
+    for (name, (mc, sc)) in
+        measured.names.iter().zip(measured.cpi_mc.iter().zip(cpi_sc.iter()))
+    {
+        println!("  {name:<8} measured slowdown {:.3}", mc / sc);
+    }
+
+    let stp_err =
+        (prediction.stp() - measured.stp(&cpi_sc)).abs() / measured.stp(&cpi_sc) * 100.0;
+    println!("\nSTP prediction error: {stp_err:.1}%");
+    let slowdowns = metrics::slowdowns(&cpi_sc, &measured.cpi_mc);
+    let worst = slowdowns
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty mix");
+    println!(
+        "worst-slowed program: {} ({:.2}x measured, {:.2}x predicted)",
+        measured.names[worst],
+        slowdowns[worst],
+        prediction.slowdowns()[worst]
+    );
+}

@@ -1,0 +1,97 @@
+//! Stress-workload hunting (paper §6): sweep thousands of workload mixes
+//! with the analytic model and surface the ones that hurt the machine
+//! most — then verify the single worst one against detailed simulation.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p mppm-examples --example stress_hunt
+//! ```
+
+use mppm::mix::{enumerate_mixes, Mix};
+use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
+use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm_trace::{suite, TraceGeometry};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn main() {
+    let machine = MachineConfig::baseline();
+    let geometry = TraceGeometry::new(50_000, 20);
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+
+    println!("profiling the full 29-benchmark suite once...");
+    let profiles: Vec<SingleCoreProfile> = suite::spec_suite()
+        .iter()
+        .map(|spec| profile_single_core(spec, &machine, geometry))
+        .collect();
+
+    // Exhaustively score every distinct 2-program workload (435 of them)
+    // and a large slice of the 35,960 4-program workloads.
+    let two_core: Vec<Mix> = enumerate_mixes(profiles.len(), 2).collect();
+    let four_core: Vec<Mix> = enumerate_mixes(profiles.len(), 4).step_by(7).collect();
+    println!(
+        "scoring {} two-program and {} four-program workloads analytically...",
+        two_core.len(),
+        four_core.len()
+    );
+
+    let started = Instant::now();
+    let mut scored: Vec<(f64, &Mix)> = Vec::new();
+    let mut slowdown_per_bench: HashMap<&str, (f64, f64)> = HashMap::new();
+    for mix in two_core.iter().chain(&four_core) {
+        let refs: Vec<&SingleCoreProfile> = mix.resolve(&profiles);
+        let pred = model.predict(&refs).expect("valid profiles");
+        // Normalize STP by core count so 2- and 4-program mixes compare.
+        scored.push((pred.stp() / mix.len() as f64, mix));
+        for (&bench, &slow) in mix.members().iter().zip(pred.slowdowns()) {
+            let name = suite::spec_suite()[bench].name();
+            let entry = slowdown_per_bench.entry(name).or_insert((0.0, 0.0));
+            entry.0 += slow;
+            entry.1 += 1.0;
+        }
+    }
+    println!(
+        "scored {} workloads in {:.2?} ({:.2} ms per workload)\n",
+        scored.len(),
+        started.elapsed(),
+        started.elapsed().as_secs_f64() * 1000.0 / scored.len() as f64
+    );
+
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    println!("ten most stressful workloads (lowest per-core STP):");
+    for (stp, mix) in scored.iter().take(10) {
+        let names: Vec<&str> =
+            mix.members().iter().map(|&i| suite::spec_suite()[i].name()).collect();
+        println!("  per-core STP {:.3}  {}", stp, names.join(" + "));
+    }
+
+    // Which benchmark is most sensitive to co-scheduling overall? The
+    // paper finds gamess (2.2x) far ahead of gobmk (1.3x).
+    let mut avg: Vec<(&str, f64)> = slowdown_per_bench
+        .into_iter()
+        .map(|(name, (total, count))| (name, total / count))
+        .collect();
+    avg.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("\nmost cache-sensitive benchmarks (average predicted slowdown):");
+    for (name, slowdown) in avg.iter().take(6) {
+        println!("  {name:<10} {slowdown:.3}x");
+    }
+
+    // Verify the champion stress workload against ground truth.
+    let (_, worst) = scored[0];
+    let specs: Vec<_> = worst
+        .members()
+        .iter()
+        .map(|&i| suite::benchmark(suite::spec_suite()[i].name()).expect("in suite"))
+        .collect();
+    println!("\nverifying the worst workload with detailed simulation...");
+    let measured = simulate_mix(&specs, &machine, geometry);
+    let cpi_sc: Vec<f64> = worst.members().iter().map(|&i| profiles[i].cpi_sc()).collect();
+    let refs: Vec<&SingleCoreProfile> = worst.resolve(&profiles);
+    let pred = model.predict(&refs).expect("valid profiles");
+    println!(
+        "  measured per-core STP {:.3}, predicted {:.3}",
+        measured.stp(&cpi_sc) / worst.len() as f64,
+        pred.stp() / worst.len() as f64
+    );
+}

@@ -1,0 +1,74 @@
+//! Determinism across the whole stack: identical inputs must produce
+//! bit-identical outputs at every layer, or cached profiles and cached
+//! simulation results could silently disagree with fresh runs.
+
+use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
+use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm_trace::{suite, TraceGeometry, TraceStream};
+
+fn geometry() -> TraceGeometry {
+    TraceGeometry::tiny()
+}
+
+#[test]
+fn streams_are_bit_identical() {
+    for spec in suite::spec_suite().iter().take(6) {
+        let mut a = TraceStream::new(spec.clone(), geometry());
+        let mut b = TraceStream::new(spec.clone(), geometry());
+        for _ in 0..5_000 {
+            assert_eq!(a.next_item(), b.next_item(), "{}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn profiles_are_bit_identical() {
+    let machine = MachineConfig::baseline();
+    let spec = suite::benchmark("gcc").unwrap();
+    let a = profile_single_core(spec, &machine, geometry());
+    let b = profile_single_core(spec, &machine, geometry());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn simulations_are_bit_identical() {
+    let machine = MachineConfig::baseline();
+    let specs: Vec<_> =
+        ["milc", "astar", "wrf"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
+    let a = simulate_mix(&specs, &machine, geometry());
+    let b = simulate_mix(&specs, &machine, geometry());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn predictions_are_bit_identical() {
+    let machine = MachineConfig::baseline();
+    let profiles: Vec<SingleCoreProfile> = ["gamess", "lbm", "bzip2"]
+        .iter()
+        .map(|n| profile_single_core(suite::benchmark(n).unwrap(), &machine, geometry()))
+        .collect();
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let a = model.predict(&refs).unwrap();
+    let b = model.predict(&refs).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn profile_serde_round_trip_preserves_predictions() {
+    // Profiles go through JSON in the experiment store; the prediction
+    // from a deserialized profile must match the original exactly.
+    let machine = MachineConfig::baseline();
+    let profiles: Vec<SingleCoreProfile> = ["gamess", "mcf"]
+        .iter()
+        .map(|n| profile_single_core(suite::benchmark(n).unwrap(), &machine, geometry()))
+        .collect();
+    let round_tripped: Vec<SingleCoreProfile> = profiles
+        .iter()
+        .map(|p| serde_json::from_str(&serde_json::to_string(p).unwrap()).unwrap())
+        .collect();
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let a = model.predict(&profiles.iter().collect::<Vec<_>>()).unwrap();
+    let b = model.predict(&round_tripped.iter().collect::<Vec<_>>()).unwrap();
+    assert_eq!(a.slowdowns(), b.slowdowns());
+}

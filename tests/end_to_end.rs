@@ -1,0 +1,125 @@
+//! End-to-end integration: trace generation → caches → simulator →
+//! profiles → model → metrics, across crate boundaries.
+
+use mppm::mix::{count_mixes, enumerate_mixes, Mix};
+use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
+use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm_trace::{suite, TraceGeometry};
+
+fn geometry() -> TraceGeometry {
+    TraceGeometry::new(20_000, 10)
+}
+
+#[test]
+fn full_pipeline_runs_for_a_four_program_mix() {
+    let machine = MachineConfig::baseline();
+    // Large enough for working sets to warm up; small enough for CI.
+    let g = TraceGeometry::new(100_000, 10);
+    let names = ["gamess", "hmmer", "lbm", "soplex"];
+    let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
+
+    let profiles: Vec<SingleCoreProfile> =
+        specs.iter().map(|s| profile_single_core(s, &machine, g)).collect();
+    for p in &profiles {
+        p.validate().unwrap();
+        assert!(p.cpi_sc() > 0.2 && p.cpi_sc() < 10.0, "{}: cpi {}", p.name, p.cpi_sc());
+    }
+
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let pred = model.predict(&refs).unwrap();
+    assert!(pred.converged());
+
+    let measured = simulate_mix(&specs, &machine, g);
+    let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
+
+    // Metrics are in sane ranges on both sides.
+    let stp_m = measured.stp(&cpi_sc);
+    let stp_p = pred.stp();
+    assert!(stp_m > 1.0 && stp_m <= 4.0 + 1e-9, "measured STP {stp_m}");
+    assert!(stp_p > 1.0 && stp_p <= 4.0 + 1e-9, "predicted STP {stp_p}");
+    assert!(measured.antt(&cpi_sc) >= 1.0 - 1e-9);
+    assert!(pred.antt() >= 1.0 - 1e-9);
+
+    // At this reduced scale the prediction should still land within 20%
+    // (full-scale accuracy is checked by the fig4 experiment).
+    assert!(
+        ((stp_p - stp_m) / stp_m).abs() < 0.20,
+        "STP prediction {stp_p} too far from measurement {stp_m}"
+    );
+}
+
+#[test]
+fn profiles_transfer_across_llc_configs() {
+    // Profiles are per machine config; predictions must refuse to mix
+    // them, and each config's profile must be self-consistent.
+    let g = geometry();
+    let spec = suite::benchmark("sphinx3").unwrap();
+    let m1 = MachineConfig::baseline();
+    let m5 = MachineConfig::baseline().with_llc(mppm_sim::llc_configs()[4]);
+    let p1 = profile_single_core(spec, &m1, g);
+    let p5 = profile_single_core(spec, &m5, g);
+    // A 4x larger LLC captures more of sphinx3's 14K-block working set.
+    assert!(
+        p5.mpki() < p1.mpki(),
+        "2MB LLC ({}) should miss less than 512KB ({})",
+        p5.mpki(),
+        p1.mpki()
+    );
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    let err = model.predict(&[&p1, &p5]).unwrap_err();
+    assert!(matches!(err, mppm::ModelError::MismatchedProfiles { .. }));
+}
+
+#[test]
+fn mix_enumeration_matches_suite_size() {
+    let n = suite::spec_suite().len();
+    assert_eq!(n, 29);
+    assert_eq!(count_mixes(n, 2), 435, "the paper's 2-core count");
+    let all: Vec<Mix> = enumerate_mixes(n, 2).collect();
+    assert_eq!(all.len(), 435);
+}
+
+#[test]
+fn model_handles_every_benchmark_solo() {
+    // Every suite benchmark's profile must run through the model without
+    // panicking and give slowdown exactly 1 when alone.
+    let machine = MachineConfig::baseline();
+    let g = TraceGeometry::tiny();
+    let model = Mppm::new(MppmConfig::default(), FoaModel);
+    for spec in suite::spec_suite() {
+        let profile = profile_single_core(spec, &machine, g);
+        let pred = model.predict(&[&profile]).unwrap();
+        assert!(
+            (pred.slowdowns()[0] - 1.0).abs() < 1e-9,
+            "{} solo slowdown {}",
+            spec.name(),
+            pred.slowdowns()[0]
+        );
+    }
+}
+
+#[test]
+fn paper_worst_mix_ranks_among_worst() {
+    // The 2xgamess+hmmer+soplex mix must measure clearly worse (per-core
+    // STP) than a compute-only mix, on both the simulator and the model.
+    let machine = MachineConfig::baseline();
+    let g = geometry();
+    let stress_names = ["gamess", "gamess", "hmmer", "soplex"];
+    let calm_names = ["povray", "hmmer", "sjeng", "namd"];
+    let run = |names: &[&str]| {
+        let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
+        let profiles: Vec<SingleCoreProfile> =
+            specs.iter().map(|s| profile_single_core(s, &machine, g)).collect();
+        let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
+        let measured = simulate_mix(&specs, &machine, g).stp(&cpi_sc);
+        let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+        let predicted =
+            Mppm::new(MppmConfig::default(), FoaModel).predict(&refs).unwrap().stp();
+        (measured, predicted)
+    };
+    let (stress_m, stress_p) = run(&stress_names);
+    let (calm_m, calm_p) = run(&calm_names);
+    assert!(stress_m < calm_m, "measured: stress {stress_m} vs calm {calm_m}");
+    assert!(stress_p < calm_p, "predicted: stress {stress_p} vs calm {calm_p}");
+}
