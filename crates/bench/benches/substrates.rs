@@ -6,6 +6,7 @@
 use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mppm_bench::bench_geometry;
+use mppm_cache::reference::NaiveCache;
 use mppm_cache::{CacheConfig, Replacement, Sdc, SetAssocCache};
 use mppm_sim::{run_single_core, LlcMode, MachineConfig};
 use mppm_trace::{suite, TraceStream};
@@ -30,9 +31,22 @@ fn bench_cache_access(c: &mut Criterion) {
     let cfg = CacheConfig::new(512 * 1024, 8, 64, 16);
     let mut group = c.benchmark_group("cache_access");
     group.throughput(Throughput::Elements(10_000));
+    // The flat kernel next to the naive per-set-`Vec` oracle it replaced,
+    // in the same build, so the kernel speedup is directly readable from
+    // one bench run.
     for (name, span) in [("hits", 4_000u64), ("misses", 1_000_000u64)] {
         group.bench_function(name, |b| {
             let mut cache = SetAssocCache::new(cfg, Replacement::Lru);
+            let mut block = 0u64;
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    block = (block.wrapping_mul(6364136223846793005).wrapping_add(1)) % span;
+                    std::hint::black_box(cache.access(block));
+                }
+            });
+        });
+        group.bench_function(format!("{name}_naive"), |b| {
+            let mut cache = NaiveCache::new(cfg, Replacement::Lru);
             let mut block = 0u64;
             b.iter(|| {
                 for _ in 0..10_000 {

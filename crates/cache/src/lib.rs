@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod reference;
 mod sdc;
 mod set_assoc;
 

@@ -46,6 +46,19 @@ struct Way {
 /// LRU-stack depth — the quantity stack-distance counter profiles are built
 /// from.
 ///
+/// # Layout
+///
+/// Storage is one flat `sets × assoc` slab (no per-set `Vec`s): set `s`
+/// owns slots `[s * assoc, (s + 1) * assoc)`, of which the first
+/// `lens[s]` hold resident lines in recency order (MRU first). The set
+/// count must be a power of two so set selection is a mask instead of a
+/// division; recency updates are in-place rotations of at most `assoc`
+/// fixed-size elements instead of `Vec::remove`/`insert` memmoves. The
+/// original per-set-`Vec` implementation survives as
+/// [`crate::reference::NaiveCache`], and a property-test oracle
+/// (`tests/differential.rs`) proves the two bit-identical access by
+/// access under every replacement policy.
+///
 /// # Example
 ///
 /// ```
@@ -58,8 +71,15 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    /// Per-set ways in recency order (MRU first).
-    sets: Vec<Vec<Way>>,
+    /// `sets × assoc` slots, set-major; within a set the resident prefix
+    /// is in recency order (MRU first). Slots past a set's length hold
+    /// stale data and are never read.
+    ways: Box<[Way]>,
+    /// Resident-line count per set.
+    lens: Box<[u32]>,
+    /// `sets - 1`; valid because the set count is a power of two.
+    set_mask: u64,
+    assoc: usize,
     replacement: Replacement,
     rng: Option<SmallRng>,
     tick: u64,
@@ -69,13 +89,36 @@ pub struct SetAssocCache {
 
 impl SetAssocCache {
     /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's set count is not a power of two (the
+    /// kernel indexes sets with a mask; every machine configuration in
+    /// this reproduction has power-of-two sets).
     pub fn new(config: CacheConfig, replacement: Replacement) -> Self {
-        let sets = vec![Vec::with_capacity(config.assoc as usize); config.sets() as usize];
+        let sets = config.sets();
+        assert!(
+            sets.is_power_of_two(),
+            "SetAssocCache requires a power-of-two set count, got {sets}"
+        );
+        let assoc = config.assoc as usize;
+        let slots = (sets as usize) * assoc;
         let rng = match replacement {
             Replacement::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
             _ => None,
         };
-        Self { config, sets, replacement, rng, tick: 0, hits: 0, misses: 0 }
+        Self {
+            config,
+            ways: vec![Way { block: 0, inserted: 0 }; slots].into_boxed_slice(),
+            lens: vec![0u32; sets as usize].into_boxed_slice(),
+            set_mask: sets - 1,
+            assoc,
+            replacement,
+            rng,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The cache's configuration.
@@ -100,18 +143,23 @@ impl SetAssocCache {
     /// policy if the set is full.
     pub fn access(&mut self, block: u64) -> AccessResult {
         self.tick += 1;
-        let set_idx = (block % self.config.sets()) as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|w| w.block == block) {
-            let way = set.remove(pos);
-            set.insert(0, way);
+        let set_idx = (block & self.set_mask) as usize;
+        let base = set_idx * self.assoc;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.ways[base..base + self.assoc];
+
+        if let Some(pos) = set[..len].iter().position(|w| w.block == block) {
+            // `remove(pos)` + `insert(0, ..)` is exactly a one-step right
+            // rotation of the prefix ending at `pos`.
+            set[..=pos].rotate_right(1);
             self.hits += 1;
             return AccessResult { hit: true, depth: Some(pos as u32), evicted: None };
         }
+
         self.misses += 1;
-        let evicted = if set.len() == self.config.assoc as usize {
+        let evicted = if len == self.assoc {
             let victim_pos = match self.replacement {
-                Replacement::Lru => set.len() - 1,
+                Replacement::Lru => len - 1,
                 Replacement::Fifo => {
                     let (pos, _) = set
                         .iter()
@@ -122,33 +170,40 @@ impl SetAssocCache {
                 }
                 Replacement::Random { .. } => {
                     let rng = self.rng.as_mut().expect("random policy has an rng");
-                    rng.gen_range(0..set.len())
+                    rng.gen_range(0..len)
                 }
             };
-            Some(set.remove(victim_pos).block)
+            let victim = set[victim_pos].block;
+            set[..=victim_pos].rotate_right(1);
+            set[0] = Way { block, inserted: self.tick };
+            Some(victim)
         } else {
+            // Rotating one slot past the resident prefix shifts it right
+            // and brings a stale slot to the front, which is overwritten.
+            set[..=len].rotate_right(1);
+            set[0] = Way { block, inserted: self.tick };
+            self.lens[set_idx] = (len + 1) as u32;
             None
         };
-        set.insert(0, Way { block, inserted: self.tick });
         AccessResult { hit: false, depth: None, evicted }
     }
 
     /// Whether `block` is currently resident (does not touch recency).
     pub fn contains(&self, block: u64) -> bool {
-        let set_idx = (block % self.config.sets()) as usize;
-        self.sets[set_idx].iter().any(|w| w.block == block)
+        let set_idx = (block & self.set_mask) as usize;
+        let base = set_idx * self.assoc;
+        let len = self.lens[set_idx] as usize;
+        self.ways[base..base + len].iter().any(|w| w.block == block)
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> u64 {
-        self.sets.iter().map(|s| s.len() as u64).sum()
+        self.lens.iter().map(|&l| u64::from(l)).sum()
     }
 
     /// Invalidates everything and clears statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.lens.fill(0);
         self.tick = 0;
         self.hits = 0;
         self.misses = 0;
@@ -274,6 +329,29 @@ mod tests {
         c.access(3);
         assert!(c.access(0).hit);
         assert!(c.access(1).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two set count")]
+    fn non_power_of_two_sets_panics() {
+        // 3 sets of 2 ways.
+        SetAssocCache::new(CacheConfig::new(3 * 2 * 64, 2, 64, 1), Replacement::Lru);
+    }
+
+    #[test]
+    fn high_tag_bits_do_not_alias_sets() {
+        // Blocks differing only above the set-index bits (e.g. the core
+        // tags the simulator ORs in at bit 44) map to the same set but
+        // stay distinct lines.
+        let mut c = tiny(2);
+        let tagged = |core: u64, block: u64| ((core + 1) << 44) | block;
+        assert!(!c.access(tagged(0, 4)).hit);
+        assert!(!c.access(tagged(1, 4)).hit);
+        assert!(c.access(tagged(0, 4)).hit);
+        assert!(c.access(tagged(1, 4)).hit);
+        // Both live in set 0; a third same-set line evicts the LRU one.
+        let r = c.access(tagged(2, 4));
+        assert_eq!(r.evicted, Some(tagged(0, 4)));
     }
 
     mod properties {

@@ -1,0 +1,176 @@
+//! Differential oracle: the flat [`SetAssocCache`] kernel against the
+//! naive per-set-`Vec` reference implementation it replaced.
+//!
+//! The two must be **bit-identical** observationally: every access
+//! returns the same [`mppm_cache::AccessResult`] (hit flag, LRU-stack
+//! depth, evicted block), and hit/miss counters, occupancy and residency
+//! agree at every point — under LRU, FIFO and seeded-Random replacement,
+//! across random geometries and access streams, including `reset()` in
+//! the middle of a stream. Random replacement is the strictest case: both
+//! implementations must consume their RNG in exactly the same call order
+//! or the streams diverge immediately.
+
+use mppm_cache::reference::NaiveCache;
+use mppm_cache::{CacheConfig, Replacement, SetAssocCache};
+use proptest::prelude::*;
+
+/// One step of a differential run.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64),
+    Reset,
+}
+
+/// Decodes the raw generated stream: selector 0 (1-in-32) resets
+/// mid-stream, everything else accesses `block % span`.
+fn decode(raw: &[(u8, u64)], span: u64) -> Vec<Op> {
+    raw.iter()
+        .map(|&(sel, block)| if sel == 0 { Op::Reset } else { Op::Access(block % span) })
+        .collect()
+}
+
+/// Runs `ops` against both implementations, asserting bit-identical
+/// observable behavior at every step.
+fn assert_bit_identical(cfg: CacheConfig, policy: Replacement, ops: &[Op], span: u64) {
+    let mut flat = SetAssocCache::new(cfg, policy);
+    let mut naive = NaiveCache::new(cfg, policy);
+    assert_eq!(flat.config(), naive.config());
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Access(block) => {
+                let a = flat.access(block);
+                let b = naive.access(block);
+                assert_eq!(a, b, "step {step}: access({block}) diverged under {policy:?}");
+            }
+            Op::Reset => {
+                flat.reset();
+                naive.reset();
+            }
+        }
+        assert_eq!(flat.hits(), naive.hits(), "step {step}: hit counters");
+        assert_eq!(flat.misses(), naive.misses(), "step {step}: miss counters");
+        assert_eq!(flat.occupancy(), naive.occupancy(), "step {step}: occupancy");
+    }
+    // Residency agrees over the whole block domain, not just touched
+    // blocks.
+    for block in 0..span {
+        assert_eq!(
+            flat.contains(block),
+            naive.contains(block),
+            "contains({block}) diverged under {policy:?}"
+        );
+    }
+}
+
+fn spans() -> [u64; 3] {
+    // Hit-heavy, mixed, and miss-heavy regimes.
+    [24, 300, 4096]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LRU and FIFO: bit-identical over random geometries and streams
+    /// with mid-stream resets.
+    #[test]
+    fn deterministic_policies_match_oracle(
+        raw in proptest::collection::vec((0u8..32, 0u64..1 << 48), 1..350),
+        assoc in 1u32..9,
+        sets_pow in 0u32..5,
+        span_sel in 0usize..3,
+        line_sel in 0usize..3,
+    ) {
+        let sets = 1u64 << sets_pow;
+        let line = [32u32, 64, 128][line_sel];
+        let cfg =
+            CacheConfig::new(sets * u64::from(assoc) * u64::from(line), assoc, line, 1);
+        let span = spans()[span_sel];
+        let ops = decode(&raw, span);
+        for policy in [Replacement::Lru, Replacement::Fifo] {
+            assert_bit_identical(cfg, policy, &ops, span);
+        }
+    }
+
+    /// Seeded-Random replacement: both sides must draw victims in the
+    /// identical RNG call order, stream after stream, reset after reset.
+    #[test]
+    fn random_policy_matches_oracle(
+        raw in proptest::collection::vec((0u8..32, 0u64..1 << 48), 1..350),
+        assoc in 1u32..9,
+        sets_pow in 0u32..5,
+        span_sel in 0usize..3,
+        line_sel in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let sets = 1u64 << sets_pow;
+        let line = [32u32, 64, 128][line_sel];
+        let cfg =
+            CacheConfig::new(sets * u64::from(assoc) * u64::from(line), assoc, line, 1);
+        let span = spans()[span_sel];
+        let ops = decode(&raw, span);
+        assert_bit_identical(cfg, Replacement::Random { seed }, &ops, span);
+    }
+
+    /// The simulator's core-tagging pattern (ids ORed in above bit 44)
+    /// must not perturb equivalence.
+    #[test]
+    fn tagged_blocks_match_oracle(
+        raw in proptest::collection::vec((0u8..32, 0u64..256), 1..200),
+        cores in 1u64..5,
+    ) {
+        // The baseline L1D: 64 sets, 8 ways.
+        let cfg = CacheConfig::new(32 * 1024, 8, 64, 4);
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(sel, block)| {
+                if sel == 0 {
+                    Op::Reset
+                } else {
+                    let core = sel as u64 % cores;
+                    Op::Access(((core + 1) << 44) | block)
+                }
+            })
+            .collect();
+        for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random { seed: 7 }] {
+            let mut flat = SetAssocCache::new(cfg, policy);
+            let mut naive = NaiveCache::new(cfg, policy);
+            for op in &ops {
+                match *op {
+                    Op::Access(b) => prop_assert_eq!(flat.access(b), naive.access(b)),
+                    Op::Reset => {
+                        flat.reset();
+                        naive.reset();
+                    }
+                }
+            }
+            prop_assert_eq!(flat.hits(), naive.hits());
+            prop_assert_eq!(flat.misses(), naive.misses());
+        }
+    }
+}
+
+/// A long deterministic soak at the baseline LLC geometry — the exact
+/// cache the multi-core simulator contends on.
+#[test]
+fn llc_geometry_soak() {
+    // LLC config #1: 512KB, 8-way, 64B lines (1024 sets).
+    let cfg = CacheConfig::new(512 * 1024, 8, 64, 16);
+    for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random { seed: 2011 }] {
+        let mut flat = SetAssocCache::new(cfg, policy);
+        let mut naive = NaiveCache::new(cfg, policy);
+        // LCG walk over a footprint ~2x the cache, with periodic resets.
+        let mut block = 1u64;
+        for step in 0..200_000u64 {
+            if step % 70_001 == 70_000 {
+                flat.reset();
+                naive.reset();
+            }
+            block = block.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = block % 16_384;
+            assert_eq!(flat.access(b), naive.access(b), "step {step} under {policy:?}");
+        }
+        assert_eq!(flat.hits(), naive.hits());
+        assert_eq!(flat.misses(), naive.misses());
+        assert_eq!(flat.occupancy(), naive.occupancy());
+    }
+}

@@ -1,12 +1,16 @@
 //! Detailed multi-core simulation of a multi-program workload.
 
 use mppm_trace::{BenchmarkSpec, TraceGeometry};
+use serde::{Deserialize, Serialize};
 
 use crate::{CoreEngine, LlcMode, MachineConfig, Uncore};
 
 /// Measured outcome of one multi-program workload on the detailed
 /// simulator.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so experiment harnesses can pin full results as golden
+/// snapshots (floats survive the JSON round trip bit-exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MixResult {
     /// Benchmark name per core.
     pub names: Vec<String>,

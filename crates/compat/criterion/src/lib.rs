@@ -1,0 +1,331 @@
+//! Offline stand-in for `criterion`: the macro and builder surface this
+//! workspace's benches use, backed by a simple warm-up + timed-samples
+//! harness. Reports median and mean per-iteration time (and throughput
+//! when set) to stdout. No HTML reports, no statistics beyond the basics —
+//! enough to compare kernels on the same machine in the same process.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings and entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window run before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement window split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, id, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// No-op finalizer matching criterion's API.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Throughput annotation: per-iteration elements or bytes processed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report a rate alongside times.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_bench(self.criterion, &id, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_bench(self.criterion, &id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (reporting is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Warm-up / calibration: count iterations that fit in a window.
+    Calibrate { deadline: Instant, iters: u64 },
+    /// Measurement: run a fixed number of iterations and record the time.
+    Measure { target_iters: u64, elapsed: Duration },
+}
+
+impl Bencher {
+    /// Times the routine; criterion's core entry point.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            BencherMode::Calibrate { deadline, iters } => loop {
+                black_box(routine());
+                *iters += 1;
+                if Instant::now() >= *deadline {
+                    break;
+                }
+            },
+            BencherMode::Measure { target_iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*target_iters {
+                    black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+
+    /// Times a routine taking per-iteration owned input built by `setup`
+    /// (setup time excluded is an approximation: measured inline here).
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up doubles as calibration: how many iterations fit the window?
+    let mut bencher = Bencher {
+        mode: BencherMode::Calibrate {
+            deadline: Instant::now() + criterion.warm_up_time,
+            iters: 0,
+        },
+    };
+    let warm_start = Instant::now();
+    f(&mut bencher);
+    let warm_elapsed = warm_start.elapsed();
+    let BencherMode::Calibrate { iters: warm_iters, .. } = bencher.mode else {
+        unreachable!()
+    };
+    let warm_iters = warm_iters.max(1);
+    let per_iter = warm_elapsed.as_secs_f64() / warm_iters as f64;
+
+    // Split the measurement window into `sample_size` equal samples.
+    let samples = criterion.sample_size;
+    let window = criterion.measurement_time.as_secs_f64() / samples as f64;
+    let target_iters = ((window / per_iter.max(1e-12)) as u64).max(1);
+
+    let mut per_iter_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            mode: BencherMode::Measure { target_iters, elapsed: Duration::ZERO },
+        };
+        f(&mut bencher);
+        let BencherMode::Measure { elapsed, .. } = bencher.mode else {
+            unreachable!()
+        };
+        per_iter_times.push(elapsed.as_secs_f64() / target_iters as f64);
+    }
+    per_iter_times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = per_iter_times[samples / 2];
+    let mean = per_iter_times.iter().sum::<f64>() / samples as f64;
+
+    let mut line = format!(
+        "{id:<48} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        format_time(median),
+        format_time(mean),
+        samples,
+        target_iters
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / median;
+        line.push_str(&format!("  {:.3e} {unit}/s", rate));
+    }
+    println!("{line}");
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} us", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group; supports both the simple and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = quick();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_and_input() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

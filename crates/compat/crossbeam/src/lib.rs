@@ -1,0 +1,106 @@
+//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope`.
+//!
+//! Only the `crossbeam::scope` / `Scope::spawn` shape used by this
+//! workspace is provided. Closure signatures match crossbeam: the spawned
+//! closure receives `&Scope` (commonly ignored as `|_|`), and `scope`
+//! returns `thread::Result<R>` — `Ok` unless a spawned thread panicked.
+//! Panic detection rides on `std::thread::scope`, which itself panics
+//! after joining if any unjoined spawned thread panicked; the outer
+//! `catch_unwind` converts that into crossbeam's `Err`.
+
+use std::marker::PhantomData;
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+    /// Result alias matching `crossbeam::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+}
+
+/// A scope handle passed to spawned closures, mirroring
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope, so nested
+    /// spawns are possible; most callers ignore it (`|_| ...`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        let inner = self.inner.spawn(move || f(&Scope { inner: inner_scope }));
+        ScopedJoinHandle { inner, _marker: PhantomData }
+    }
+}
+
+/// Creates a scope in which threads borrowing the environment can be
+/// spawned; all are joined before this returns. Returns `Err` with a panic
+/// payload if any unjoined spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        let result = scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 7 * 6);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn panic_in_thread_reported_as_err() {
+        // Quiet the default panic hook for this expected panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        std::panic::set_hook(prev);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits
+//! (Value-tree based, see the sibling `serde` crate) for the container
+//! shapes this workspace actually uses:
+//!
+//! * structs with named fields (no generics), honoring `#[serde(default)]`
+//!   on fields;
+//! * enums whose variants are all units (serialized as the variant name).
+//!
+//! Parsing is done directly over the `proc_macro` token stream — `syn`
+//! and `quote` are not available offline. Unsupported shapes panic at
+//! compile time with a clear message rather than mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Container {
+    name: String,
+    body: Body,
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let out = match &c.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                c.name,
+                entries.join("\n")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{0}::{1} => ::serde::Value::String(::std::string::String::from(\"{1}\")),",
+                        c.name, v
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                c.name,
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    let out = match &c.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let helper = if f.default { "de_field_default" } else { "de_field" };
+                    format!(
+                        "{0}: ::serde::__private::{1}(v, \"{2}\", \"{0}\")?,",
+                        f.name, helper, c.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {0} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"object for {0}\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self {{ {1} }})\n\
+                     }}\n\
+                 }}",
+                c.name,
+                inits.join("\n")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{1}\") => ::std::result::Result::Ok({0}::{1}),",
+                        c.name, v
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {0} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_str() {{\n\
+                             {1}\n\
+                             ::std::option::Option::Some(other) => ::std::result::Result::Err(\
+                                 ::serde::DeError(::std::format!(\"unknown {0} variant {{other}}\"))),\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"string for {0}\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                c.name,
+                arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility to reach `struct` / `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _attr = tokens.next(); // bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => panic!("serde shim derive: unexpected token {other}"),
+            None => panic!("serde shim derive: no struct or enum found"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected container name, got {other:?}"),
+    };
+    let body_group = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple struct {name} is unsupported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic container {name} is unsupported")
+            }
+            Some(_) => continue, // e.g. `where`-less trailing tokens
+            None => panic!("serde shim derive: {name} has no body"),
+        }
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_fields(body_group.stream()))
+    } else {
+        Body::Enum(parse_variants(body_group.stream()))
+    };
+    Container { name, body }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Field attributes: only `#[serde(default)]` is meaningful.
+        let mut default = false;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        let text = g.stream().to_string();
+                        if text.contains("serde") && text.contains("default") {
+                            default = true;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(field_name) = tok else {
+            panic!("serde shim derive: expected field name, got {tok}");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name: field_name.to_string(), default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments on variants).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tok else {
+            panic!("serde shim derive: expected variant name, got {tok}");
+        };
+        match tokens.next() {
+            None => {
+                variants.push(variant.to_string());
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(variant.to_string());
+            }
+            Some(other) => panic!(
+                "serde shim derive: variant {variant} is not a unit variant ({other})"
+            ),
+        }
+    }
+    variants
+}

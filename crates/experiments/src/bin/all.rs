@@ -41,7 +41,7 @@ fn main() {
     println!("{}", fig9::report(&fig9::run(four_core)).render());
 
     println!("== Speed ==");
-    println!("{}", speed::report(&speed::run(&ctx, &[2, 4, 8], 5)).render());
+    println!("{}", speed::report(&speed::run(&ctx, &[2, 4, 8, 16], 5)).render());
 
     println!("All CSVs are under results/.");
 }

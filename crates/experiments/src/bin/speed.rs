@@ -10,7 +10,7 @@ fn main() {
         Scale::Full => 10,
         Scale::Quick => 2,
     };
-    let points = speed::run(&ctx, &[2, 4, 8], mixes);
+    let points = speed::run(&ctx, &[2, 4, 8, 16], mixes);
     let table = speed::report(&points);
     println!("\n§4.3 — speed: analytic model vs detailed simulation");
     println!("{}", table.render());

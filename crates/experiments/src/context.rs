@@ -84,6 +84,13 @@ impl Context {
         Self { scale, store, geometry: scale.geometry() }
     }
 
+    /// A context backed by an explicit store. Tests use this to run the
+    /// same experiment against separate fresh stores, so cached results
+    /// from one run cannot mask nondeterminism in another.
+    pub fn with_store(scale: Scale, store: Store) -> Self {
+        Self { scale, store, geometry: scale.geometry() }
+    }
+
     /// The scale this context runs at.
     pub fn scale(&self) -> Scale {
         self.scale

@@ -38,5 +38,5 @@ mod store;
 pub mod table;
 
 pub use context::{Context, Scale};
-pub use runner::parallel_map;
+pub use runner::{parallel_map, worker_threads};
 pub use store::{MixKey, MixRecord, Store};

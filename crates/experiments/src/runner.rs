@@ -3,7 +3,24 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Applies `f` to every item, using all available parallelism, and returns
+/// Worker count for [`parallel_map`]: the `MPPM_THREADS` environment
+/// variable if set to a positive integer, otherwise the machine's
+/// available parallelism. The override exists so determinism tests can
+/// pin the worker count (1 vs N must be bit-identical) and so benchmark
+/// runs can be isolated from background load.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("MPPM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("  [runner] ignoring invalid MPPM_THREADS={v:?}");
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item, using [`worker_threads`] workers, and returns
 /// the outputs in input order. Progress is printed to stderr every few
 /// completions because detailed simulations take seconds to minutes each.
 pub fn parallel_map<T, U, F>(label: &str, items: &[T], f: F) -> Vec<U>
@@ -12,7 +29,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = worker_threads();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let total = items.len();
@@ -57,6 +74,11 @@ mod tests {
     fn empty_input() {
         let out: Vec<u32> = parallel_map("test", &Vec::<u32>::new(), |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
     }
 
     #[test]

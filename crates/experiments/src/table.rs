@@ -98,9 +98,17 @@ impl Table {
     }
 }
 
-/// The workspace `results/` directory.
+/// The directory CSVs are saved to: the workspace `results/` directory,
+/// except under `cargo test`, where quick-scale unit tests exercise the
+/// `report` paths and must not clobber committed full-scale CSVs — those
+/// land in `target/test-results/` instead.
 pub fn results_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if cfg!(test) {
+        root.join("target/test-results")
+    } else {
+        root.join("results")
+    }
 }
 
 /// Formats a float with 3 decimal places (table cell helper).

@@ -3,6 +3,7 @@
 //! simulation results could silently disagree with fresh runs.
 
 use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
+use mppm_experiments::{fig3, fig4, worker_threads, Context, Scale, Store};
 use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
 use mppm_trace::{suite, TraceGeometry, TraceStream};
 
@@ -52,6 +53,65 @@ fn predictions_are_bit_identical() {
     let a = model.predict(&refs).unwrap();
     let b = model.predict(&refs).unwrap();
     assert_eq!(a, b);
+}
+
+/// The experiment harness distributes detailed simulations over worker
+/// threads; results must not depend on how many workers there are or how
+/// the scheduler interleaves them. This runs Figure 3 and Figure 4 at
+/// quick scale twice — pinned to 1 worker, then with the machine's full
+/// parallelism — against *separate fresh stores* (so the second run
+/// cannot just read the first run's cache) and requires bit-identical
+/// outputs everywhere except wall-clock timing.
+#[test]
+fn experiments_are_thread_count_invariant() {
+    let base = std::env::temp_dir().join(format!("mppm-det-{}", std::process::id()));
+    let run = |threads: usize, store_root: &std::path::Path| {
+        std::env::set_var("MPPM_THREADS", threads.to_string());
+        assert_eq!(worker_threads(), threads, "override must take effect");
+        let ctx = Context::with_store(
+            Scale::Quick,
+            Store::open(store_root).expect("temp store is writable"),
+        );
+        let f3 = fig3::run(&ctx);
+        let f4 = fig4::run_core_count(&ctx, 4, 0, Scale::Quick.detailed_mixes());
+        std::env::remove_var("MPPM_THREADS");
+        (f3, f4)
+    };
+
+    let many = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
+    let (f3_serial, f4_serial) = run(1, &base.join("serial"));
+    let (f3_parallel, f4_parallel) = run(many, &base.join("parallel"));
+
+    // Figure 3: every confidence-interval point, bitwise.
+    assert_eq!(f3_serial.points.len(), f3_parallel.points.len());
+    for (a, b) in f3_serial.points.iter().zip(&f3_parallel.points) {
+        assert_eq!(a.mixes, b.mixes);
+        assert_eq!(a.stp.mean.to_bits(), b.stp.mean.to_bits(), "{} mixes", a.mixes);
+        assert_eq!(a.stp.half_width.to_bits(), b.stp.half_width.to_bits());
+        assert_eq!(a.antt.mean.to_bits(), b.antt.mean.to_bits());
+        assert_eq!(a.antt.half_width.to_bits(), b.antt.half_width.to_bits());
+    }
+
+    // Figure 4: mixes, every simulated CPI and every prediction, bitwise.
+    // `sim_seconds` is wall-clock and legitimately varies.
+    assert_eq!(f4_serial.mixes, f4_parallel.mixes);
+    assert_eq!(f4_serial.measured.len(), f4_parallel.measured.len());
+    for (a, b) in f4_serial.measured.iter().zip(&f4_parallel.measured) {
+        assert_eq!(a.names, b.names);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.cpi_sc), bits(&b.cpi_sc), "mix {:?}", a.names);
+        assert_eq!(bits(&a.cpi_mc), bits(&b.cpi_mc), "mix {:?}", a.names);
+    }
+    for (a, b) in f4_serial.predicted.iter().zip(&f4_parallel.predicted) {
+        assert_eq!(a.stp().to_bits(), b.stp().to_bits());
+        assert_eq!(a.antt().to_bits(), b.antt().to_bits());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a.slowdowns()), bits(b.slowdowns()));
+    }
+    assert_eq!(f4_serial.stp_error().to_bits(), f4_parallel.stp_error().to_bits());
+    assert_eq!(f4_serial.antt_error().to_bits(), f4_parallel.antt_error().to_bits());
+
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]
