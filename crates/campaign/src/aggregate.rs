@@ -1,0 +1,392 @@
+//! Streaming aggregation of campaign results.
+//!
+//! Distributions (mean, spread, quantiles, slowdown histograms) are
+//! folded shard by shard through the streaming accumulators in
+//! [`mppm::stats`], so memory stays O(designs), not O(mixes). The one
+//! thing that genuinely needs the per-mix values — design-ranking
+//! stability under random subsampling, the paper's §5 argument — keeps a
+//! single `f64` per (design, mix).
+
+use mppm::stats::{P2Quantile, StreamingMoments};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::journal::ShardRecord;
+use crate::plan::CampaignPlan;
+
+/// Summary of one metric's distribution over the mix population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single mix).
+    pub std: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Streaming 10th percentile estimate.
+    pub p10: f64,
+    /// Streaming median estimate.
+    pub p50: f64,
+    /// Streaming 90th percentile estimate.
+    pub p90: f64,
+}
+
+/// Streaming accumulator behind [`SummaryStats`].
+#[derive(Debug, Clone)]
+struct SummaryAcc {
+    moments: StreamingMoments,
+    p10: P2Quantile,
+    p50: P2Quantile,
+    p90: P2Quantile,
+}
+
+impl SummaryAcc {
+    fn new() -> Self {
+        Self {
+            moments: StreamingMoments::new(),
+            p10: P2Quantile::new(0.1),
+            p50: P2Quantile::new(0.5),
+            p90: P2Quantile::new(0.9),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.moments.push(x);
+        self.p10.push(x);
+        self.p50.push(x);
+        self.p90.push(x);
+    }
+
+    fn finish(self) -> SummaryStats {
+        SummaryStats {
+            mean: self.moments.mean().expect("at least one mix"),
+            std: self.moments.sample_std().unwrap_or(0.0),
+            min: self.moments.min().expect("at least one mix"),
+            max: self.moments.max().expect("at least one mix"),
+            p10: self.p10.estimate().expect("at least one mix"),
+            p50: self.p50.estimate().expect("at least one mix"),
+            p90: self.p90.estimate().expect("at least one mix"),
+        }
+    }
+}
+
+/// Fixed-bin histogram of per-mix worst slowdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowdownHistogram {
+    /// Lower edge of the first bin.
+    pub start: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Counts per bin; the final bin also absorbs everything above the
+    /// covered range.
+    pub counts: Vec<u64>,
+}
+
+impl SlowdownHistogram {
+    /// Slowdowns start at 1.0 by construction; 16 quarter-wide bins cover
+    /// [1, 5) with an overflow bin above.
+    fn new() -> Self {
+        Self { start: 1.0, width: 0.25, counts: vec![0; 17] }
+    }
+
+    fn push(&mut self, slowdown: f64) {
+        let bin = ((slowdown - self.start) / self.width).floor();
+        let idx = if bin < 0.0 { 0 } else { (bin as usize).min(self.counts.len() - 1) };
+        self.counts[idx] += 1;
+    }
+
+    /// `[lo, hi)` bounds of bin `idx` (the last bin is open-ended).
+    pub fn bounds(&self, idx: usize) -> (f64, Option<f64>) {
+        let lo = self.start + idx as f64 * self.width;
+        let hi = (idx + 1 < self.counts.len()).then(|| lo + self.width);
+        (lo, hi)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Aggregated view of one design point over the whole mix population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignAggregate {
+    /// 0-based Table 2 LLC config index.
+    pub config_idx: usize,
+    /// Mixes evaluated.
+    pub mixes: usize,
+    /// STP distribution.
+    pub stp: SummaryStats,
+    /// ANTT distribution.
+    pub antt: SummaryStats,
+    /// Histogram of each mix's worst per-program slowdown.
+    pub slowdowns: SlowdownHistogram,
+}
+
+/// Agreement of small random subsets with the full-space verdict on one
+/// pairwise design comparison — the paper's Figure 8 claim generalized
+/// from 20 hand-picked sets to a Monte Carlo sweep over subset size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityPoint {
+    /// First design of the pair (0-based config index).
+    pub config_a: usize,
+    /// Second design of the pair (0-based config index).
+    pub config_b: usize,
+    /// Mixes per random subset.
+    pub subset: usize,
+    /// Random subsets drawn.
+    pub trials: usize,
+    /// Fraction of subsets whose mean-STP ranking of the pair matches the
+    /// full mix space.
+    pub agreement: f64,
+}
+
+/// Knobs for the stability sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateOptions {
+    /// Random subsets per (pair, size) point.
+    pub stability_trials: usize,
+    /// Seed for the subset draws.
+    pub stability_seed: u64,
+}
+
+impl Default for AggregateOptions {
+    fn default() -> Self {
+        Self { stability_trials: 200, stability_seed: 0xCA3F_A161 }
+    }
+}
+
+/// Subset sizes probed by the stability sweep: powers of two bracketing
+/// the paper's "10 to 100 random mixes", capped below the population.
+fn subset_sizes(population: usize) -> Vec<usize> {
+    [1, 2, 4, 8, 10, 16, 32, 64, 100, 128, 256, 512]
+        .into_iter()
+        .filter(|&s| s < population)
+        .collect()
+}
+
+/// Folds journal records (plan order) into per-design aggregates and the
+/// pairwise stability sweep.
+///
+/// Everything here is a deterministic function of the records and
+/// options — the RNG is seeded per (pair, size) — which is what the
+/// resume test leans on.
+pub fn aggregate(
+    plan: &CampaignPlan,
+    records: &[ShardRecord],
+    options: &AggregateOptions,
+) -> (Vec<DesignAggregate>, Vec<StabilityPoint>) {
+    let n_designs = plan.spec.designs.len();
+    let population = plan.mixes.len();
+    let mut accs: Vec<(SummaryAcc, SummaryAcc, SlowdownHistogram)> = (0..n_designs)
+        .map(|_| (SummaryAcc::new(), SummaryAcc::new(), SlowdownHistogram::new()))
+        .collect();
+    // Per-design STP in mix order, for the subsampling sweep.
+    let mut stp: Vec<Vec<f64>> = vec![Vec::with_capacity(population); n_designs];
+
+    for record in records {
+        let (stp_acc, antt_acc, hist) = &mut accs[record.design];
+        for out in &record.outcomes {
+            stp_acc.push(out.stp);
+            antt_acc.push(out.antt);
+            hist.push(out.max_slowdown);
+            stp[record.design].push(out.stp);
+        }
+    }
+
+    let designs: Vec<DesignAggregate> = accs
+        .into_iter()
+        .zip(&plan.spec.designs)
+        .map(|((stp_acc, antt_acc, hist), &config_idx)| DesignAggregate {
+            config_idx,
+            mixes: population,
+            stp: stp_acc.finish(),
+            antt: antt_acc.finish(),
+            slowdowns: hist,
+        })
+        .collect();
+
+    let stability = stability_sweep(plan, &stp, options);
+    (designs, stability)
+}
+
+fn stability_sweep(
+    plan: &CampaignPlan,
+    stp: &[Vec<f64>],
+    options: &AggregateOptions,
+) -> Vec<StabilityPoint> {
+    let population = plan.mixes.len();
+    let full_mean =
+        |d: usize| stp[d].iter().sum::<f64>() / population.max(1) as f64;
+    let mut points = Vec::new();
+    for a in 0..stp.len() {
+        for b in (a + 1)..stp.len() {
+            let truth = full_mean(a) > full_mean(b);
+            for &size in &subset_sizes(population) {
+                // One RNG per (pair, size): stable regardless of how many
+                // designs or sizes other campaigns sweep.
+                let mut rng = SmallRng::seed_from_u64(
+                    options
+                        .stability_seed
+                        .wrapping_add((a as u64) << 40)
+                        .wrapping_add((b as u64) << 24)
+                        .wrapping_add(size as u64),
+                );
+                let mut idx: Vec<usize> = (0..population).collect();
+                let mut agree = 0usize;
+                for _ in 0..options.stability_trials {
+                    // Partial Fisher–Yates: the first `size` entries become
+                    // a uniform subset without replacement.
+                    for k in 0..size {
+                        let j = rng.gen_range(k..population);
+                        idx.swap(k, j);
+                    }
+                    let (mut sum_a, mut sum_b) = (0.0, 0.0);
+                    for &i in &idx[..size] {
+                        sum_a += stp[a][i];
+                        sum_b += stp[b][i];
+                    }
+                    if (sum_a > sum_b) == truth {
+                        agree += 1;
+                    }
+                }
+                points.push(StabilityPoint {
+                    config_a: plan.spec.designs[a],
+                    config_b: plan.spec.designs[b],
+                    subset: size,
+                    trials: options.stability_trials,
+                    agreement: agree as f64 / options.stability_trials as f64,
+                });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::MixOutcome;
+    use crate::plan::{CampaignSpec, MixSource};
+    use mppm_trace::TraceGeometry;
+
+    /// A plan plus synthetic records where design 0's STP is always
+    /// `base + i/100` and design 1's is shifted by `delta`.
+    fn synthetic(delta: f64, mixes: usize) -> (CampaignPlan, Vec<ShardRecord>) {
+        let spec = CampaignSpec {
+            cores: 2,
+            designs: vec![0, 1],
+            source: MixSource::Stratified { count: mixes, seed: 1 },
+            shard_size: 7,
+        };
+        let plan = CampaignPlan::build(&spec, 29, TraceGeometry::new(20_000, 10)).unwrap();
+        let records = plan
+            .shards
+            .iter()
+            .map(|s| ShardRecord {
+                design: s.id.design,
+                index: s.id.index,
+                outcomes: (s.start..s.end)
+                    .map(|i| {
+                        // Decorrelated per-mix noise between the designs
+                        // (7 is coprime to 10, so both patterns visit the
+                        // same residues with the same frequency): the
+                        // designs differ by `delta` in the mean, but any
+                        // single mix can point either way.
+                        let stp = if s.id.design == 0 {
+                            1.5 + (i % 10) as f64 / 100.0
+                        } else {
+                            1.5 + ((i * 7 + 3) % 10) as f64 / 100.0 + delta
+                        };
+                        MixOutcome {
+                            members: plan.mixes[i].members().to_vec(),
+                            stp,
+                            antt: 1.0 + (i % 7) as f64 / 10.0,
+                            max_slowdown: 1.0 + (i % 13) as f64 / 4.0,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        (plan, records)
+    }
+
+    #[test]
+    fn aggregates_match_batch_statistics() {
+        let (plan, records) = synthetic(0.25, 50);
+        let (designs, _) = aggregate(&plan, &records, &AggregateOptions::default());
+        assert_eq!(designs.len(), 2);
+        let d0 = &designs[0];
+        assert_eq!(d0.config_idx, 0);
+        assert_eq!(d0.mixes, 50);
+        // Batch recomputation of design 0's STP stream.
+        let xs: Vec<f64> = (0..50).map(|i| 1.5 + (i % 10) as f64 / 100.0).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((d0.stp.mean - mean).abs() < 1e-12);
+        assert_eq!(d0.stp.min, 1.5);
+        assert_eq!(d0.stp.max, 1.59);
+        assert!(d0.stp.p10 >= d0.stp.min && d0.stp.p90 <= d0.stp.max);
+        assert!((designs[1].stp.mean - (mean + 0.25)).abs() < 1e-12);
+        assert_eq!(d0.slowdowns.total(), 50);
+        // ANTT distribution is also populated.
+        assert!(d0.antt.mean > 1.0 && d0.antt.max <= 1.7);
+    }
+
+    #[test]
+    fn stability_grows_with_subset_size_and_separation() {
+        // Huge separation: even single-mix subsets always agree.
+        let (plan, records) = synthetic(5.0, 120);
+        let (_, stability) = aggregate(&plan, &records, &AggregateOptions::default());
+        assert!(!stability.is_empty());
+        for p in &stability {
+            assert_eq!((p.config_a, p.config_b), (0, 1));
+            assert_eq!(p.agreement, 1.0, "subset {}", p.subset);
+        }
+
+        // Tiny separation (delta well below the per-mix spread): small
+        // subsets mis-rank the pair, large ones converge to the truth —
+        // the paper's §5 conclusion from our own data.
+        let (plan, records) = synthetic(0.002, 120);
+        let (_, stability) = aggregate(&plan, &records, &AggregateOptions::default());
+        let at = |size: usize| {
+            stability.iter().find(|p| p.subset == size).map(|p| p.agreement).unwrap()
+        };
+        assert!(at(1) < 0.9, "single mixes cannot settle a close call: {}", at(1));
+        assert!(at(100) >= at(1), "more mixes cannot hurt on average");
+        let sizes: Vec<usize> = stability.iter().map(|p| p.subset).collect();
+        assert!(sizes.contains(&10) && sizes.contains(&100), "paper's 10..100 range probed");
+    }
+
+    #[test]
+    fn aggregation_is_deterministic() {
+        let (plan, records) = synthetic(0.01, 64);
+        let opts = AggregateOptions::default();
+        let a = aggregate(&plan, &records, &opts);
+        let b = aggregate(&plan, &records, &opts);
+        assert_eq!(a, b);
+        // And sensitive to the seed only in the stability sweep.
+        let other = aggregate(
+            &plan,
+            &records,
+            &AggregateOptions { stability_seed: 7, ..opts },
+        );
+        assert_eq!(a.0, other.0, "design aggregates are RNG-free");
+    }
+
+    #[test]
+    fn histogram_bins_and_bounds() {
+        let mut h = SlowdownHistogram::new();
+        h.push(1.0);
+        h.push(1.1);
+        h.push(1.26);
+        h.push(99.0);
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1, "overflow lands in the last bin");
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.bounds(0), (1.0, Some(1.25)));
+        assert_eq!(h.bounds(16), (5.0, None));
+    }
+}

@@ -1,0 +1,135 @@
+//! Campaign driver binary.
+//!
+//! Runs a design-space exploration campaign over the mix space and
+//! prints the aggregate tables, writing CSVs alongside the other
+//! experiment outputs. Re-running after a kill resumes from the journal.
+//!
+//! ```text
+//! campaign [--quick] [--cores N] [--configs 1,2,...] \
+//!          [--sample N --seed S] [--shard-size N] [--trials N]
+//! ```
+//!
+//! `--configs` takes 1-based Table 2 LLC config numbers. Without
+//! `--sample` the full mix space is enumerated (refused above 4M mixes).
+
+use mppm_campaign::{
+    csv_bundle, design_table, histogram_table, run_campaign, stability_table, write_csvs,
+    AggregateOptions, CampaignSpec, MixSource,
+};
+use mppm_experiments::{Context, Scale};
+use std::path::PathBuf;
+
+struct Args {
+    scale: Scale,
+    spec: CampaignSpec,
+    options: AggregateOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--quick] [--cores N] [--configs A,B,...] \
+         [--sample N] [--seed S] [--shard-size N] [--trials N]\n\
+         \n\
+         --quick        quick-scale traces (CI smoke); default is paper scale\n\
+         --cores N      programs per mix (default 2)\n\
+         --configs L    comma-separated 1-based Table 2 LLC configs (default 1,2)\n\
+         --sample N     stratified sample of N mixes instead of the full space\n\
+         --seed S       sample seed (default 1, ignored without --sample)\n\
+         --shard-size N mixes per checkpoint shard (default 64)\n\
+         --trials N     random subsets per stability point (default 200)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut spec = CampaignSpec::quick_default();
+    let mut scale = Scale::Full;
+    let mut options = AggregateOptions::default();
+    let mut sample: Option<usize> = None;
+    let mut seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    let parse = |v: Option<String>, what: &str| -> u64 {
+        v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("error: {what} needs a number");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--cores" => spec.cores = parse(args.next(), "--cores") as usize,
+            "--configs" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                spec.designs = list
+                    .split(',')
+                    .map(|s| match s.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => n - 1,
+                        _ => {
+                            eprintln!("error: --configs takes 1-based config numbers");
+                            usage()
+                        }
+                    })
+                    .collect();
+            }
+            "--sample" => sample = Some(parse(args.next(), "--sample") as usize),
+            "--seed" => seed = parse(args.next(), "--seed"),
+            "--shard-size" => spec.shard_size = parse(args.next(), "--shard-size") as usize,
+            "--trials" => options.stability_trials = parse(args.next(), "--trials") as usize,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    if let Some(count) = sample {
+        spec.source = MixSource::Stratified { count, seed };
+    }
+    Args { scale, spec, options }
+}
+
+fn main() {
+    let args = parse_args();
+    let ctx = Context::new(args.scale);
+    let result = match run_campaign(&ctx, &args.spec, &args.options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "campaign {}: {} mixes x {} designs ({} cores)\n",
+        result.plan_id,
+        result.mixes,
+        result.designs.len(),
+        result.cores
+    );
+    println!("{}", design_table(&result).render());
+    println!("{}", histogram_table(&result).render());
+    println!("{}", stability_table(&result).render());
+    println!(
+        "shards: {} total, {} resumed, {} computed",
+        result.stats.total_shards, result.stats.resumed_shards, result.stats.computed_shards
+    );
+    if let Some(tp) = result.stats.throughput() {
+        println!(
+            "throughput: {tp:.1} mixes/s ({} evaluations in {:.2}s)",
+            result.stats.evaluated_mixes, result.stats.compute_seconds
+        );
+    }
+
+    // CSVs next to the other experiment outputs (workspace results/).
+    let dir: PathBuf = mppm_experiments::table::results_dir();
+    match write_csvs(&result, &dir) {
+        Ok(()) => println!("wrote campaign CSVs to {}", dir.display()),
+        Err(e) => {
+            eprintln!("error writing CSVs: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The bundle is what the resume test compares; print its size as a
+    // cheap fingerprint of the output.
+    println!("csv bundle: {} bytes", csv_bundle(&result).len());
+}

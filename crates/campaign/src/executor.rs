@@ -1,0 +1,191 @@
+//! Parallel shard execution with journal-backed resume.
+//!
+//! The executor fans pending shards out over [`parallel_map`] workers.
+//! Each worker solves the MPPM fixed point for every mix in its shard
+//! (from cached single-core profiles) and persists the shard atomically
+//! before moving on. Completed shards found in the journal are skipped,
+//! which is the whole resume story — no in-band state beyond the files.
+//!
+//! Aggregation input is *always re-read from the journal*, in plan order,
+//! even for shards computed this run. Both a one-shot and a resumed
+//! campaign therefore aggregate exactly the same parsed bytes, which is
+//! what makes their outputs bit-identical rather than merely close.
+
+use mppm::SingleCoreProfile;
+use mppm_experiments::{parallel_map, Context};
+use std::time::Instant;
+
+use crate::journal::{Journal, MixOutcome, ShardRecord};
+use crate::plan::{CampaignPlan, Shard};
+use crate::CampaignError;
+
+/// Bookkeeping from one executor run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionStats {
+    /// Shards in the plan.
+    pub total_shards: usize,
+    /// Shards already complete in the journal (resumed).
+    pub resumed_shards: usize,
+    /// Shards computed by this run.
+    pub computed_shards: usize,
+    /// Model evaluations performed by this run (not resumed ones).
+    pub evaluated_mixes: usize,
+    /// Wall-clock seconds spent computing (0 when fully resumed).
+    pub compute_seconds: f64,
+}
+
+impl ExecutionStats {
+    /// Model evaluations per second for the computed portion.
+    pub fn throughput(&self) -> Option<f64> {
+        (self.compute_seconds > 0.0 && self.evaluated_mixes > 0)
+            .then(|| self.evaluated_mixes as f64 / self.compute_seconds)
+    }
+}
+
+/// Computes one shard: the MPPM prediction of every mix in range on the
+/// shard's design point.
+fn compute_shard(
+    ctx: &Context,
+    plan: &CampaignPlan,
+    profiles: &[SingleCoreProfile],
+    shard: &Shard,
+) -> ShardRecord {
+    let outcomes = plan.mixes[shard.start..shard.end]
+        .iter()
+        .map(|mix| {
+            let pred = ctx.predict(mix, profiles);
+            MixOutcome {
+                members: mix.members().to_vec(),
+                stp: pred.stp(),
+                antt: pred.antt(),
+                max_slowdown: pred
+                    .slowdowns()
+                    .iter()
+                    .fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            }
+        })
+        .collect();
+    ShardRecord { design: shard.id.design, index: shard.id.index, outcomes }
+}
+
+/// Runs every pending shard of `plan`, then loads the complete shard set
+/// from the journal in plan order.
+///
+/// # Errors
+///
+/// I/O errors persisting shards, or [`CampaignError::MissingShard`] if a
+/// shard cannot be read back after execution.
+pub fn execute(
+    ctx: &Context,
+    plan: &CampaignPlan,
+    journal: &Journal,
+) -> Result<(Vec<ShardRecord>, ExecutionStats), CampaignError> {
+    // Profiles once per design point (cached on disk by the store).
+    let profiles: Vec<Vec<SingleCoreProfile>> = plan
+        .spec
+        .designs
+        .iter()
+        .map(|&cfg| ctx.profiles(&ctx.machine_with_config(cfg)))
+        .collect();
+
+    let pending: Vec<&Shard> = plan
+        .shards
+        .iter()
+        .filter(|s| journal.load(s.id, s.end - s.start).is_none())
+        .collect();
+    let resumed = plan.shards.len() - pending.len();
+    if resumed > 0 {
+        eprintln!(
+            "  [campaign] resuming: {resumed}/{} shards already journaled",
+            plan.shards.len()
+        );
+    }
+
+    let started = Instant::now();
+    let evaluated: usize = pending.iter().map(|s| s.end - s.start).sum();
+    let results: Vec<Result<(), String>> =
+        parallel_map("campaign", &pending, |shard| {
+            let record = compute_shard(ctx, plan, &profiles[shard.id.design], shard);
+            journal.store(&record).map_err(|e| {
+                format!("persisting shard d{}-{}: {e}", shard.id.design, shard.id.index)
+            })
+        });
+    let compute_seconds = started.elapsed().as_secs_f64();
+    if let Some(Err(e)) = results.into_iter().find(Result::is_err) {
+        return Err(CampaignError::Io(e));
+    }
+
+    // Single source of truth for aggregation: the journal.
+    let records = plan
+        .shards
+        .iter()
+        .map(|s| {
+            journal
+                .load(s.id, s.end - s.start)
+                .ok_or(CampaignError::MissingShard(s.id))
+        })
+        .collect::<Result<Vec<ShardRecord>, CampaignError>>()?;
+
+    let stats = ExecutionStats {
+        total_shards: plan.shards.len(),
+        resumed_shards: resumed,
+        computed_shards: pending.len(),
+        evaluated_mixes: evaluated,
+        compute_seconds: if pending.is_empty() { 0.0 } else { compute_seconds },
+    };
+    Ok((records, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CampaignSpec, MixSource};
+    use mppm_experiments::{Scale, Store};
+
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, Context) {
+        let root = std::env::temp_dir()
+            .join(format!("mppm-exec-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let ctx = Context::with_store(Scale::Quick, Store::open(&root).unwrap());
+        (root, ctx)
+    }
+
+    #[test]
+    fn executes_all_shards_then_resumes_for_free() {
+        let (root, ctx) = tmp_store("resume");
+        let spec = CampaignSpec {
+            cores: 2,
+            designs: vec![0],
+            source: MixSource::Stratified { count: 24, seed: 3 },
+            shard_size: 10,
+        };
+        let plan = CampaignPlan::build(
+            &spec,
+            mppm_trace::suite::spec_suite().len(),
+            ctx.geometry(),
+        )
+        .unwrap();
+        let journal = Journal::open(ctx.store().root(), &plan).unwrap();
+
+        let (records, stats) = execute(&ctx, &plan, &journal).unwrap();
+        assert_eq!(records.len(), 3, "24 mixes in shards of 10");
+        assert_eq!(stats.computed_shards, 3);
+        assert_eq!(stats.resumed_shards, 0);
+        assert_eq!(stats.evaluated_mixes, 24);
+        assert!(stats.throughput().unwrap() > 0.0);
+        for (rec, shard) in records.iter().zip(&plan.shards) {
+            assert_eq!(rec.outcomes.len(), shard.end - shard.start);
+            for out in &rec.outcomes {
+                assert!(out.stp > 0.0 && out.antt >= 1.0 - 1e-9 && out.max_slowdown >= 1.0 - 1e-9);
+            }
+        }
+
+        // Second run touches nothing and returns identical records.
+        let (again, stats2) = execute(&ctx, &plan, &journal).unwrap();
+        assert_eq!(again, records);
+        assert_eq!(stats2.computed_shards, 0);
+        assert_eq!(stats2.resumed_shards, 3);
+        assert_eq!(stats2.compute_seconds, 0.0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,218 @@
+//! Checkpoint/resume journal: sharded, atomic, append-only result files.
+//!
+//! A campaign's results live under the experiment store as one JSON file
+//! per completed shard:
+//!
+//! ```text
+//! <store>/campaigns/<plan id>/
+//!   plan.json            # human-readable record of what ran
+//!   shard-d0-00000.json  # design 0, shard 0 — written exactly once
+//!   shard-d0-00001.json
+//!   shard-d1-00000.json
+//!   ...
+//! ```
+//!
+//! The journal is *append-only at shard granularity*: files are only ever
+//! added, each via [`atomic_write_json`] (temp file + rename), so a
+//! killed campaign leaves either a complete shard or no shard — never a
+//! torn one. Resume is therefore trivial: skip every shard whose file
+//! loads and re-run the rest. Unreadable or mismatched files are treated
+//! as absent and recomputed, so even external corruption only costs time.
+
+use mppm_experiments::atomic_write_json;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+use crate::plan::{CampaignPlan, ShardId};
+
+/// The model's verdict on one mix: everything the aggregator needs,
+/// nothing it doesn't (full per-interval traces would make journals
+/// enormous).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixOutcome {
+    /// Benchmark indices of the mix, canonical order.
+    pub members: Vec<usize>,
+    /// Predicted system throughput.
+    pub stp: f64,
+    /// Predicted average normalized turnaround time.
+    pub antt: f64,
+    /// Worst per-program slowdown in the mix.
+    pub max_slowdown: f64,
+}
+
+/// One persisted shard: outcomes for a contiguous run of mixes on one
+/// design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// Design position within the campaign spec.
+    pub design: usize,
+    /// Shard index within the design.
+    pub index: usize,
+    /// One outcome per mix, in plan order.
+    pub outcomes: Vec<MixOutcome>,
+}
+
+/// Handle to one campaign's journal directory.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal for `plan` under
+    /// `store_root`, and records the plan summary on first open.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory or writing the summary.
+    pub fn open(store_root: &Path, plan: &CampaignPlan) -> std::io::Result<Self> {
+        let dir = store_root.join("campaigns").join(&plan.id);
+        std::fs::create_dir_all(&dir)?;
+        let journal = Self { dir };
+        let summary = journal.dir.join("plan.json");
+        if !summary.exists() {
+            atomic_write_json(
+                &summary,
+                &PlanSummary {
+                    spec: plan.spec.clone(),
+                    mixes: plan.mixes.len(),
+                    shards: plan.shards.len(),
+                },
+            )?;
+        }
+        Ok(journal)
+    }
+
+    /// The directory shard files live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn shard_path(&self, id: ShardId) -> PathBuf {
+        self.dir.join(format!("shard-d{}-{:05}.json", id.design, id.index))
+    }
+
+    /// Loads a completed shard, or `None` if it is missing, unreadable,
+    /// or does not match its file name (any of which means "recompute").
+    pub fn load(&self, id: ShardId, expected_mixes: usize) -> Option<ShardRecord> {
+        let bytes = std::fs::read(self.shard_path(id)).ok()?;
+        let record: ShardRecord = serde_json::from_slice(&bytes).ok()?;
+        let consistent = record.design == id.design
+            && record.index == id.index
+            && record.outcomes.len() == expected_mixes;
+        consistent.then_some(record)
+    }
+
+    /// Persists one completed shard atomically.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the atomic write.
+    pub fn store(&self, record: &ShardRecord) -> std::io::Result<()> {
+        let id = ShardId { design: record.design, index: record.index };
+        atomic_write_json(&self.shard_path(id), record)
+    }
+
+    /// How many of the plan's shards are already completed on disk.
+    pub fn completed(&self, plan: &CampaignPlan) -> usize {
+        plan.shards
+            .iter()
+            .filter(|s| self.load(s.id, s.end - s.start).is_some())
+            .count()
+    }
+}
+
+/// Human-readable record of what a journal directory holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PlanSummary {
+    spec: crate::plan::CampaignSpec,
+    mixes: usize,
+    shards: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CampaignSpec;
+    use mppm_trace::TraceGeometry;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("mppm-journal-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn plan() -> CampaignPlan {
+        CampaignPlan::build(&CampaignSpec::quick_default(), 5, TraceGeometry::new(20_000, 10))
+            .unwrap()
+    }
+
+    fn record(design: usize, index: usize, mixes: usize) -> ShardRecord {
+        ShardRecord {
+            design,
+            index,
+            outcomes: (0..mixes)
+                .map(|i| MixOutcome {
+                    members: vec![i, i + 1],
+                    stp: 1.5 + i as f64,
+                    antt: 1.1,
+                    max_slowdown: 1.2,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shard_round_trip_and_resume_accounting() {
+        let root = tmp_dir("roundtrip");
+        let plan = plan();
+        let journal = Journal::open(&root, &plan).unwrap();
+        assert_eq!(journal.completed(&plan), 0);
+        assert!(journal.dir().join("plan.json").exists(), "summary recorded");
+
+        let shard = &plan.shards[0];
+        let rec = record(shard.id.design, shard.id.index, shard.end - shard.start);
+        journal.store(&rec).unwrap();
+        assert_eq!(journal.load(shard.id, shard.end - shard.start), Some(rec));
+        assert_eq!(journal.completed(&plan), 1);
+
+        // Reopen: completion state persists.
+        let reopened = Journal::open(&root, &plan).unwrap();
+        assert_eq!(reopened.completed(&plan), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_shards_read_as_absent() {
+        let root = tmp_dir("corrupt");
+        let plan = plan();
+        let journal = Journal::open(&root, &plan).unwrap();
+        let shard = &plan.shards[1];
+        let mixes = shard.end - shard.start;
+
+        // Truncated JSON.
+        let rec = record(shard.id.design, shard.id.index, mixes);
+        journal.store(&rec).unwrap();
+        let path = journal.shard_path(shard.id);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert_eq!(journal.load(shard.id, mixes), None, "torn shard is recomputed");
+
+        // Wrong identity (file renamed/copied into the wrong slot).
+        journal.store(&record(shard.id.design, shard.id.index + 7, mixes)).unwrap();
+        std::fs::rename(
+            journal.shard_path(ShardId { design: shard.id.design, index: shard.id.index + 7 }),
+            &path,
+        )
+        .unwrap();
+        assert_eq!(journal.load(shard.id, mixes), None, "mismatched identity rejected");
+
+        // Wrong outcome count (shard size changed between runs cannot
+        // happen — the id encodes it — but defend anyway).
+        journal.store(&record(shard.id.design, shard.id.index, mixes - 1)).unwrap();
+        assert_eq!(journal.load(shard.id, mixes), None, "short shard rejected");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

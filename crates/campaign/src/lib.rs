@@ -1,0 +1,262 @@
+//! Campaign engine: exhaustive mix-space design-space exploration.
+//!
+//! The MPPM paper's punchline is that the analytical model is cheap
+//! enough to evaluate the *entire* mix space — all C(n+m−1, m) multisets
+//! — instead of the handful of hand-picked mixes detailed simulation
+//! forces on you. This crate turns that claim into infrastructure:
+//!
+//! 1. **Plan** ([`plan`]) — materialize the mix population (exhaustive or
+//!    seeded stratified sample) × LLC design points as journal-addressed
+//!    shards.
+//! 2. **Execute** ([`executor`]) — fan shards over worker threads, each
+//!    solving the MPPM fixed point from cached single-core profiles.
+//! 3. **Journal** ([`journal`]) — persist each shard atomically; a killed
+//!    campaign resumes from the completed-shard set, and a resumed run is
+//!    *bit-identical* to a one-shot run because aggregation always reads
+//!    back the journal files in plan order.
+//! 4. **Aggregate** ([`aggregate`]) — streaming per-design STP/ANTT
+//!    distributions, slowdown histograms, and the pairwise design-ranking
+//!    stability sweep that quantifies how often small random mix subsets
+//!    mis-rank two designs.
+
+pub mod aggregate;
+pub mod executor;
+pub mod journal;
+pub mod plan;
+
+use std::fmt;
+
+use mppm::mix::MixSpaceError;
+use mppm_experiments::table::{f3, pct, Table};
+use mppm_experiments::Context;
+use mppm_sim::llc_configs;
+
+pub use aggregate::{
+    aggregate, AggregateOptions, DesignAggregate, SlowdownHistogram, StabilityPoint, SummaryStats,
+};
+pub use executor::{execute, ExecutionStats};
+pub use journal::{Journal, MixOutcome, ShardRecord};
+pub use plan::{CampaignPlan, CampaignSpec, MixSource, Shard, ShardId};
+
+/// Everything that can go wrong running a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The spec is internally inconsistent (empty designs, zero shard
+    /// size, out-of-range config, intractable exhaustive space, ...).
+    InvalidSpec(String),
+    /// Mix-space arithmetic failed (count overflow, rank out of range).
+    MixSpace(MixSpaceError),
+    /// Persisting or reading journal state failed.
+    Io(String),
+    /// A shard could not be read back after execution reported success.
+    MissingShard(ShardId),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidSpec(msg) => write!(f, "invalid campaign spec: {msg}"),
+            CampaignError::MixSpace(e) => write!(f, "mix space error: {e}"),
+            CampaignError::Io(msg) => write!(f, "campaign journal I/O error: {msg}"),
+            CampaignError::MissingShard(id) => {
+                write!(f, "shard d{}-{} missing from journal after execution", id.design, id.index)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A finished campaign: aggregates plus the run's bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Journal directory name (encodes every result-affecting parameter).
+    pub plan_id: String,
+    /// Programs per mix.
+    pub cores: usize,
+    /// Mixes in the population.
+    pub mixes: usize,
+    /// Per-design aggregates, in spec order.
+    pub designs: Vec<DesignAggregate>,
+    /// Pairwise ranking-stability sweep.
+    pub stability: Vec<StabilityPoint>,
+    /// Execution bookkeeping (resume counts, throughput).
+    pub stats: ExecutionStats,
+}
+
+/// Runs a campaign end to end: plan → execute (with resume) → aggregate.
+///
+/// Deterministic given the spec, context scale, and options: the journal
+/// is the single source of aggregation input, so re-running (including
+/// after a crash) reproduces the result byte for byte.
+///
+/// # Errors
+///
+/// Spec validation, mix-space arithmetic, or journal I/O failures.
+pub fn run_campaign(
+    ctx: &Context,
+    spec: &CampaignSpec,
+    options: &AggregateOptions,
+) -> Result<CampaignResult, CampaignError> {
+    let n = mppm_trace::suite::spec_suite().len();
+    let plan = CampaignPlan::build(spec, n, ctx.geometry())?;
+    let journal = Journal::open(ctx.store().root(), &plan)
+        .map_err(|e| CampaignError::Io(format!("opening journal: {e}")))?;
+    let (records, stats) = execute(ctx, &plan, &journal)?;
+    let (designs, stability) = aggregate(&plan, &records, options);
+    Ok(CampaignResult {
+        plan_id: plan.id,
+        cores: spec.cores,
+        mixes: plan.mixes.len(),
+        designs,
+        stability,
+        stats,
+    })
+}
+
+/// Short label for an LLC design point, e.g. `"#3 1MB/16w"`.
+fn design_label(config_idx: usize) -> String {
+    let cfg = llc_configs()[config_idx];
+    format!("#{} {}KB/{}w", config_idx + 1, cfg.size_bytes / 1024, cfg.assoc)
+}
+
+/// Per-design summary table: STP and ANTT distributions over the mixes.
+pub fn design_table(result: &CampaignResult) -> Table {
+    let mut t = Table::new(&[
+        "design", "mixes", "stp_mean", "stp_std", "stp_p10", "stp_p50", "stp_p90", "stp_min",
+        "stp_max", "antt_mean", "antt_p90",
+    ]);
+    for d in &result.designs {
+        t.row(vec![
+            design_label(d.config_idx),
+            d.mixes.to_string(),
+            f3(d.stp.mean),
+            f3(d.stp.std),
+            f3(d.stp.p10),
+            f3(d.stp.p50),
+            f3(d.stp.p90),
+            f3(d.stp.min),
+            f3(d.stp.max),
+            f3(d.antt.mean),
+            f3(d.antt.p90),
+        ]);
+    }
+    t
+}
+
+/// Worst-slowdown histogram table, one row per (design, bin) with a
+/// non-zero count.
+pub fn histogram_table(result: &CampaignResult) -> Table {
+    let mut t = Table::new(&["design", "slowdown_lo", "slowdown_hi", "mixes"]);
+    for d in &result.designs {
+        for (i, &count) in d.slowdowns.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (lo, hi) = d.slowdowns.bounds(i);
+            t.row(vec![
+                design_label(d.config_idx),
+                f3(lo),
+                hi.map(f3).unwrap_or_else(|| "inf".into()),
+                count.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ranking-stability table: agreement of random mix subsets with the
+/// full-space design ranking, per pair and subset size.
+pub fn stability_table(result: &CampaignResult) -> Table {
+    let mut t = Table::new(&["design_a", "design_b", "subset_mixes", "trials", "agreement"]);
+    for p in &result.stability {
+        t.row(vec![
+            design_label(p.config_a),
+            design_label(p.config_b),
+            p.subset.to_string(),
+            p.trials.to_string(),
+            pct(p.agreement),
+        ]);
+    }
+    t
+}
+
+/// The three campaign CSVs concatenated into one deterministic string —
+/// the payload the resume test compares byte for byte.
+pub fn csv_bundle(result: &CampaignResult) -> String {
+    format!(
+        "# campaign {} ({} mixes x {} designs)\n{}\n{}\n{}",
+        result.plan_id,
+        result.mixes,
+        result.designs.len(),
+        design_table(result).to_csv(),
+        histogram_table(result).to_csv(),
+        stability_table(result).to_csv(),
+    )
+}
+
+/// Writes the campaign CSVs (`campaign_designs.csv`,
+/// `campaign_slowdown_hist.csv`, `campaign_stability.csv`) into `dir`.
+///
+/// # Errors
+///
+/// Any I/O error creating the directory or writing a file.
+pub fn write_csvs(result: &CampaignResult, dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("campaign_designs.csv"), design_table(result).to_csv())?;
+    std::fs::write(dir.join("campaign_slowdown_hist.csv"), histogram_table(result).to_csv())?;
+    std::fs::write(dir.join("campaign_stability.csv"), stability_table(result).to_csv())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mppm_experiments::{Scale, Store};
+
+    #[test]
+    fn quick_campaign_end_to_end() {
+        let root = std::env::temp_dir()
+            .join(format!("mppm-campaign-lib-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let ctx = Context::with_store(Scale::Quick, Store::open(&root).unwrap());
+        let spec = CampaignSpec {
+            cores: 2,
+            designs: vec![0, 5],
+            source: MixSource::Stratified { count: 30, seed: 11 },
+            shard_size: 8,
+        };
+        let options = AggregateOptions { stability_trials: 50, ..Default::default() };
+        let result = run_campaign(&ctx, &spec, &options).unwrap();
+
+        assert_eq!(result.mixes, 30);
+        assert_eq!(result.designs.len(), 2);
+        // A 4x larger LLC (config #6 vs #1) cannot hurt mean throughput.
+        assert!(
+            result.designs[1].stp.mean >= result.designs[0].stp.mean,
+            "2MB/24-cycle LLC should beat 512KB at quick scale: {} vs {}",
+            result.designs[1].stp.mean,
+            result.designs[0].stp.mean
+        );
+        assert!(!result.stability.is_empty());
+        assert!(result.stability.iter().all(|p| (0.0..=1.0).contains(&p.agreement)));
+
+        // Tables render and the CSV bundle is deterministic across a
+        // fully-resumed re-run (the resume integration test does the
+        // kill-mid-flight variant).
+        assert_eq!(design_table(&result).len(), 2);
+        assert!(histogram_table(&result).len() >= 2);
+        let bundle = csv_bundle(&result);
+        assert!(bundle.contains("design_a"));
+        let again = run_campaign(&ctx, &spec, &options).unwrap();
+        assert_eq!(again.stats.computed_shards, 0, "second run fully resumed");
+        assert_eq!(csv_bundle(&again), bundle);
+
+        // write_csvs produces exactly the bundle's parts.
+        let out = root.join("csv-out");
+        write_csvs(&result, &out).unwrap();
+        let designs = std::fs::read_to_string(out.join("campaign_designs.csv")).unwrap();
+        assert_eq!(designs, design_table(&result).to_csv());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,322 @@
+//! Mix-space planning: which mixes, which designs, which shards.
+//!
+//! A campaign evaluates a *mix population* (the exhaustive multiset mix
+//! space for a core count, or a deterministic stratified sample of it)
+//! against every *design point* (a Table 2 LLC configuration). The
+//! planner materializes that cross product as an ordered list of
+//! [`Shard`]s — contiguous runs of mixes on one design — which are the
+//! unit of parallel execution *and* of checkpointing: a shard either
+//! exists in the journal completely or not at all.
+
+use mppm::mix::{count_mixes, enumerate_mixes, sample_stratified, Mix, MixSpaceError};
+use mppm_sim::llc_configs;
+use mppm_trace::TraceGeometry;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::CampaignError;
+
+/// Where the mix population comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixSource {
+    /// Every distinct mix for the core count — the paper's methodology.
+    Exhaustive,
+    /// A seeded stratified sample without replacement (for spaces too
+    /// large to enumerate, e.g. the 30M eight-program mixes).
+    Stratified {
+        /// Number of mixes to draw.
+        count: usize,
+        /// RNG seed; the sample is a pure function of it.
+        seed: u64,
+    },
+}
+
+// The offline serde derive shim only handles unit-variant enums, so the
+// data-carrying `Stratified` variant gets hand-written impls (externally
+// tagged, matching real serde's representation).
+impl serde::Serialize for MixSource {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            MixSource::Exhaustive => serde::Value::String("Exhaustive".into()),
+            MixSource::Stratified { count, seed } => serde::Value::Object(vec![(
+                "Stratified".into(),
+                serde::Value::Object(vec![
+                    ("count".into(), serde::Value::UInt(*count as u64)),
+                    ("seed".into(), serde::Value::UInt(*seed)),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl serde::Deserialize for MixSource {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.as_str() == Some("Exhaustive") {
+            return Ok(MixSource::Exhaustive);
+        }
+        let inner = v
+            .get("Stratified")
+            .ok_or_else(|| serde::DeError::expected("MixSource variant", v))?;
+        let field = |name: &str| {
+            inner
+                .get(name)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| serde::DeError::expected("Stratified {count, seed}", inner))
+        };
+        Ok(MixSource::Stratified { count: field("count")? as usize, seed: field("seed")? })
+    }
+}
+
+impl MixSource {
+    fn tag(&self) -> String {
+        match self {
+            MixSource::Exhaustive => "full".into(),
+            MixSource::Stratified { count, seed } => format!("s{count}x{seed}"),
+        }
+    }
+}
+
+/// What a campaign should run: the full cross product of a mix
+/// population and a set of LLC design points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Programs per mix (cores).
+    pub cores: usize,
+    /// LLC design points as 0-based Table 2 config indices.
+    pub designs: Vec<usize>,
+    /// Mix population source.
+    pub source: MixSource,
+    /// Mixes per journal shard (checkpoint granularity).
+    pub shard_size: usize,
+}
+
+impl CampaignSpec {
+    /// A 2-core exhaustive sweep over the first two LLC configs — the
+    /// smallest campaign that exercises every subsystem layer.
+    pub fn quick_default() -> Self {
+        Self { cores: 2, designs: vec![0, 1], source: MixSource::Exhaustive, shard_size: 64 }
+    }
+
+    fn validate(&self) -> Result<(), CampaignError> {
+        let invalid = |msg: String| Err(CampaignError::InvalidSpec(msg));
+        if self.cores == 0 {
+            return invalid("campaign needs at least one core".into());
+        }
+        if self.shard_size == 0 {
+            return invalid("shard size must be positive".into());
+        }
+        if self.designs.is_empty() {
+            return invalid("campaign needs at least one design point".into());
+        }
+        let configs = llc_configs().len();
+        if let Some(&bad) = self.designs.iter().find(|&&d| d >= configs) {
+            return invalid(format!("design index {bad} out of range (have {configs} configs)"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        if let Some(&dup) = self.designs.iter().find(|&&d| !seen.insert(d)) {
+            return invalid(format!("design index {dup} listed twice"));
+        }
+        if let MixSource::Stratified { count: 0, .. } = self.source {
+            return invalid("stratified sample needs at least one mix".into());
+        }
+        Ok(())
+    }
+}
+
+/// Identity of one shard: a design point × a slice of the mix order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardId {
+    /// Position in [`CampaignSpec::designs`] (not the config index).
+    pub design: usize,
+    /// Shard number within the design, 0-based.
+    pub index: usize,
+}
+
+/// One executable unit: mixes `range` (indices into the plan's mix
+/// order) evaluated on design `id.design`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Stable identity used for journal file naming.
+    pub id: ShardId,
+    /// First mix index (inclusive).
+    pub start: usize,
+    /// Last mix index (exclusive).
+    pub end: usize,
+}
+
+/// A fully materialized campaign: the mix population in its canonical
+/// order plus the shard list covering designs × mixes.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// The validated spec this plan was built from.
+    pub spec: CampaignSpec,
+    /// Stable identifier naming the journal directory: every parameter
+    /// that affects results is encoded, so two different campaigns can
+    /// never share (and therefore corrupt) a journal.
+    pub id: String,
+    /// The mix population, in deterministic (enumeration/stratum) order.
+    pub mixes: Vec<Mix>,
+    /// All shards, design-major then shard-index order.
+    pub shards: Vec<Shard>,
+}
+
+impl CampaignPlan {
+    /// Builds the plan for `spec` over `n_benchmarks` benchmarks at trace
+    /// geometry `geometry` (the geometry and suite version participate in
+    /// the campaign id because they change every profile).
+    pub fn build(
+        spec: &CampaignSpec,
+        n_benchmarks: usize,
+        geometry: TraceGeometry,
+    ) -> Result<Self, CampaignError> {
+        spec.validate()?;
+        let mixes = match spec.source {
+            MixSource::Exhaustive => {
+                let total = count_mixes(n_benchmarks, spec.cores)?;
+                if total > 4_000_000 {
+                    return Err(CampaignError::InvalidSpec(format!(
+                        "exhaustive space has {total} mixes; use a stratified sample"
+                    )));
+                }
+                enumerate_mixes(n_benchmarks, spec.cores).collect()
+            }
+            MixSource::Stratified { count, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                sample_stratified(n_benchmarks, spec.cores, count, &mut rng)?
+            }
+        };
+        let per_design = mixes.len().div_ceil(spec.shard_size);
+        let mut shards = Vec::with_capacity(per_design * spec.designs.len());
+        for design in 0..spec.designs.len() {
+            for index in 0..per_design {
+                let start = index * spec.shard_size;
+                shards.push(Shard {
+                    id: ShardId { design, index },
+                    start,
+                    end: (start + spec.shard_size).min(mixes.len()),
+                });
+            }
+        }
+        let designs: Vec<String> = spec.designs.iter().map(|d| (d + 1).to_string()).collect();
+        let id = format!(
+            "c{}_n{}_g{}x{}_d{}_{}_sh{}_v{}",
+            spec.cores,
+            n_benchmarks,
+            geometry.interval_insns,
+            geometry.intervals,
+            designs.join("-"),
+            spec.source.tag(),
+            spec.shard_size,
+            mppm_experiments::SUITE_VERSION,
+        );
+        Ok(Self { spec: spec.clone(), id, mixes, shards })
+    }
+
+    /// Shards belonging to one design position, in index order.
+    pub fn shards_of_design(&self, design: usize) -> impl Iterator<Item = &Shard> {
+        self.shards.iter().filter(move |s| s.id.design == design)
+    }
+
+    /// Total model evaluations the plan covers (mixes × designs).
+    pub fn evaluations(&self) -> usize {
+        self.mixes.len() * self.spec.designs.len()
+    }
+}
+
+impl From<MixSpaceError> for CampaignError {
+    fn from(e: MixSpaceError) -> Self {
+        CampaignError::MixSpace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> TraceGeometry {
+        TraceGeometry::new(20_000, 10)
+    }
+
+    #[test]
+    fn exhaustive_plan_covers_the_space() {
+        let spec = CampaignSpec::quick_default();
+        let plan = CampaignPlan::build(&spec, 29, geometry()).unwrap();
+        assert_eq!(plan.mixes.len(), 435, "the paper's 2-core count");
+        assert_eq!(plan.evaluations(), 870);
+        // 435 mixes in shards of 64 → 7 shards per design, last one short.
+        assert_eq!(plan.shards.len(), 14);
+        let last = plan.shards_of_design(0).last().unwrap();
+        assert_eq!((last.start, last.end), (384, 435));
+        // Shards tile the mix range exactly once per design.
+        for d in 0..2 {
+            let mut covered = vec![false; plan.mixes.len()];
+            for s in plan.shards_of_design(d) {
+                for slot in &mut covered[s.start..s.end] {
+                    assert!(!*slot, "overlap");
+                    *slot = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "gap in design {d}");
+        }
+    }
+
+    #[test]
+    fn stratified_plan_is_deterministic() {
+        let spec = CampaignSpec {
+            cores: 4,
+            designs: vec![0, 3, 5],
+            source: MixSource::Stratified { count: 100, seed: 9 },
+            shard_size: 32,
+        };
+        let a = CampaignPlan::build(&spec, 29, geometry()).unwrap();
+        let b = CampaignPlan::build(&spec, 29, geometry()).unwrap();
+        assert_eq!(a.mixes, b.mixes);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.mixes.len(), 100);
+        assert_eq!(a.shards.len(), 4 * 3, "ceil(100/32) shards per design");
+    }
+
+    #[test]
+    fn plan_ids_separate_campaigns() {
+        let base = CampaignSpec::quick_default();
+        let id = |spec: &CampaignSpec, g: TraceGeometry| {
+            CampaignPlan::build(spec, 29, g).unwrap().id
+        };
+        let baseline = id(&base, geometry());
+        let mut cores = base.clone();
+        cores.cores = 3;
+        assert_ne!(id(&cores, geometry()), baseline);
+        let mut designs = base.clone();
+        designs.designs = vec![0, 2];
+        assert_ne!(id(&designs, geometry()), baseline);
+        let mut sampled = base.clone();
+        sampled.source = MixSource::Stratified { count: 50, seed: 1 };
+        assert_ne!(id(&sampled, geometry()), baseline);
+        let mut sharded = base.clone();
+        sharded.shard_size = 65;
+        assert_ne!(id(&sharded, geometry()), baseline);
+        assert_ne!(id(&base, TraceGeometry::new(10_000, 5)), baseline);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let build = |spec: &CampaignSpec| CampaignPlan::build(spec, 29, geometry());
+        let mut spec = CampaignSpec::quick_default();
+        spec.cores = 0;
+        assert!(matches!(build(&spec), Err(CampaignError::InvalidSpec(_))));
+        let mut spec = CampaignSpec::quick_default();
+        spec.designs = vec![0, 9];
+        assert!(matches!(build(&spec), Err(CampaignError::InvalidSpec(_))));
+        let mut spec = CampaignSpec::quick_default();
+        spec.designs = vec![1, 1];
+        assert!(matches!(build(&spec), Err(CampaignError::InvalidSpec(_))));
+        let mut spec = CampaignSpec::quick_default();
+        spec.shard_size = 0;
+        assert!(matches!(build(&spec), Err(CampaignError::InvalidSpec(_))));
+        // An 8-core exhaustive space (30M mixes) is refused, not attempted.
+        let mut spec = CampaignSpec::quick_default();
+        spec.cores = 8;
+        assert!(matches!(build(&spec), Err(CampaignError::InvalidSpec(_))));
+    }
+}

@@ -1,0 +1,92 @@
+//! Kill/resume bit-identity: a campaign that dies mid-flight and resumes
+//! must produce byte-identical output to a one-shot run, at any worker
+//! thread count.
+//!
+//! One `#[test]` on purpose: it toggles the `MPPM_THREADS` environment
+//! variable, which would race against itself if split across Rust's
+//! default parallel test harness.
+
+use mppm_campaign::{
+    csv_bundle, run_campaign, AggregateOptions, CampaignPlan, CampaignSpec, Journal, MixSource,
+};
+use mppm_experiments::{Context, Scale, Store};
+
+fn fresh_context(tag: &str) -> (std::path::PathBuf, Context) {
+    let root = std::env::temp_dir()
+        .join(format!("mppm-resume-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let ctx = Context::with_store(Scale::Quick, Store::open(&root).unwrap());
+    (root, ctx)
+}
+
+#[test]
+fn killed_campaign_resumes_bit_identically_across_thread_counts() {
+    // The paper's full 2-program mix space (435 mixes) on two LLC design
+    // points, quick-scale traces: every subsystem layer at real size.
+    let spec = CampaignSpec {
+        cores: 2,
+        designs: vec![0, 1],
+        source: MixSource::Exhaustive,
+        shard_size: 32,
+    };
+    let options = AggregateOptions { stability_trials: 60, ..Default::default() };
+    let mut bundles = Vec::new();
+
+    for threads in ["1", "0"] {
+        if threads == "1" {
+            std::env::set_var("MPPM_THREADS", "1");
+        } else {
+            std::env::remove_var("MPPM_THREADS"); // harness default
+        }
+
+        // Reference: one uninterrupted run.
+        let (root_a, ctx_a) = fresh_context(&format!("oneshot-{threads}"));
+        let one_shot = run_campaign(&ctx_a, &spec, &options).unwrap();
+        assert_eq!(one_shot.mixes, 435, "exhaustive 2-core space");
+        assert_eq!(one_shot.stats.computed_shards, one_shot.stats.total_shards);
+
+        // Victim: run to completion, then fake a mid-flight kill by
+        // deleting some journal shards and truncating another (a torn
+        // write cannot happen — writes are atomic — but defend anyway).
+        let (root_b, ctx_b) = fresh_context(&format!("killed-{threads}"));
+        let first = run_campaign(&ctx_b, &spec, &options).unwrap();
+        let plan = CampaignPlan::build(
+            &spec,
+            mppm_trace::suite::spec_suite().len(),
+            ctx_b.geometry(),
+        )
+        .unwrap();
+        let journal = Journal::open(ctx_b.store().root(), &plan).unwrap();
+        let dir = journal.dir();
+        // Drop one shard from each design, plus the final (short) shard.
+        for name in ["shard-d0-00003.json", "shard-d1-00007.json", "shard-d1-00013.json"] {
+            std::fs::remove_file(dir.join(name)).unwrap();
+        }
+        let torn = dir.join("shard-d0-00010.json");
+        let bytes = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+
+        let resumed = run_campaign(&ctx_b, &spec, &options).unwrap();
+        assert_eq!(resumed.stats.computed_shards, 4, "3 deleted + 1 torn");
+        assert_eq!(
+            resumed.stats.resumed_shards,
+            resumed.stats.total_shards - 4,
+            "everything else came from the journal"
+        );
+
+        // Bit identity, not approximate equality: the full CSV bundle of
+        // the resumed run matches both the victim's own first run and the
+        // untouched one-shot reference.
+        let reference = csv_bundle(&one_shot);
+        assert_eq!(csv_bundle(&first), reference, "same spec, same bytes (threads={threads})");
+        assert_eq!(csv_bundle(&resumed), reference, "resume is invisible (threads={threads})");
+        bundles.push(reference);
+
+        let _ = std::fs::remove_dir_all(&root_a);
+        let _ = std::fs::remove_dir_all(&root_b);
+    }
+    std::env::remove_var("MPPM_THREADS");
+
+    // And the whole thing is thread-count invariant.
+    assert_eq!(bundles[0], bundles[1], "single- and multi-threaded runs agree byte-for-byte");
+}

@@ -55,6 +55,22 @@ pub enum Command {
         out: String,
         quick: bool,
     },
+    /// Run a design-space exploration campaign over the mix space.
+    Campaign {
+        /// Programs per mix.
+        cores: usize,
+        /// Table 2 LLC configs, 0-based.
+        configs: Vec<usize>,
+        /// Stratified sample size; `None` enumerates the full space.
+        sample: Option<usize>,
+        /// Sample seed (ignored without `sample`).
+        seed: u64,
+        /// Mixes per checkpoint shard.
+        shard_size: usize,
+        /// Random subsets per ranking-stability point.
+        trials: usize,
+        quick: bool,
+    },
     /// Show usage.
     Help,
 }
@@ -83,11 +99,15 @@ USAGE:
   mppm-cli simulate <bench,bench,...> [--config N] [--quick]
   mppm-cli count <cores>
   mppm-cli record <bench> --out FILE [--quick]
+  mppm-cli campaign [--cores N] [--configs A,B,...] [--sample N] [--seed S]
+              [--shard-size N] [--trials N] [--quick]
   mppm-cli help
 
 Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
 --config selects the Table 2 LLC configuration 1..6 (default 1).
---quick uses short traces for instant results.";
+--quick uses short traces for instant results.
+`campaign` sweeps every mix (or a seeded stratified --sample) over each
+--configs design point, checkpointing shards so a killed run resumes.";
 
 fn parse_config(value: &str) -> Result<usize, ParseError> {
     let n: usize = value
@@ -153,6 +173,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "predict" => &["quick", "config", "contention", "partition", "bandwidth"],
         "list" | "simulate" => &["quick", "config"],
         "record" => &["quick", "out"],
+        "campaign" => &["quick", "cores", "configs", "sample", "seed", "shard-size", "trials"],
         _ => &[],
     };
     for (name, _) in &flags {
@@ -238,6 +259,40 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 _ => return Err(ParseError("record needs --out FILE".into())),
             };
             Ok(Command::Record { benchmark, out, quick })
+        }
+        "campaign" => {
+            let number = |name: &str, default: u64| -> Result<u64, ParseError> {
+                match flag(name) {
+                    Some(Some(v)) => v.parse().map_err(|_| {
+                        ParseError(format!("--{name} expects a number, got `{v}`"))
+                    }),
+                    _ => Ok(default),
+                }
+            };
+            let cores = number("cores", 2)? as usize;
+            let configs = match flag("configs") {
+                Some(Some(list)) => list
+                    .split(',')
+                    .map(|s| parse_config(s.trim()))
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|e| ParseError(format!("--configs: {e}")))?,
+                _ => vec![0, 1],
+            };
+            let sample = match flag("sample") {
+                Some(Some(v)) => Some(v.parse::<usize>().map_err(|_| {
+                    ParseError(format!("--sample expects a number, got `{v}`"))
+                })?),
+                _ => None,
+            };
+            Ok(Command::Campaign {
+                cores,
+                configs,
+                sample,
+                seed: number("seed", 1)?,
+                shard_size: number("shard-size", 64)? as usize,
+                trials: number("trials", 200)? as usize,
+                quick,
+            })
         }
         other => Err(ParseError(format!("unknown command `{other}`; try `mppm-cli help`"))),
     }
@@ -329,6 +384,39 @@ mod tests {
             Command::Record { benchmark: "gcc".into(), out: "/tmp/gcc.trace".into(), quick: false }
         );
         assert!(parse_err(&["record", "gcc"]).contains("--out"));
+    }
+
+    #[test]
+    fn campaign_defaults_and_flags() {
+        assert_eq!(
+            parse_ok(&["campaign"]),
+            Command::Campaign {
+                cores: 2,
+                configs: vec![0, 1],
+                sample: None,
+                seed: 1,
+                shard_size: 64,
+                trials: 200,
+                quick: false,
+            }
+        );
+        assert_eq!(
+            parse_ok(&[
+                "campaign", "--quick", "--cores", "4", "--configs", "1,3,6", "--sample", "500",
+                "--seed", "9", "--shard-size", "32", "--trials", "100",
+            ]),
+            Command::Campaign {
+                cores: 4,
+                configs: vec![0, 2, 5],
+                sample: Some(500),
+                seed: 9,
+                shard_size: 32,
+                trials: 100,
+                quick: true,
+            }
+        );
+        assert!(parse_err(&["campaign", "--configs", "0,1"]).contains("1..6"));
+        assert!(parse_err(&["campaign", "--sample", "lots"]).contains("number"));
     }
 
     #[test]

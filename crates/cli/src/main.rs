@@ -20,8 +20,12 @@ use mppm::{
     ContentionModel, FoaModel, Mppm, MppmConfig, PartitionModel, Prediction, ProbModel,
     SdcCompetitionModel, SingleCoreProfile,
 };
+use mppm_campaign::{
+    design_table, histogram_table, run_campaign, stability_table, write_csvs, AggregateOptions,
+    CampaignSpec, MixSource,
+};
 use mppm_experiments::table::{f3, Table};
-use mppm_experiments::Store;
+use mppm_experiments::{Context, Scale, Store};
 use mppm_sim::{llc_configs, MachineConfig};
 use mppm_trace::{suite, RecordedTrace, TraceGeometry, TraceStream};
 
@@ -124,10 +128,8 @@ fn run(cmd: Command) -> Result<(), String> {
         }
         Command::Count { cores } => {
             let n = suite::spec_suite().len();
-            println!(
-                "{} distinct {cores}-program workloads over the {n}-benchmark suite",
-                count_mixes(n, cores)
-            );
+            let count = count_mixes(n, cores).map_err(|e| e.to_string())?;
+            println!("{count} distinct {cores}-program workloads over the {n}-benchmark suite");
             Ok(())
         }
         Command::List { config, quick } => {
@@ -245,6 +247,45 @@ fn run(cmd: Command) -> Result<(), String> {
                 trace.items().len(),
                 bytes.len()
             );
+            Ok(())
+        }
+        Command::Campaign { cores, configs, sample, seed, shard_size, trials, quick } => {
+            let scale = if quick { Scale::Quick } else { Scale::Full };
+            let ctx = Context::new(scale);
+            let spec = CampaignSpec {
+                cores,
+                designs: configs,
+                source: match sample {
+                    Some(count) => MixSource::Stratified { count, seed },
+                    None => MixSource::Exhaustive,
+                },
+                shard_size,
+            };
+            let options = AggregateOptions { stability_trials: trials, ..Default::default() };
+            let result = run_campaign(&ctx, &spec, &options).map_err(|e| e.to_string())?;
+            println!(
+                "campaign {}: {} mixes x {} designs ({} cores)\n",
+                result.plan_id,
+                result.mixes,
+                result.designs.len(),
+                result.cores
+            );
+            println!("{}", design_table(&result).render());
+            println!("{}", histogram_table(&result).render());
+            println!("{}", stability_table(&result).render());
+            println!(
+                "shards: {} total, {} resumed, {} computed",
+                result.stats.total_shards, result.stats.resumed_shards, result.stats.computed_shards
+            );
+            if let Some(tp) = result.stats.throughput() {
+                println!(
+                    "throughput: {tp:.1} mixes/s ({} evaluations in {:.2}s)",
+                    result.stats.evaluated_mixes, result.stats.compute_seconds
+                );
+            }
+            let dir = mppm_experiments::table::results_dir();
+            write_csvs(&result, &dir).map_err(|e| e.to_string())?;
+            println!("wrote campaign CSVs to {}", dir.display());
             Ok(())
         }
     }

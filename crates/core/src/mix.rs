@@ -7,8 +7,54 @@
 //! exact count, a lazy enumerator, and the random / per-category sampling
 //! procedures that "current practice" uses (paper §5).
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from mix-space counting, ranking and sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MixSpaceError {
+    /// The exact mix count `C(n+m−1, m)` does not fit in a `u128`.
+    Overflow {
+        /// Number of benchmarks.
+        n: usize,
+        /// Programs per mix.
+        m: usize,
+    },
+    /// A rank is outside the `0..total` enumeration range.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: u128,
+        /// Size of the mix space.
+        total: u128,
+    },
+    /// More distinct mixes were requested than the space contains.
+    SampleTooLarge {
+        /// Requested sample size.
+        requested: usize,
+        /// Size of the mix space.
+        total: u128,
+    },
+}
+
+impl fmt::Display for MixSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixSpaceError::Overflow { n, m } => {
+                write!(f, "mix count C({}+{m}-1, {m}) overflows u128", n)
+            }
+            MixSpaceError::RankOutOfRange { rank, total } => {
+                write!(f, "mix rank {rank} is outside the space of {total} mixes")
+            }
+            MixSpaceError::SampleTooLarge { requested, total } => {
+                write!(f, "cannot draw {requested} distinct mixes from a space of {total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MixSpaceError {}
 
 /// A multi-program workload: a multiset of benchmark indices, stored
 /// sorted so equal mixes compare equal.
@@ -62,8 +108,35 @@ impl Mix {
     }
 }
 
+/// Binomial coefficient `C(a, b)` with checked arithmetic.
+///
+/// Computed by Pascal's rule, so every intermediate value is itself a
+/// binomial coefficient bounded by the result — `None` is returned exactly
+/// when the true value overflows `u128`, not when some multiplicative
+/// intermediate does.
+fn binomial(a: usize, b: usize) -> Option<u128> {
+    if b > a {
+        return Some(0);
+    }
+    let b = b.min(a - b);
+    // row[j] = C(i, j) after processing row i.
+    let mut row = vec![0u128; b + 1];
+    row[0] = 1;
+    for i in 1..=a {
+        for j in (1..=b.min(i)).rev() {
+            row[j] = row[j].checked_add(row[j - 1])?;
+        }
+    }
+    Some(row[b])
+}
+
 /// Exact number of distinct `m`-program mixes over `n` benchmarks:
 /// `C(n+m−1, m)`.
+///
+/// # Errors
+///
+/// Returns [`MixSpaceError::Overflow`] when the count does not fit in a
+/// `u128` (the arithmetic is fully checked; there is no silent wrap).
 ///
 /// # Example
 ///
@@ -71,21 +144,152 @@ impl Mix {
 /// use mppm::mix::count_mixes;
 ///
 /// // The paper's counts for SPEC CPU2006 (§1):
-/// assert_eq!(count_mixes(29, 2), 435);
-/// assert_eq!(count_mixes(29, 4), 35_960);
-/// assert_eq!(count_mixes(29, 8), 30_260_340);
+/// assert_eq!(count_mixes(29, 2), Ok(435));
+/// assert_eq!(count_mixes(29, 4), Ok(35_960));
+/// assert_eq!(count_mixes(29, 8), Ok(30_260_340));
 /// ```
-pub fn count_mixes(n: usize, m: usize) -> u128 {
+pub fn count_mixes(n: usize, m: usize) -> Result<u128, MixSpaceError> {
     if n == 0 {
-        return u128::from(m == 0);
+        return Ok(u128::from(m == 0));
     }
-    // C(n+m-1, m) computed multiplicatively.
-    let top = (n + m - 1) as u128;
-    let mut result: u128 = 1;
-    for k in 1..=m as u128 {
-        result = result * (top - m as u128 + k) / k;
+    let overflow = || MixSpaceError::Overflow { n, m };
+    let a = n.checked_add(m).and_then(|s| s.checked_sub(1)).ok_or_else(overflow)?;
+    binomial(a, m).ok_or_else(overflow)
+}
+
+/// Lexicographic rank of `mix` within [`enumerate_mixes`]`(n, mix.len())`.
+///
+/// The rank is the number of mixes that enumerate before `mix`, so
+/// `unrank_mix(n, m, mix_rank(&mix, n)?) == Ok(mix)`.
+///
+/// # Errors
+///
+/// [`MixSpaceError::Overflow`] if an intermediate count overflows `u128`.
+///
+/// # Panics
+///
+/// Panics if any member of `mix` is `>= n`.
+pub fn mix_rank(mix: &Mix, n: usize) -> Result<u128, MixSpaceError> {
+    let m = mix.len();
+    let overflow = || MixSpaceError::Overflow { n, m };
+    let mut rank: u128 = 0;
+    let mut lo = 0usize;
+    for (i, &member) in mix.members().iter().enumerate() {
+        assert!(member < n, "mix member {member} out of range for {n} benchmarks");
+        let remaining = m - 1 - i;
+        for v in lo..member {
+            // Completions: `remaining` non-decreasing slots over [v, n).
+            let c = count_mixes(n - v, remaining)?;
+            rank = rank.checked_add(c).ok_or_else(overflow)?;
+        }
+        lo = member;
     }
-    result
+    Ok(rank)
+}
+
+/// Inverse of [`mix_rank`]: the `rank`-th mix (0-based) in the
+/// lexicographic enumeration of `m`-program mixes over `n` benchmarks.
+///
+/// # Errors
+///
+/// [`MixSpaceError::RankOutOfRange`] if `rank >= count_mixes(n, m)`, and
+/// [`MixSpaceError::Overflow`] if the space itself is uncountable.
+///
+/// # Example
+///
+/// ```
+/// use mppm::mix::{enumerate_mixes, unrank_mix};
+///
+/// let third = enumerate_mixes(5, 3).nth(17).unwrap();
+/// assert_eq!(unrank_mix(5, 3, 17), Ok(third));
+/// ```
+pub fn unrank_mix(n: usize, m: usize, rank: u128) -> Result<Mix, MixSpaceError> {
+    assert!(m > 0, "mixes need at least one program");
+    let total = count_mixes(n, m)?;
+    if rank >= total {
+        return Err(MixSpaceError::RankOutOfRange { rank, total });
+    }
+    let mut rank = rank;
+    let mut members = Vec::with_capacity(m);
+    let mut lo = 0usize;
+    for i in 0..m {
+        let remaining = m - 1 - i;
+        for v in lo..n {
+            let c = count_mixes(n - v, remaining)?;
+            if rank < c {
+                members.push(v);
+                lo = v;
+                break;
+            }
+            rank -= c;
+        }
+    }
+    debug_assert_eq!(members.len(), m, "rank was within the space");
+    Ok(Mix { members })
+}
+
+/// Draws a uniform `u128` below `span` by rejection sampling (unbiased,
+/// deterministic per RNG state).
+fn gen_below_u128(rng: &mut impl RngCore, span: u128) -> u128 {
+    assert!(span > 0, "cannot sample an empty range");
+    let rem = u128::MAX % span;
+    // When 2^128 ≡ 0 (mod span) every draw is already unbiased; otherwise
+    // reject draws at or above the largest multiple of `span`.
+    if rem == span - 1 {
+        let v = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        return v % span;
+    }
+    let limit = u128::MAX - rem;
+    loop {
+        let v = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        if v < limit {
+            return v % span;
+        }
+    }
+}
+
+/// Deterministic seeded sample *without replacement*: `count` distinct
+/// mixes drawn by stratifying the rank space `0..count_mixes(n, m)` into
+/// `count` equal-width strata and unranking one uniform rank per stratum.
+///
+/// Stratification guarantees the sample is duplicate-free, covers the
+/// whole enumeration range, and — because it goes through
+/// [`unrank_mix`] — is reproducible from the RNG seed alone. This is the
+/// mix source campaigns use when the full space is too large.
+///
+/// # Errors
+///
+/// [`MixSpaceError::SampleTooLarge`] if `count` exceeds the space, plus
+/// any counting overflow.
+///
+/// # Panics
+///
+/// Panics if `count` or `m` is zero.
+pub fn sample_stratified(
+    n: usize,
+    m: usize,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<Mix>, MixSpaceError> {
+    assert!(count > 0, "need at least one sample");
+    assert!(m > 0, "mixes need at least one program");
+    let total = count_mixes(n, m)?;
+    if (count as u128) > total {
+        return Err(MixSpaceError::SampleTooLarge { requested: count, total });
+    }
+    let base = total / count as u128;
+    let extra = total % count as u128;
+    // Strata: the first `extra` strata are one wider, partitioning
+    // `0..total` exactly.
+    let mut start: u128 = 0;
+    let mut out = Vec::with_capacity(count);
+    for s in 0..count as u128 {
+        let width = base + u128::from(s < extra);
+        let rank = start + gen_below_u128(rng, width);
+        out.push(unrank_mix(n, m, rank)?);
+        start += width;
+    }
+    Ok(out)
 }
 
 /// Lazy enumerator of every distinct `m`-program mix over `n` benchmarks,
@@ -97,7 +301,7 @@ pub fn count_mixes(n: usize, m: usize) -> u128 {
 /// use mppm::mix::{count_mixes, enumerate_mixes};
 ///
 /// let all: Vec<_> = enumerate_mixes(3, 2).collect();
-/// assert_eq!(all.len() as u128, count_mixes(3, 2));
+/// assert_eq!(all.len() as u128, count_mixes(3, 2).unwrap());
 /// ```
 pub fn enumerate_mixes(n: usize, m: usize) -> EnumerateMixes {
     assert!(m > 0, "mixes need at least one program");
@@ -197,6 +401,7 @@ pub fn sample_mixed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use std::collections::HashSet;
@@ -223,23 +428,96 @@ mod tests {
 
     #[test]
     fn count_matches_paper() {
-        assert_eq!(count_mixes(29, 2), 435);
-        assert_eq!(count_mixes(29, 4), 35_960);
-        assert_eq!(count_mixes(29, 8), 30_260_340);
+        assert_eq!(count_mixes(29, 2), Ok(435));
+        assert_eq!(count_mixes(29, 4), Ok(35_960));
+        assert_eq!(count_mixes(29, 8), Ok(30_260_340));
     }
 
     #[test]
     fn count_edge_cases() {
-        assert_eq!(count_mixes(1, 5), 1);
-        assert_eq!(count_mixes(5, 1), 5);
-        assert_eq!(count_mixes(0, 3), 0);
+        assert_eq!(count_mixes(1, 5), Ok(1));
+        assert_eq!(count_mixes(5, 1), Ok(5));
+        assert_eq!(count_mixes(0, 3), Ok(0));
+        assert_eq!(count_mixes(0, 0), Ok(1));
+        assert_eq!(count_mixes(7, 0), Ok(1));
+    }
+
+    #[test]
+    fn count_overflow_boundary() {
+        // C(130, 65) ≈ 9.5e37 still fits in a u128 (max ≈ 3.4e38)...
+        let close = count_mixes(66, 65).expect("C(130, 65) fits");
+        assert!(close > 9 * 10u128.pow(37), "got {close}");
+        // ...and satisfies Pascal's identity C(130,65) = C(129,64) + C(129,65),
+        // which pins the value without a 39-digit literal.
+        let left = count_mixes(66, 64).unwrap(); // C(129, 64)
+        let right = count_mixes(65, 65).unwrap(); // C(129, 65)
+        assert_eq!(close, left + right);
+        // C(132, 66) ≈ 3.8e38 is just past the u128 limit: a typed error,
+        // never a silent wrap.
+        assert_eq!(count_mixes(67, 66), Err(MixSpaceError::Overflow { n: 67, m: 66 }));
+        // Grossly oversized spaces also error cleanly.
+        assert_eq!(count_mixes(1000, 500), Err(MixSpaceError::Overflow { n: 1000, m: 500 }));
+    }
+
+    #[test]
+    fn rank_round_trips_exhaustively() {
+        for (n, m) in [(3, 2), (4, 3), (2, 4), (5, 1), (6, 2)] {
+            let total = count_mixes(n, m).unwrap();
+            for (i, mix) in enumerate_mixes(n, m).enumerate() {
+                assert_eq!(mix_rank(&mix, n), Ok(i as u128), "n={n} m={m}");
+                assert_eq!(unrank_mix(n, m, i as u128), Ok(mix), "n={n} m={m} i={i}");
+            }
+            assert_eq!(
+                unrank_mix(n, m, total),
+                Err(MixSpaceError::RankOutOfRange { rank: total, total })
+            );
+        }
+    }
+
+    #[test]
+    fn rank_round_trips_at_paper_scale() {
+        // Spot-check the 4-core SPEC space (35,960 mixes) without
+        // enumerating it: rank(unrank(r)) == r at scattered ranks.
+        let total = count_mixes(29, 4).unwrap();
+        for r in [0u128, 1, 434, 17_980, 35_959] {
+            assert!(r < total);
+            let mix = unrank_mix(29, 4, r).unwrap();
+            assert_eq!(mix_rank(&mix, 29), Ok(r));
+        }
+    }
+
+    #[test]
+    fn stratified_samples_are_deterministic_distinct_and_ordered() {
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        let sa = sample_stratified(29, 4, 500, &mut a).unwrap();
+        let sb = sample_stratified(29, 4, 500, &mut b).unwrap();
+        assert_eq!(sa, sb, "seeded draws are reproducible");
+        let set: HashSet<_> = sa.iter().collect();
+        assert_eq!(set.len(), sa.len(), "without replacement");
+        // Stratification implies enumeration order.
+        let ranks: Vec<u128> = sa.iter().map(|m| mix_rank(m, 29).unwrap()).collect();
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]), "strata are disjoint and ordered");
+    }
+
+    #[test]
+    fn stratified_full_space_is_the_enumeration() {
+        let total = count_mixes(5, 3).unwrap() as usize;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sample = sample_stratified(5, 3, total, &mut rng).unwrap();
+        let all: Vec<Mix> = enumerate_mixes(5, 3).collect();
+        assert_eq!(sample, all, "count == total degenerates to exhaustive enumeration");
+        assert_eq!(
+            sample_stratified(5, 3, total + 1, &mut rng),
+            Err(MixSpaceError::SampleTooLarge { requested: total + 1, total: total as u128 })
+        );
     }
 
     #[test]
     fn enumeration_is_exhaustive_and_unique() {
         for (n, m) in [(3, 2), (4, 3), (5, 1), (2, 4)] {
             let all: Vec<Mix> = enumerate_mixes(n, m).collect();
-            assert_eq!(all.len() as u128, count_mixes(n, m), "n={n} m={m}");
+            assert_eq!(all.len() as u128, count_mixes(n, m).unwrap(), "n={n} m={m}");
             let set: HashSet<_> = all.iter().collect();
             assert_eq!(set.len(), all.len(), "no duplicates for n={n} m={m}");
             for mix in &all {
@@ -281,6 +559,35 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         for mix in sample_from_pool(&pool, 4, 50, &mut rng) {
             assert!(mix.members().iter().all(|i| pool.contains(i)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_round_trips(n in 1usize..14, m in 1usize..6, r in 0u64..u64::MAX) {
+            // n >= 1, so the space is never empty.
+            let total = count_mixes(n, m).unwrap();
+            let rank = u128::from(r) % total;
+            let mix = unrank_mix(n, m, rank).unwrap();
+            prop_assert_eq!(mix.len(), m);
+            prop_assert!(mix.members().iter().all(|&i| i < n));
+            prop_assert_eq!(mix_rank(&mix, n), Ok(rank));
+        }
+
+        #[test]
+        fn prop_stratified_is_duplicate_free(
+            n in 2usize..12,
+            m in 1usize..5,
+            count in 1usize..40,
+            seed in 0u64..10_000,
+        ) {
+            let total = count_mixes(n, m).unwrap();
+            let count = count.min(total as usize);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let sample = sample_stratified(n, m, count, &mut rng).unwrap();
+            prop_assert_eq!(sample.len(), count);
+            let distinct: HashSet<_> = sample.iter().collect();
+            prop_assert_eq!(distinct.len(), count, "duplicate in {:?}", sample);
         }
     }
 

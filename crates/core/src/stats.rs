@@ -1,6 +1,226 @@
 //! Statistics used by the paper's methodology: Student-t confidence
-//! intervals over workload-mix populations (§4.1) and Spearman rank
-//! correlation for comparing design-space rankings (§5).
+//! intervals over workload-mix populations (§4.1), Spearman rank
+//! correlation for comparing design-space rankings (§5), and streaming
+//! accumulators (Welford moments, P² quantiles) for campaign-scale mix
+//! populations that are aggregated shard by shard without ever holding
+//! the full sample in memory.
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// One pass, O(1) memory, deterministic for a fixed observation order —
+/// the campaign aggregator's workhorse for STP/ANTT distributions over
+/// tens of thousands of mixes.
+///
+/// # Example
+///
+/// ```
+/// use mppm::stats::StreamingMoments;
+///
+/// let mut acc = StreamingMoments::new();
+/// for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), Some(3.0));
+/// assert_eq!(acc.min(), Some(1.0));
+/// assert_eq!(acc.max(), Some(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sample standard deviation (n−1); `None` below two observations.
+    pub fn sample_std(&self) -> Option<f64> {
+        (self.count > 1).then(|| (self.m2 / (self.count as f64 - 1.0)).sqrt())
+    }
+
+    /// Smallest observation; `None` before the first.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` before the first.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Streaming quantile estimator: the P² algorithm (Jain & Chlamtac,
+/// CACM 1985).
+///
+/// Tracks one quantile with five markers in O(1) memory. Exact while it
+/// has at most five observations; afterwards the markers are adjusted
+/// with piecewise-parabolic interpolation. Deterministic for a fixed
+/// observation order, which is what lets a resumed campaign reproduce a
+/// one-shot run bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use mppm::stats::P2Quantile;
+///
+/// let mut median = P2Quantile::new(0.5);
+/// for i in 0..1001 {
+///     median.push(i as f64);
+/// }
+/// let est = median.estimate().unwrap();
+/// assert!((est - 500.0).abs() < 10.0, "got {est}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
+    q: [f64; 5],
+    /// Marker positions (1-based observation indices).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    inc: [f64; 5],
+    /// Observations seen; the first five are buffered in `q` unsorted-ish.
+    count: usize,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `0 < p < 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        Self {
+            p,
+            q: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            inc: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile being estimated.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.q[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k with q[k] <= x < q[k+1], clamping extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = self.q[4].max(x);
+            3
+        } else {
+            // q[0] <= x < q[4]: the last marker at or below x.
+            (1..4).rev().find(|&i| self.q[i] <= x).unwrap_or(0)
+        };
+
+        for pos in &mut self.pos[k + 1..] {
+            *pos += 1.0;
+        }
+        for (d, i) in self.desired.iter_mut().zip(self.inc) {
+            *d += i;
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i];
+            let step_up = self.pos[i + 1] - self.pos[i] > 1.0;
+            let step_down = self.pos[i - 1] - self.pos[i] < -1.0;
+            if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < candidate && candidate < self.q[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, s)
+                };
+                self.pos[i] += s;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) marker update.
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (qm, q0, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, n0, np) = (self.pos[i - 1], self.pos[i], self.pos[i + 1]);
+        q0 + s / (np - nm)
+            * ((n0 - nm + s) * (qp - q0) / (np - n0) + (np - n0 - s) * (q0 - qm) / (n0 - nm))
+    }
+
+    /// Linear fallback when the parabolic prediction leaves the bracket.
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate; `None` before the first observation. Exact (by
+    /// sorted interpolation) up to five observations.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut head = self.q[..self.count].to_vec();
+            head.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            // Nearest-rank interpolation over the buffered head.
+            let idx = self.p * (head.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            return Some(head[lo] + frac * (head[hi] - head[lo]));
+        }
+        Some(self.q[2])
+    }
+}
 
 /// Arithmetic mean. Returns `None` for an empty slice.
 pub fn mean(xs: &[f64]) -> Option<f64> {
@@ -367,7 +587,102 @@ mod tests {
         assert!(tau > 0.0 && tau < 1.0, "got {tau}");
     }
 
+    #[test]
+    fn streaming_moments_match_batch() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 113) as f64 / 7.0 - 3.0).collect();
+        let mut acc = StreamingMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), xs.len() as u64);
+        assert!((acc.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-9);
+        assert!((acc.sample_std().unwrap() - sample_std(&xs).unwrap()).abs() < 1e-9);
+        let batch_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let batch_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(acc.min(), Some(batch_min));
+        assert_eq!(acc.max(), Some(batch_max));
+    }
+
+    #[test]
+    fn streaming_moments_empty_and_single() {
+        let mut acc = StreamingMoments::new();
+        assert_eq!(acc.mean(), None);
+        assert_eq!(acc.min(), None);
+        acc.push(2.5);
+        assert_eq!(acc.mean(), Some(2.5));
+        assert_eq!(acc.sample_std(), None, "std needs two samples");
+        assert_eq!((acc.min(), acc.max()), (Some(2.5), Some(2.5)));
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.push(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.push(1.0);
+        assert_eq!(q.estimate(), Some(2.0), "median of {{1, 3}}");
+        q.push(2.0);
+        assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn p2_tracks_known_quantiles() {
+        // Deterministic pseudo-random stream, uniform on [0, 1).
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for (p, tol) in [(0.1, 0.02), (0.5, 0.02), (0.9, 0.02)] {
+            let mut est = P2Quantile::new(p);
+            for _ in 0..20_000 {
+                est.push(next());
+            }
+            let got = est.estimate().unwrap();
+            assert!((got - p).abs() < tol, "p={p}: got {got}");
+            assert_eq!(est.count(), 20_000);
+            assert_eq!(est.p(), p);
+        }
+    }
+
+    #[test]
+    fn p2_is_deterministic_and_ordered() {
+        let xs: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 1999) as f64).collect();
+        let run = |p: f64| {
+            let mut q = P2Quantile::new(p);
+            for &x in &xs {
+                q.push(x);
+            }
+            q.estimate().unwrap()
+        };
+        assert_eq!(run(0.5).to_bits(), run(0.5).to_bits(), "bit-identical replays");
+        let (p10, p50, p90) = (run(0.1), run(0.5), run(0.9));
+        assert!(p10 < p50 && p50 < p90, "{p10} {p50} {p90}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn p2_rejects_degenerate_quantile() {
+        P2Quantile::new(1.0);
+    }
+
     proptest! {
+        #[test]
+        fn p2_estimate_stays_within_range(
+            xs in proptest::collection::vec(-100.0f64..100.0, 1..200),
+            p in 0.05f64..0.95,
+        ) {
+            let mut q = P2Quantile::new(p);
+            for &x in &xs {
+                q.push(x);
+            }
+            let est = q.estimate().unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{} not in [{}, {}]", est, lo, hi);
+        }
+
         #[test]
         fn kendall_and_spearman_agree_on_direction(
             a in proptest::collection::vec(-100.0f64..100.0, 4..16),

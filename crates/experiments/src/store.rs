@@ -106,6 +106,13 @@ impl Store {
         Self::open(default_root())
     }
 
+    /// The directory this store lives in. Subsystems that persist their
+    /// own artifacts next to the caches (e.g. campaign journals) root
+    /// them here.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
     fn profile_path(
         &self,
         name: &str,
@@ -233,13 +240,39 @@ fn read_json<T: serde::de::DeserializeOwned>(path: &Path) -> Option<T> {
     serde_json::from_slice(&bytes).ok()
 }
 
-fn write_json<T: Serialize>(path: &Path, value: &T) {
+/// Serializes `value` as JSON to `path` atomically: the bytes go to a
+/// uniquely named temp file in the same directory, which is then renamed
+/// over the target. A reader can observe the old contents or the new
+/// contents, never a truncated mix — so a killed run can never leave a
+/// corrupt cache entry or campaign journal shard behind. Temp names embed
+/// the process id and a counter, so concurrent writers (worker threads,
+/// parallel test processes) cannot clobber each other's staging files.
+///
+/// # Errors
+///
+/// Any I/O error from writing the temp file or renaming it.
+pub fn atomic_write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
     let json = serde_json::to_vec(value).expect("serialization cannot fail");
-    // Write-then-rename so interrupted runs never corrupt the cache.
-    let tmp = path.with_extension("json.tmp");
-    if std::fs::write(&tmp, &json).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
-    }
+    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp = path.with_file_name(format!(
+        "{file_name}.tmp-{}-{}",
+        std::process::id(),
+        NEXT_TMP.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) {
+    // Cache writes are best-effort: a failure costs recomputation, not
+    // correctness.
+    let _ = atomic_write_json(path, value);
 }
 
 #[cfg(test)]
@@ -337,6 +370,51 @@ mod tests {
         let b = MixKey::new(vec!["a".into(), "b".into()]);
         assert_eq!(a, b);
         assert_eq!(a.as_string(), "a+b");
+    }
+
+    #[test]
+    fn partial_and_truncated_files_are_ignored_on_reload() {
+        let (dir, store) = tmp_store();
+        let machine = MachineConfig::baseline();
+        let geometry = TraceGeometry::tiny();
+        let spec = suite::benchmark("hmmer").unwrap();
+        let reference = store.profile(spec, &machine, geometry);
+        let path = store.profile_path(spec.name(), &machine, geometry);
+        assert!(path.exists(), "profile was cached");
+
+        // A stray staging file from a killed writer must never be read.
+        let tmp = path.with_file_name(format!(
+            "{}.tmp-999-0",
+            path.file_name().unwrap().to_str().unwrap()
+        ));
+        std::fs::write(&tmp, b"{\"name\": \"hmm").unwrap();
+
+        // Truncate the real cache entry, simulating a non-atomic torn
+        // write (exactly what atomic_write_json makes impossible).
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let reopened = Store::open(dir.path.clone()).unwrap();
+        let recomputed = reopened.profile(spec, &machine, geometry);
+        assert_eq!(recomputed, reference, "corrupt entry is recomputed, not trusted");
+        let healed = std::fs::read(&path).unwrap();
+        assert_eq!(healed, bytes, "recomputation rewrites the full entry");
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let (dir, _store) = tmp_store();
+        let path = dir.path.join("value.json");
+        atomic_write_json(&path, &vec![1u32, 2, 3]).unwrap();
+        atomic_write_json(&path, &vec![4u32, 5]).unwrap();
+        let entries: Vec<String> = std::fs::read_dir(&dir.path)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(entries.is_empty(), "staging files linger: {entries:?}");
+        let back: Vec<u32> = serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![4, 5]);
     }
 
     #[test]
