@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mppm_bench::bench_geometry;
 use mppm_cache::reference::NaiveCache;
 use mppm_cache::{CacheConfig, Replacement, Sdc, SetAssocCache};
-use mppm_sim::{run_single_core, LlcMode, MachineConfig};
+use mppm_sim::{
+    run_single_core, simulate_mix_opts, LlcMode, MachineConfig, MixOptions, Scheduler,
+};
 use mppm_trace::{suite, TraceStream};
 
 fn bench_trace_generation(c: &mut Criterion) {
@@ -90,6 +92,32 @@ fn bench_single_core_sim(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sim_interleave(c: &mut Criterion) {
+    let machine = MachineConfig::baseline();
+    // Memory-heavy programs round-robined onto the cores, so the shared
+    // LLC sees real cross-core contention at every width.
+    let pool = ["lbm", "mcf", "soplex", "gamess"];
+    let mut group = c.benchmark_group("sim_interleave");
+    group.throughput(Throughput::Elements(bench_geometry().trace_insns()));
+    // The event-driven scheduler next to the smallest-clock-first loop it
+    // replaced, in the same build, so the interleaver speedup is directly
+    // readable from one bench run (the win grows with core count).
+    for cores in [2usize, 4, 8, 16] {
+        let specs: Vec<_> = (0..cores)
+            .map(|i| suite::benchmark(pool[i % pool.len()]).expect("in suite"))
+            .collect();
+        for (name, scheduler) in
+            [("event", Scheduler::EventDriven), ("reference", Scheduler::Reference)]
+        {
+            group.bench_function(format!("{cores}core_{name}"), |b| {
+                let opts = MixOptions { scheduler, ..MixOptions::default() };
+                b.iter(|| simulate_mix_opts(&specs, &machine, bench_geometry(), &opts));
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Short windows: these benches regenerate paper artifacts, they are
@@ -98,6 +126,7 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_trace_generation, bench_cache_access, bench_sdc_math, bench_single_core_sim
+    targets = bench_trace_generation, bench_cache_access, bench_sdc_math,
+        bench_single_core_sim, bench_sim_interleave
 }
 criterion_main!(benches);

@@ -117,6 +117,50 @@ pub struct StepOutcome {
     pub llc: Option<LlcObservation>,
 }
 
+/// A shared-LLC access produced by a [`CoreEngine::run_until_llc`] burst,
+/// waiting to be committed in global timestamp order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PendingLlc {
+    /// Core-tagged block address.
+    block: u64,
+    /// Whether the access is a store.
+    store: bool,
+    /// Memory-level parallelism of the phase the access was issued under.
+    mlp: f64,
+}
+
+/// Why a [`CoreEngine::run_until_llc`] burst stopped.
+///
+/// Both variants carry the local clock *at which the stopping step began*
+/// (before its base-CPI charge): that is the timestamp at which a
+/// smallest-clock-first scheduler would have dispatched the step, so it is
+/// the key an event-driven scheduler must order the stop by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BurstStop {
+    /// The burst generated a shared-LLC access. The private side of the
+    /// step (stream advance, L1/L2 fills, base-CPI charge) has executed;
+    /// the shared side waits for [`CoreEngine::commit_llc`].
+    Llc {
+        /// Local clock when the LLC-accessing step began.
+        stamp: f64,
+    },
+    /// The burst retired through `limit` instructions without a shared
+    /// event pending; the step that crossed the limit has fully executed.
+    Limit {
+        /// Local clock when the limit-crossing step began.
+        stamp: f64,
+    },
+}
+
+impl BurstStop {
+    /// The scheduling timestamp of the stop.
+    pub fn stamp(&self) -> f64 {
+        match *self {
+            BurstStop::Llc { stamp } | BurstStop::Limit { stamp } => stamp,
+        }
+    }
+}
+
 /// One core executing one program.
 ///
 /// The engine owns the program's deterministic [`TraceStream`] and its
@@ -139,6 +183,17 @@ pub struct CoreEngine {
     /// Per-cause cycle attribution (the Eyerman-style counter
     /// architecture the paper cites in §2.1).
     stack: mppm::CpiStack,
+    /// Phase index the cached timing parameters below were taken from
+    /// (`usize::MAX` until first refreshed, so the first step populates
+    /// the cache).
+    cached_phase: usize,
+    /// The cached phase's base CPI, pre-scaled by the core factor.
+    cached_base_cpi: f64,
+    /// The cached phase's memory-level parallelism.
+    cached_mlp: f64,
+    /// Shared-LLC access generated by a burst, awaiting
+    /// [`CoreEngine::commit_llc`].
+    pending: Option<PendingLlc>,
 }
 
 impl CoreEngine {
@@ -178,6 +233,10 @@ impl CoreEngine {
             core_factor,
             cycles: 0.0,
             stack: mppm::CpiStack::default(),
+            cached_phase: usize::MAX,
+            cached_base_cpi: 0.0,
+            cached_mlp: 1.0,
+            pending: None,
         }
     }
 
@@ -213,11 +272,26 @@ impl CoreEngine {
         self.stream.spec()
     }
 
+    /// Re-reads the phase parameters after a phase change. Out of the
+    /// per-item fast path: phases change at most once per profiling
+    /// interval (thousands of items).
+    #[cold]
+    fn refresh_phase(&mut self, phase_idx: usize) {
+        let phase = &self.stream.spec().phases()[phase_idx];
+        self.cached_base_cpi = phase.base_cpi * self.core_factor;
+        self.cached_mlp = phase.mlp;
+        self.cached_phase = phase_idx;
+    }
+
     /// Executes one trace item, charging cycles to the local clock and
     /// accessing the memory hierarchy as needed.
     pub fn step(&mut self, uncore: &mut Uncore, mode: LlcMode) -> StepOutcome {
-        let phase = &self.stream.spec().phases()[self.stream.current_phase()];
-        let (base_cpi, mlp) = (phase.base_cpi * self.core_factor, phase.mlp);
+        debug_assert!(self.pending.is_none(), "commit the pending LLC access before stepping");
+        let phase_idx = self.stream.current_phase();
+        if phase_idx != self.cached_phase {
+            self.refresh_phase(phase_idx);
+        }
+        let (base_cpi, mlp) = (self.cached_base_cpi, self.cached_mlp);
         match self.stream.next_item() {
             TraceItem::Compute { insns } => {
                 let cost = f64::from(insns) * base_cpi;
@@ -262,6 +336,88 @@ impl CoreEngine {
                 StepOutcome { insns: 1, llc: Some(observation) }
             }
         }
+    }
+
+    /// Executes trace items *locally* — compute batches and private L1/L2
+    /// hits, which touch no shared state — until either a shared-LLC
+    /// access is generated or the retired-instruction count reaches
+    /// `limit`.
+    ///
+    /// On [`BurstStop::Llc`] the private half of the access step has run
+    /// (stream advanced, L1/L2 filled, base CPI charged); the shared half
+    /// must be completed with [`CoreEngine::commit_llc`] before the next
+    /// burst or step. On [`BurstStop::Limit`] the crossing step has fully
+    /// executed and the engine state matches a per-step loop stopped at
+    /// the same check.
+    ///
+    /// Always executes at least one item; callers pass `limit >`
+    /// [`Self::insns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an LLC access is pending from a previous burst.
+    pub fn run_until_llc(&mut self, limit: u64) -> BurstStop {
+        assert!(self.pending.is_none(), "commit the pending LLC access before bursting");
+        loop {
+            let stamp = self.cycles;
+            let phase_idx = self.stream.current_phase();
+            if phase_idx != self.cached_phase {
+                self.refresh_phase(phase_idx);
+            }
+            match self.stream.next_item() {
+                TraceItem::Compute { insns } => {
+                    let cost = f64::from(insns) * self.cached_base_cpi;
+                    self.cycles += cost;
+                    self.stack.base += cost;
+                }
+                TraceItem::Access(access) => {
+                    self.cycles += self.cached_base_cpi;
+                    self.stack.base += self.cached_base_cpi;
+                    let block = self.tag | access.block;
+                    if !self.l1d.access(block).hit {
+                        if self.l2.access(block).hit {
+                            let stall =
+                                self.machine.stall_cycles(self.machine.l2.latency, self.cached_mlp);
+                            self.cycles += stall;
+                            self.stack.l2_hit += stall;
+                        } else {
+                            self.pending = Some(PendingLlc {
+                                block,
+                                store: access.store,
+                                mlp: self.cached_mlp,
+                            });
+                            return BurstStop::Llc { stamp };
+                        }
+                    }
+                }
+            }
+            if self.stream.position() >= limit {
+                return BurstStop::Limit { stamp };
+            }
+        }
+    }
+
+    /// Commits the shared-LLC access a burst left pending: probes the
+    /// (shared or partitioned) LLC and, on a miss, the memory channel,
+    /// charging the same stalls in the same order as [`CoreEngine::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no access is pending.
+    pub fn commit_llc(&mut self, uncore: &mut Uncore) -> LlcObservation {
+        let p = self.pending.take().expect("a burst must have left an LLC access pending");
+        let llc_hit_stall = self.machine.stall_cycles(self.machine.llc.latency, p.mlp);
+        let r = uncore.llc_for(self.core_idx).access(p.block);
+        self.cycles += llc_hit_stall;
+        self.stack.llc_hit += llc_hit_stall;
+        if !r.hit {
+            let queue = uncore.memory.request(self.cycles) / p.mlp;
+            let mem = f64::from(self.machine.mem_latency) / p.mlp;
+            self.cycles += mem + queue;
+            self.stack.memory += mem;
+            self.stack.queue += queue;
+        }
+        LlcObservation { depth: r.depth, store: p.store }
     }
 }
 
@@ -380,18 +536,15 @@ mod tests {
         let m = machine();
         let g = TraceGeometry::tiny();
         // Two copies of a 6000-block program share an 8192-block LLC: each
-        // fits alone, together they thrash.
-        let mut a = CoreEngine::new(spec(0.3, 6000), &m, g, 0);
-        let mut b = CoreEngine::new(spec(0.3, 6000), &m, g, 1);
+        // fits alone, together they thrash. Drive them through the real
+        // event-driven scheduler rather than a hand-rolled two-core loop.
+        let mut engines = vec![
+            CoreEngine::new(spec(0.3, 6000), &m, g, 0),
+            CoreEngine::new(spec(0.3, 6000), &m, g, 1),
+        ];
         let mut shared = Uncore::new(&m);
-        for _ in 0..200_000 {
-            if a.cycles() <= b.cycles() {
-                a.step(&mut shared, LlcMode::Real);
-            } else {
-                b.step(&mut shared, LlcMode::Real);
-            }
-        }
-        let mem_cpi = a.mem_stall() / a.insns() as f64;
+        crate::multi::event_interleave(&mut engines, &mut shared, 0, 100_000);
+        let mem_cpi = engines[0].mem_stall() / engines[0].insns() as f64;
         assert!(mem_cpi > 0.2, "sharing should cause conflict misses, mem cpi {mem_cpi}");
     }
 

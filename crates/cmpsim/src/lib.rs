@@ -18,11 +18,15 @@
 //! * [`profile_single_core`] runs one benchmark alone and produces the
 //!   per-interval [`mppm::SingleCoreProfile`] (CPI, memory CPI, LLC
 //!   stack-distance counters) that MPPM consumes.
-//! * [`simulate_mix`] runs a multi-program mix: cores advance in local-time
-//!   order so their accesses interleave on the shared LLC in (approximate)
-//!   timestamp order; programs that finish re-iterate their trace so
-//!   contention stays live (the FAME methodology), and each program's
-//!   multi-core CPI is measured over its first full trace.
+//! * [`simulate_mix`] runs a multi-program mix with an event-driven
+//!   scheduler: each core executes compute items and private-cache hits
+//!   in local bursts, and only shared-LLC/memory-channel events are
+//!   globally ordered (by arrival timestamp, core index as tie-break)
+//!   through a binary heap — bit-identical to stepping cores one item at
+//!   a time in local-clock order, but O(log cores) per *shared event*
+//!   instead of O(cores) per *item*. Programs that finish re-iterate
+//!   their trace so contention stays live (the FAME methodology), and
+//!   each program's multi-core CPI is measured over its first full trace.
 //!
 //! # Example
 //!
@@ -50,12 +54,13 @@ mod memory;
 mod multi;
 mod single;
 
-pub use engine::{CoreEngine, LlcMode, Uncore};
+pub use engine::{BurstStop, CoreEngine, LlcMode, Uncore};
 pub use memory::MemoryChannel;
 pub use machine::{llc_configs, CoreConfig, MachineConfig, LLC_CONFIG_COUNT};
 pub use multi::{
-    simulate_mix, simulate_mix_heterogeneous, simulate_mix_partitioned, simulate_mix_with,
-    MixResult,
+    event_interleave, reference_interleave, simulate_mix, simulate_mix_heterogeneous,
+    simulate_mix_opts, simulate_mix_partitioned, simulate_mix_with, InterleaveOutcome, MixOptions,
+    MixResult, SchedKey, Scheduler,
 };
 pub use single::{
     profile_single_core, profile_single_core_with, run_single_core, SingleRunStats,

@@ -1,9 +1,30 @@
 //! Detailed multi-core simulation of a multi-program workload.
+//!
+//! Two interleaving schedulers drive a mix, proven observationally
+//! bit-identical by a differential oracle (`tests/differential.rs`):
+//!
+//! * [`event_interleave`] — the production scheduler. Each core executes
+//!   compute items and private L1/L2 hits in a local *burst*
+//!   ([`CoreEngine::run_until_llc`]) that touches no shared state; only
+//!   shared-LLC/memory-channel events enter a binary heap keyed on
+//!   `(arrival timestamp, core index)` and commit in that order. Cost per
+//!   shared event is O(log cores), and the vast majority of trace items
+//!   never pay any global-ordering cost at all.
+//! * [`reference_interleave`] — the original smallest-clock-first loop
+//!   that re-scans every core's clock for every trace item (O(cores) per
+//!   item). Kept as the oracle the event scheduler is differential-tested
+//!   against.
+//!
+//! Both commit shared events in identical order because smallest-clock-
+//! first stepping *is* a merge of the per-core step sequences by
+//! `(pre-step clock, core index)` — see DESIGN.md §9 for the argument.
 
 use mppm_trace::{BenchmarkSpec, TraceGeometry};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
-use crate::{CoreEngine, LlcMode, MachineConfig, Uncore};
+use crate::{BurstStop, CoreEngine, LlcMode, MachineConfig, Uncore};
 
 /// Measured outcome of one multi-program workload on the detailed
 /// simulator.
@@ -26,6 +47,15 @@ pub struct MixResult {
     pub llc_accesses: u64,
     /// Shared-LLC misses observed during the whole run.
     pub llc_misses: u64,
+    /// Shared-LLC accesses per core over the whole run (scheduler-observed
+    /// traffic; sums to [`MixResult::llc_accesses`]). Defaults to empty
+    /// when absent from older snapshots.
+    #[serde(default)]
+    pub llc_accesses_per_core: Vec<u64>,
+    /// Shared-LLC misses per core over the whole run (sums to
+    /// [`MixResult::llc_misses`]).
+    #[serde(default)]
+    pub llc_misses_per_core: Vec<u64>,
 }
 
 impl MixResult {
@@ -124,9 +154,82 @@ pub fn simulate_mix_heterogeneous(
     geometry: TraceGeometry,
     core_factors: &[f64],
 ) -> MixResult {
-    assert_eq!(core_factors.len(), specs.len(), "one core factor per program");
-    let uncore = Uncore::new(machine);
-    run_mix_with_factors(specs, machine, geometry, 1, uncore, core_factors)
+    simulate_mix_opts(
+        specs,
+        machine,
+        geometry,
+        &MixOptions { core_factors: Some(core_factors), ..MixOptions::default() },
+    )
+}
+
+/// Which interleaving scheduler drives a mix simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Event-driven: private bursts plus a binary heap over shared-LLC
+    /// events, O(log cores) per shared event. The production scheduler.
+    #[default]
+    EventDriven,
+    /// The original smallest-clock-first per-item loop, O(cores) per
+    /// trace item. Kept as the differential-testing oracle and for
+    /// before/after benchmarking.
+    Reference,
+}
+
+/// Full-control options for [`simulate_mix_opts`]: every axis the
+/// dedicated entry points expose, plus the scheduler choice.
+#[derive(Debug, Clone, Copy)]
+pub struct MixOptions<'a> {
+    /// Full warmup trace passes per program before measurement (default 1,
+    /// matching [`simulate_mix`]).
+    pub warmup_passes: u32,
+    /// `Some(ways)` way-partitions the LLC as in
+    /// [`simulate_mix_partitioned`]; `None` keeps it unified.
+    pub ways: Option<&'a [u32]>,
+    /// `Some(factors)` scales per-core compute throughput as in
+    /// [`simulate_mix_heterogeneous`]; `None` runs homogeneous cores.
+    pub core_factors: Option<&'a [f64]>,
+    /// Interleaving scheduler (default [`Scheduler::EventDriven`]).
+    pub scheduler: Scheduler,
+}
+
+impl Default for MixOptions<'_> {
+    fn default() -> Self {
+        Self { warmup_passes: 1, ways: None, core_factors: None, scheduler: Scheduler::default() }
+    }
+}
+
+/// Simulates `specs` co-running under explicit [`MixOptions`] — the
+/// union of every dedicated `simulate_mix*` entry point, used directly by
+/// the differential oracle and the scheduler benchmarks.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or an option slice has the wrong length.
+pub fn simulate_mix_opts(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    opts: &MixOptions,
+) -> MixResult {
+    let uncore = match opts.ways {
+        Some(ways) => {
+            assert_eq!(ways.len(), specs.len(), "one way count per program");
+            Uncore::partitioned(machine, ways)
+        }
+        None => Uncore::new(machine),
+    };
+    let unit_factors;
+    let factors = match opts.core_factors {
+        Some(f) => {
+            assert_eq!(f.len(), specs.len(), "one core factor per program");
+            f
+        }
+        None => {
+            unit_factors = vec![1.0; specs.len()];
+            &unit_factors
+        }
+    };
+    run_mix_with_factors(specs, machine, geometry, opts.warmup_passes, uncore, factors, opts.scheduler)
 }
 
 fn run_mix(
@@ -137,9 +240,255 @@ fn run_mix(
     uncore: Uncore,
 ) -> MixResult {
     let factors = vec![1.0; specs.len()];
-    run_mix_with_factors(specs, machine, geometry, warmup_passes, uncore, &factors)
+    run_mix_with_factors(
+        specs,
+        machine,
+        geometry,
+        warmup_passes,
+        uncore,
+        &factors,
+        Scheduler::default(),
+    )
 }
 
+/// Total-order scheduling key: earliest local time first, core index as
+/// the deterministic tie-break. Shared by the event heap and the
+/// reference interleaver so both resolve timestamp ties identically.
+///
+/// Clocks are finite and non-negative, where [`f64::total_cmp`] coincides
+/// with numeric order — this replaces the old
+/// `partial_cmp(..).expect("clocks are finite")` scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedKey {
+    /// Local-clock timestamp, in cycles.
+    pub time: f64,
+    /// Core index; ties dispatch the lowest index first.
+    pub core: usize,
+}
+
+impl Eq for SchedKey {}
+
+impl Ord for SchedKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.total_cmp(&other.time).then(self.core.cmp(&other.core))
+    }
+}
+
+impl PartialOrd for SchedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-core outcome of interleaving a mix until every program finished
+/// its measurement trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterleaveOutcome {
+    /// Local clock at which each core's measurement window opened.
+    pub measure_start: Vec<f64>,
+    /// Local clock at which each core finished its measurement trace.
+    pub completion: Vec<f64>,
+    /// Shared-LLC accesses committed per core over the whole run.
+    pub llc_accesses: Vec<u64>,
+    /// Shared-LLC misses per core over the whole run.
+    pub llc_misses: Vec<u64>,
+}
+
+/// Shared bookkeeping for both interleavers: measurement-window records
+/// and per-core LLC traffic counters.
+struct InterleaveState {
+    measure_start: Vec<Option<f64>>,
+    completion: Vec<Option<f64>>,
+    llc_accesses: Vec<u64>,
+    llc_misses: Vec<u64>,
+    remaining: usize,
+    warmup_insns: u64,
+    trace_insns: u64,
+}
+
+impl InterleaveState {
+    fn new(cores: usize, warmup_insns: u64, trace_insns: u64) -> Self {
+        Self {
+            // Cycle 0 is the measurement start when there is no warmup.
+            measure_start: vec![if warmup_insns == 0 { Some(0.0) } else { None }; cores],
+            completion: vec![None; cores],
+            llc_accesses: vec![0; cores],
+            llc_misses: vec![0; cores],
+            remaining: cores,
+            warmup_insns,
+            trace_insns,
+        }
+    }
+
+    /// Records window boundaries the just-executed step of core `idx` may
+    /// have crossed. Returns `true` when every core has completed.
+    fn record_thresholds(&mut self, engines: &[CoreEngine], idx: usize) -> bool {
+        let e = &engines[idx];
+        if self.measure_start[idx].is_none() && e.insns() >= self.warmup_insns {
+            self.measure_start[idx] = Some(e.cycles());
+        }
+        if self.completion[idx].is_none() && e.insns() >= self.warmup_insns + self.trace_insns {
+            self.completion[idx] = Some(e.cycles());
+            self.remaining -= 1;
+        }
+        self.remaining == 0
+    }
+
+    /// The next instruction count of interest for core `idx`: its first
+    /// uncrossed window boundary, capped at one `chunk` ahead so cores
+    /// that generate no shared events still yield to the scheduler.
+    fn next_limit(&self, engines: &[CoreEngine], idx: usize, chunk: u64) -> u64 {
+        let threshold = if self.measure_start[idx].is_none() {
+            self.warmup_insns
+        } else if self.completion[idx].is_none() {
+            self.warmup_insns + self.trace_insns
+        } else {
+            u64::MAX
+        };
+        threshold.min(engines[idx].insns().saturating_add(chunk))
+    }
+
+    fn tally_llc(&mut self, idx: usize, miss: bool) {
+        self.llc_accesses[idx] += 1;
+        if miss {
+            self.llc_misses[idx] += 1;
+        }
+    }
+
+    fn finish(self) -> InterleaveOutcome {
+        InterleaveOutcome {
+            measure_start: self
+                .measure_start
+                .into_iter()
+                .map(|s| s.expect("warmup completed before the run ended"))
+                .collect(),
+            completion: self
+                .completion
+                .into_iter()
+                .map(|c| c.expect("all programs completed"))
+                .collect(),
+            llc_accesses: self.llc_accesses,
+            llc_misses: self.llc_misses,
+        }
+    }
+}
+
+/// The original smallest-clock-first interleaver: for every trace item,
+/// scan all core clocks and step the earliest core. O(cores) per item.
+///
+/// Runs every program through `warmup_insns` warmup instructions plus a
+/// `trace_insns`-long measurement window, keeping all cores running (the
+/// FAME re-iteration methodology) until the last program completes.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty.
+pub fn reference_interleave(
+    engines: &mut [CoreEngine],
+    uncore: &mut Uncore,
+    warmup_insns: u64,
+    trace_insns: u64,
+) -> InterleaveOutcome {
+    assert!(!engines.is_empty(), "a mix needs at least one program");
+    let mut state = InterleaveState::new(engines.len(), warmup_insns, trace_insns);
+    loop {
+        // Advance the core that is earliest in simulated time.
+        let idx = engines
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, e)| SchedKey { time: e.cycles(), core: *i })
+            .map(|(i, _)| i)
+            .expect("at least one engine");
+        let outcome = engines[idx].step(uncore, LlcMode::Real);
+        if let Some(obs) = outcome.llc {
+            state.tally_llc(idx, obs.depth.is_none());
+        }
+        if state.record_thresholds(engines, idx) {
+            return state.finish();
+        }
+    }
+}
+
+/// A scheduled stop in a core's execution: its next shared-LLC access or
+/// its next yield point, keyed for the event heap. `BinaryHeap` is a
+/// max-heap, so the `Ord` impl is reversed to pop the earliest key first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    key: SchedKey,
+    /// Whether a shared-LLC access is pending commit at this stop.
+    llc: bool,
+}
+
+impl Event {
+    fn new(stop: BurstStop, core: usize) -> Self {
+        Self {
+            key: SchedKey { time: stop.stamp(), core },
+            llc: matches!(stop, BurstStop::Llc { .. }),
+        }
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event-driven interleaver: each core runs private bursts
+/// ([`CoreEngine::run_until_llc`]) and only its shared-LLC/memory-channel
+/// events enter a binary heap keyed on `(arrival timestamp, core index)`.
+/// O(log cores) per shared event; private items pay no global-ordering
+/// cost.
+///
+/// Produces bit-identical results to [`reference_interleave`] (proven by
+/// the differential oracle in `tests/differential.rs`): shared events
+/// commit in the same `(pre-step clock, core index)` order that
+/// smallest-clock-first stepping induces, and the run ends at the same
+/// completion event, so every core executes the same shared-access
+/// prefix. See DESIGN.md §9 for the equivalence argument.
+///
+/// # Panics
+///
+/// Panics if `engines` is empty.
+pub fn event_interleave(
+    engines: &mut [CoreEngine],
+    uncore: &mut Uncore,
+    warmup_insns: u64,
+    trace_insns: u64,
+) -> InterleaveOutcome {
+    assert!(!engines.is_empty(), "a mix needs at least one program");
+    let mut state = InterleaveState::new(engines.len(), warmup_insns, trace_insns);
+    // Yield granularity for cores with no shared events in flight; any
+    // positive value produces identical results (yields have no shared
+    // effects), this one bounds heap traffic to ~1 event per trace pass.
+    let chunk = trace_insns.max(1);
+    let mut heap = BinaryHeap::with_capacity(engines.len());
+    for idx in 0..engines.len() {
+        let limit = state.next_limit(engines, idx, chunk);
+        heap.push(Event::new(engines[idx].run_until_llc(limit), idx));
+    }
+    while let Some(ev) = heap.pop() {
+        let idx = ev.key.core;
+        if ev.llc {
+            let obs = engines[idx].commit_llc(uncore);
+            state.tally_llc(idx, obs.depth.is_none());
+        }
+        if state.record_thresholds(engines, idx) {
+            return state.finish();
+        }
+        let limit = state.next_limit(engines, idx, chunk);
+        heap.push(Event::new(engines[idx].run_until_llc(limit), idx));
+    }
+    unreachable!("the heap always holds one event per core until completion");
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_mix_with_factors(
     specs: &[&BenchmarkSpec],
     machine: &MachineConfig,
@@ -147,6 +496,7 @@ fn run_mix_with_factors(
     warmup_passes: u32,
     mut uncore: Uncore,
     core_factors: &[f64],
+    scheduler: Scheduler,
 ) -> MixResult {
     assert!(!specs.is_empty(), "a mix needs at least one program");
     let mut engines: Vec<CoreEngine> = specs
@@ -159,50 +509,39 @@ fn run_mix_with_factors(
         .collect();
     let trace_insns = geometry.trace_insns();
     let warmup_insns = trace_insns * u64::from(warmup_passes);
-    let mut measure_start: Vec<Option<f64>> = vec![None; engines.len()];
-    let mut completion: Vec<Option<f64>> = vec![None; engines.len()];
-    let mut remaining = engines.len();
-
-    // Cycle 0 is the measurement start when there is no warmup.
-    if warmup_passes == 0 {
-        measure_start = vec![Some(0.0); engines.len()];
-    }
-
-    while remaining > 0 {
-        // Advance the core that is earliest in simulated time.
-        let idx = engines
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.cycles().partial_cmp(&b.cycles()).expect("clocks are finite")
-            })
-            .map(|(i, _)| i)
-            .expect("at least one engine");
-        engines[idx].step(&mut uncore, LlcMode::Real);
-        if measure_start[idx].is_none() && engines[idx].insns() >= warmup_insns {
-            measure_start[idx] = Some(engines[idx].cycles());
+    let outcome = match scheduler {
+        Scheduler::EventDriven => {
+            event_interleave(&mut engines, &mut uncore, warmup_insns, trace_insns)
         }
-        if completion[idx].is_none() && engines[idx].insns() >= warmup_insns + trace_insns {
-            completion[idx] = Some(engines[idx].cycles());
-            remaining -= 1;
+        Scheduler::Reference => {
+            reference_interleave(&mut engines, &mut uncore, warmup_insns, trace_insns)
         }
-    }
+    };
 
-    let completion_cycles: Vec<f64> = completion
-        .into_iter()
-        .zip(&measure_start)
-        .map(|(end, start)| {
-            end.expect("all programs completed") - start.expect("warmup completed first")
-        })
+    let completion_cycles: Vec<f64> = outcome
+        .completion
+        .iter()
+        .zip(&outcome.measure_start)
+        .map(|(end, start)| end - start)
         .collect();
-    let (llc_hits, llc_misses) = uncore.llc_totals();
+    let llc_accesses: u64 = outcome.llc_accesses.iter().sum();
+    let llc_misses: u64 = outcome.llc_misses.iter().sum();
+    // The scheduler-observed traffic and the caches' own counters are two
+    // views of the same commits.
+    debug_assert_eq!(
+        (llc_accesses - llc_misses, llc_misses),
+        uncore.llc_totals(),
+        "per-core tallies must match the LLC's counters"
+    );
     MixResult {
         names: specs.iter().map(|s| s.name().to_string()).collect(),
         cpi_mc: completion_cycles.iter().map(|&c| c / trace_insns as f64).collect(),
         completion_cycles,
         trace_insns,
-        llc_accesses: llc_hits + llc_misses,
+        llc_accesses,
         llc_misses,
+        llc_accesses_per_core: outcome.llc_accesses,
+        llc_misses_per_core: outcome.llc_misses,
     }
 }
 
@@ -422,5 +761,44 @@ mod tests {
         assert!(mix.llc_accesses > 0);
         assert!(mix.llc_misses <= mix.llc_accesses);
         assert!(mix.llc_misses > 0, "streaming mixes must miss");
+        // The per-core breakdown must tile the totals exactly, and every
+        // core of this all-memory-bound mix must contribute traffic.
+        assert_eq!(mix.llc_accesses_per_core.len(), specs.len());
+        assert_eq!(mix.llc_misses_per_core.len(), specs.len());
+        assert_eq!(mix.llc_accesses_per_core.iter().sum::<u64>(), mix.llc_accesses);
+        assert_eq!(mix.llc_misses_per_core.iter().sum::<u64>(), mix.llc_misses);
+        for core in 0..specs.len() {
+            assert!(mix.llc_accesses_per_core[core] > 0, "core {core} never reached the LLC");
+            assert!(mix.llc_misses_per_core[core] <= mix.llc_accesses_per_core[core]);
+        }
+    }
+
+    #[test]
+    fn timestamp_ties_dispatch_by_core_index() {
+        // Four identical programs generate identical local timelines, so
+        // every shared event arrives as a 4-way timestamp tie. The core
+        // index tie-break must keep the schedulers deterministic and, on
+        // equal partitioned slices, keep all four copies bit-identical.
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let lbm = suite::benchmark("lbm").unwrap();
+        let specs = [lbm, lbm, lbm, lbm];
+        let opts = MixOptions { ways: Some(&[2, 2, 2, 2]), ..MixOptions::default() };
+        let event = simulate_mix_opts(&specs, &m, g, &opts);
+        let reference = simulate_mix_opts(
+            &specs,
+            &m,
+            g,
+            &MixOptions { scheduler: Scheduler::Reference, ..opts },
+        );
+        assert_eq!(event, reference, "tie-breaking must match the reference interleaver");
+        for core in 1..specs.len() {
+            assert_eq!(
+                event.cpi_mc[0].to_bits(),
+                event.cpi_mc[core].to_bits(),
+                "equal slices, bit-equal CPI: {:?}",
+                event.cpi_mc
+            );
+        }
     }
 }

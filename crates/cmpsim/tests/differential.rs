@@ -1,0 +1,281 @@
+//! Differential oracle: the event-driven interleaver against the
+//! smallest-clock-first reference scheduler it replaced.
+//!
+//! Both schedulers must be **bit-identical** observationally: per-core
+//! CPI, completion cycles, and per-core LLC access/miss counts agree to
+//! the last bit across random mixes, geometries, LLC configurations,
+//! heterogeneous core factors, way-partitioned LLCs, zero-warmup runs,
+//! and bandwidth-limited memory channels. The finite-bandwidth channel is
+//! the strictest case: `MemoryChannel::request` is stateful and
+//! order-sensitive, so a single shared event committed out of order skews
+//! every queueing delay after it.
+//!
+//! Case counts scale with `MPPM_ORACLE_CASES` (default 16) so CI can run
+//! a quick pass on every PR while deep local runs stay available:
+//!
+//! ```text
+//! MPPM_ORACLE_CASES=100 cargo test -p mppm-sim --test differential
+//! ```
+
+use mppm_sim::{
+    llc_configs, simulate_mix_opts, MachineConfig, MixOptions, MixResult, Scheduler,
+};
+use mppm_trace::{BenchmarkSpec, Phase, Region, TraceGeometry};
+use proptest::prelude::*;
+
+fn oracle_cases() -> u32 {
+    std::env::var("MPPM_ORACLE_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+}
+
+/// Raw generated material for one phase:
+/// `(mem_ratio, store_ratio, base_cpi, mlp, blocks, selector)`.
+type RawPhase = (f64, f64, f64, f64, u64, u8);
+
+fn phase_strategy() -> impl Strategy<Value = RawPhase> {
+    (0.05f64..0.9, 0.0f64..0.9, 0.25f64..1.5, 1.0f64..8.0, 16u64..24_000, 0u8..4)
+}
+
+/// Raw generated material for one program: a seed, 1–3 phases, and a
+/// 1–4 entry schedule (entries taken mod the phase count).
+type RawSpec = (u64, Vec<RawPhase>, Vec<u8>);
+
+fn spec_strategy() -> impl Strategy<Value = RawSpec> {
+    (
+        0u64..u64::MAX,
+        collection::vec(phase_strategy(), 1..4),
+        collection::vec(0u8..8, 1..5),
+    )
+}
+
+fn mix_strategy(cores: std::ops::Range<usize>) -> impl Strategy<Value = Vec<RawSpec>> {
+    collection::vec(spec_strategy(), cores)
+}
+
+fn build_phase(raw: RawPhase) -> Phase {
+    let (mem_ratio, store_ratio, base_cpi, mlp, blocks, sel) = raw;
+    // Selector bit 0 picks the pattern; bit 1 adds a smaller second region
+    // so multi-region weighted sampling is exercised too.
+    let mut regions = vec![if sel & 1 == 0 {
+        Region::uniform(0, blocks, 1.0)
+    } else {
+        Region::stream(0, blocks, 1.0)
+    }];
+    if sel & 2 != 0 {
+        regions.push(Region::uniform(1, (blocks / 3).max(1), 0.5));
+    }
+    Phase { mem_ratio, store_ratio, base_cpi, mlp, regions }
+}
+
+fn build_specs(raw: &[RawSpec]) -> Vec<BenchmarkSpec> {
+    raw.iter()
+        .enumerate()
+        .map(|(core, (seed, raw_phases, raw_sched))| {
+            let phases: Vec<Phase> = raw_phases.iter().map(|&r| build_phase(r)).collect();
+            let schedule: Vec<usize> =
+                raw_sched.iter().map(|&s| s as usize % phases.len()).collect();
+            BenchmarkSpec::new(format!("oracle-{core}"), *seed, phases, schedule)
+                .expect("generated spec is valid")
+        })
+        .collect()
+}
+
+/// Small geometries keep each case fast; both dimensions vary so interval
+/// boundaries land at different instruction counts case to case.
+fn build_geometry(interval_insns: u64, intervals: u32) -> TraceGeometry {
+    TraceGeometry::new(interval_insns, intervals)
+}
+
+/// Runs the mix under both schedulers and asserts the results are
+/// bit-identical, field by field.
+fn assert_schedulers_agree(
+    specs: &[BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    opts: &MixOptions,
+) -> (MixResult, MixResult) {
+    let refs: Vec<&BenchmarkSpec> = specs.iter().collect();
+    let event = simulate_mix_opts(
+        &refs,
+        machine,
+        geometry,
+        &MixOptions { scheduler: Scheduler::EventDriven, ..*opts },
+    );
+    let reference = simulate_mix_opts(
+        &refs,
+        machine,
+        geometry,
+        &MixOptions { scheduler: Scheduler::Reference, ..*opts },
+    );
+    for core in 0..refs.len() {
+        assert_eq!(
+            event.cpi_mc[core].to_bits(),
+            reference.cpi_mc[core].to_bits(),
+            "core {core} CPI diverged: {} vs {}",
+            event.cpi_mc[core],
+            reference.cpi_mc[core]
+        );
+        assert_eq!(
+            event.completion_cycles[core].to_bits(),
+            reference.completion_cycles[core].to_bits(),
+            "core {core} completion cycles diverged: {} vs {}",
+            event.completion_cycles[core],
+            reference.completion_cycles[core]
+        );
+        assert_eq!(
+            event.llc_accesses_per_core[core], reference.llc_accesses_per_core[core],
+            "core {core} LLC accesses diverged"
+        );
+        assert_eq!(
+            event.llc_misses_per_core[core], reference.llc_misses_per_core[core],
+            "core {core} LLC misses diverged"
+        );
+    }
+    assert_eq!(event, reference, "full MixResult must be bit-identical");
+    (event, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(oracle_cases()))]
+
+    /// Unified LRU LLC (all six Table 2 configurations), one warmup pass —
+    /// the `simulate_mix` production path.
+    #[test]
+    fn unified_lru_mixes_match_reference(
+        raw in mix_strategy(1..5),
+        interval_insns in 1_000u64..6_000,
+        intervals in 2u32..8,
+        llc_sel in 0usize..6,
+    ) {
+        let specs = build_specs(&raw);
+        let machine = MachineConfig::baseline().with_llc(llc_configs()[llc_sel]);
+        let geometry = build_geometry(interval_insns, intervals);
+        assert_schedulers_agree(&specs, &machine, geometry, &MixOptions::default());
+    }
+
+    /// Heterogeneous core factors (`simulate_mix_heterogeneous` path):
+    /// per-core compute scaling shifts every arrival timestamp.
+    #[test]
+    fn heterogeneous_cores_match_reference(
+        raw in mix_strategy(2..5),
+        factors in collection::vec(0.5f64..2.5, 4),
+        interval_insns in 1_000u64..6_000,
+        intervals in 2u32..7,
+    ) {
+        let specs = build_specs(&raw);
+        let geometry = build_geometry(interval_insns, intervals);
+        let opts = MixOptions {
+            core_factors: Some(&factors[..specs.len()]),
+            ..MixOptions::default()
+        };
+        assert_schedulers_agree(&specs, &MachineConfig::baseline(), geometry, &opts);
+    }
+
+    /// Way-partitioned LLC (`simulate_mix_partitioned` path): each core
+    /// owns a slice, so per-core traffic must stay isolated identically.
+    #[test]
+    fn partitioned_llc_matches_reference(
+        raw in mix_strategy(4..5),
+        layout_sel in 0usize..6,
+        interval_insns in 1_000u64..6_000,
+        intervals in 2u32..7,
+    ) {
+        // Layouts over the baseline 8-way LLC, from balanced to skewed.
+        let layouts: [&[u32]; 6] =
+            [&[4, 4], &[1, 7], &[6, 2], &[2, 3, 3], &[1, 1, 6], &[2, 2, 2, 2]];
+        let ways = layouts[layout_sel];
+        let specs = build_specs(&raw[..ways.len()]);
+        let geometry = build_geometry(interval_insns, intervals);
+        let opts = MixOptions { ways: Some(ways), ..MixOptions::default() };
+        assert_schedulers_agree(&specs, &MachineConfig::baseline(), geometry, &opts);
+    }
+
+    /// `warmup_passes == 0`: the measurement window opens at cycle 0, so
+    /// the first threshold is crossed before any event commits.
+    #[test]
+    fn zero_warmup_matches_reference(
+        raw in mix_strategy(1..4),
+        interval_insns in 1_000u64..6_000,
+        intervals in 2u32..7,
+    ) {
+        let specs = build_specs(&raw);
+        let geometry = build_geometry(interval_insns, intervals);
+        let opts = MixOptions { warmup_passes: 0, ..MixOptions::default() };
+        assert_schedulers_agree(&specs, &MachineConfig::baseline(), geometry, &opts);
+    }
+
+    /// Finite memory bandwidth: `MemoryChannel::request(now)` is stateful
+    /// and order-sensitive — any commit-order divergence is amplified into
+    /// different queueing delays for every later miss.
+    #[test]
+    fn bandwidth_limited_channel_matches_reference(
+        raw in mix_strategy(2..5),
+        bandwidth in 0.02f64..0.5,
+        interval_insns in 1_000u64..5_000,
+        intervals in 2u32..6,
+    ) {
+        let specs = build_specs(&raw);
+        let machine = MachineConfig::baseline().with_mem_bandwidth(bandwidth);
+        let geometry = build_geometry(interval_insns, intervals);
+        assert_schedulers_agree(&specs, &machine, geometry, &MixOptions::default());
+    }
+
+    /// Timestamp-tie storm: identical specs on every core make *every*
+    /// shared event a multi-way tie, so only the core-index tie-break
+    /// keeps the schedulers aligned. Equal partitioned slices must also
+    /// yield bit-equal CPIs across cores (per
+    /// `partitioned_slices_isolate_traffic`).
+    #[test]
+    fn identical_specs_tie_storm_matches_reference(
+        raw in spec_strategy(),
+        cores in 2usize..5,
+        interval_insns in 1_000u64..5_000,
+        intervals in 2u32..6,
+    ) {
+        let raw_mix: Vec<RawSpec> = (0..cores).map(|_| raw.clone()).collect();
+        // Identical *contents* on every core: build_specs varies the name
+        // only, and trace generation depends only on seed/phases/schedule.
+        let specs = build_specs(&raw_mix);
+        assert_eq!(specs[0].phases(), specs[1].phases());
+        assert_eq!(specs[0].seed(), specs[1].seed());
+        let geometry = build_geometry(interval_insns, intervals);
+        assert_schedulers_agree(&specs, &MachineConfig::baseline(), geometry, &MixOptions::default());
+
+        // On equal slices the tie storm must also keep cores bit-equal.
+        if 8 % cores == 0 {
+            let ways = vec![8 / cores as u32; cores];
+            let opts = MixOptions { ways: Some(&ways), ..MixOptions::default() };
+            let (event, _) =
+                assert_schedulers_agree(&specs, &MachineConfig::baseline(), geometry, &opts);
+            for core in 1..cores {
+                assert_eq!(
+                    event.cpi_mc[0].to_bits(),
+                    event.cpi_mc[core].to_bits(),
+                    "equal slices, bit-equal CPI: {:?}",
+                    event.cpi_mc
+                );
+            }
+        }
+    }
+
+    /// Everything at once: heterogeneous factors, finite bandwidth, and a
+    /// variable warmup, through both schedulers.
+    #[test]
+    fn combined_axes_match_reference(
+        raw in mix_strategy(2..4),
+        factors in collection::vec(0.5f64..2.0, 3),
+        bandwidth in 0.05f64..0.5,
+        warmup in 0u32..3,
+        interval_insns in 1_000u64..4_000,
+        intervals in 2u32..6,
+    ) {
+        let specs = build_specs(&raw);
+        let machine = MachineConfig::baseline().with_mem_bandwidth(bandwidth);
+        let geometry = build_geometry(interval_insns, intervals);
+        let opts = MixOptions {
+            warmup_passes: warmup,
+            core_factors: Some(&factors[..specs.len()]),
+            ..MixOptions::default()
+        };
+        assert_schedulers_agree(&specs, &machine, geometry, &opts);
+    }
+}

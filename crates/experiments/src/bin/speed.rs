@@ -17,4 +17,20 @@ fn main() {
     println!(
         "(the paper reports up to five orders of magnitude against CMP$im;\n our ground-truth simulator is itself ~10^4x faster than CMP$im, so\n the measured gap compresses accordingly — see EXPERIMENTS.md)"
     );
+
+    // Scheduler before/after: the same mixes through the retired
+    // smallest-clock-first loop and the event-driven scheduler, measured
+    // fresh in this build (the store cache is bypassed).
+    let bench_mixes = match ctx.scale() {
+        Scale::Full => 3,
+        Scale::Quick => 2,
+    };
+    let interleave = speed::interleave_comparison(&ctx, &[2, 4, 8, 16], bench_mixes);
+    let itable = speed::report_interleave(&interleave);
+    println!("\n§4.3 — detailed-simulator scheduler: reference vs event-driven");
+    println!("{}", itable.render());
+    match speed::write_interleave_json(&interleave) {
+        Ok(path) => println!("(machine-readable copy: {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_interleave.json: {e}"),
+    }
 }

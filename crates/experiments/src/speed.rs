@@ -10,9 +10,14 @@
 //! linear in the number of programs — is what this experiment checks.
 
 use mppm::mix::Mix;
+use mppm_sim::{simulate_mix_opts, MixOptions, Scheduler};
+use mppm_trace::suite;
+use serde::Serialize;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use crate::fig4::mixes_for;
+use crate::store::atomic_write_json;
 use crate::table::{f3, Table};
 use crate::Context;
 
@@ -66,6 +71,110 @@ pub fn run(ctx: &Context, core_counts: &[usize], mixes_per_point: usize) -> Vec<
         .collect()
 }
 
+/// Before/after timing of the two interleaving schedulers at one core
+/// count, measured fresh (never from the store cache) in the same build.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct InterleavePoint {
+    /// Programs per mix.
+    pub cores: usize,
+    /// Average s/mix under the original smallest-clock-first loop.
+    pub reference_seconds: f64,
+    /// Average s/mix under the event-driven scheduler.
+    pub event_seconds: f64,
+}
+
+impl InterleavePoint {
+    /// Reference time over event-driven time.
+    pub fn speedup(&self) -> f64 {
+        self.reference_seconds / self.event_seconds
+    }
+}
+
+/// Times the same mixes through both interleaving schedulers.
+///
+/// Unlike [`run`], nothing here touches the store: cached `sim_seconds`
+/// from earlier runs (or earlier scheduler generations) would make the
+/// before/after comparison meaningless. Both sides simulate fresh, in the
+/// same process, and each mix's results are asserted identical — the
+/// benchmark doubles as one more differential check.
+pub fn interleave_comparison(
+    ctx: &Context,
+    core_counts: &[usize],
+    mixes_per_point: usize,
+) -> Vec<InterleavePoint> {
+    let machine = ctx.baseline();
+    let geometry = ctx.geometry();
+    let specs = suite::spec_suite();
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let mixes: Vec<Mix> = mixes_for(cores, mixes_per_point);
+            let mut seconds = [0.0f64; 2];
+            for mix in &mixes {
+                let members: Vec<_> =
+                    mix.members().iter().map(|&i| &specs[i]).collect();
+                let mut results = Vec::with_capacity(2);
+                for (slot, scheduler) in
+                    [Scheduler::Reference, Scheduler::EventDriven].into_iter().enumerate()
+                {
+                    let opts = MixOptions { scheduler, ..MixOptions::default() };
+                    let started = Instant::now();
+                    results.push(simulate_mix_opts(&members, &machine, geometry, &opts));
+                    seconds[slot] += started.elapsed().as_secs_f64();
+                }
+                assert_eq!(results[0], results[1], "schedulers diverged on {mix:?}");
+            }
+            InterleavePoint {
+                cores,
+                reference_seconds: seconds[0] / mixes.len() as f64,
+                event_seconds: seconds[1] / mixes.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the scheduler before/after table and writes the CSV.
+pub fn report_interleave(points: &[InterleavePoint]) -> Table {
+    let mut t = Table::new(&["cores", "reference s/mix", "event s/mix", "speedup"]);
+    for p in points {
+        t.row(vec![
+            p.cores.to_string(),
+            f3(p.reference_seconds),
+            f3(p.event_seconds),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+    let _ = t.save_csv("speed_interleave");
+    t
+}
+
+/// Writes the machine-readable scheduler comparison to
+/// `BENCH_interleave.json` at the workspace root (redirected to
+/// `target/test-results/` under `cargo test`).
+pub fn write_interleave_json(points: &[InterleavePoint]) -> std::io::Result<PathBuf> {
+    #[derive(Serialize)]
+    struct BenchFile {
+        description: String,
+        unit: String,
+        points: Vec<InterleavePoint>,
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if cfg!(test) { root.join("target/test-results") } else { root };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_interleave.json");
+    atomic_write_json(
+        &path,
+        &BenchFile {
+            description: "Detailed-simulator s/mix: reference smallest-clock-first \
+                          interleaver vs event-driven scheduler, same build"
+                .to_string(),
+            unit: "seconds per mix".to_string(),
+            points: points.to_vec(),
+        },
+    )?;
+    Ok(path)
+}
+
 /// Renders the timing table and writes the CSV.
 pub fn report(points: &[SpeedPoint]) -> Table {
     let mut t = Table::new(&["cores", "sim s/mix", "model s/mix", "speedup"]);
@@ -101,5 +210,22 @@ mod tests {
         );
         let table = report(&points);
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn interleave_comparison_measures_and_serializes() {
+        let ctx = Context::new(Scale::Quick);
+        let points = interleave_comparison(&ctx, &[2], 1);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.reference_seconds > 0.0);
+        assert!(p.event_seconds > 0.0);
+        let table = report_interleave(&points);
+        assert_eq!(table.len(), 1);
+        let path = write_interleave_json(&points).expect("json written");
+        let raw = std::fs::read_to_string(path).expect("json readable");
+        assert!(raw.contains("\"cores\":2"), "unexpected JSON shape: {raw}");
+        assert!(raw.contains("reference_seconds"));
+        assert!(raw.contains("event_seconds"));
     }
 }

@@ -51,6 +51,14 @@ pub struct TraceStream {
     pending_gap: Option<(usize, u64)>,
     /// Per-phase cumulative (unnormalized) region weights, precomputed.
     cum_weights: Vec<Vec<f64>>,
+    /// Phase index at the current position. Items never cross interval
+    /// boundaries, so this only changes when `insn` reaches
+    /// `interval_end_insn` — which keeps the per-item hot path free of the
+    /// schedule-stretching divisions in [`TraceGeometry::interval_of`].
+    cur_phase: usize,
+    /// First instruction past the interval the cache was computed for
+    /// (`u64::MAX` at the pre-rewind sentinel position).
+    interval_end_insn: u64,
 }
 
 impl TraceStream {
@@ -72,6 +80,7 @@ impl TraceStream {
             })
             .collect();
         let rng = SmallRng::seed_from_u64(spec.seed());
+        let cur_phase = spec.phase_for_interval(0, geometry.intervals);
         Self {
             spec,
             geometry,
@@ -81,6 +90,8 @@ impl TraceStream {
             stream_pos: HashMap::new(),
             pending_gap: None,
             cum_weights,
+            cur_phase,
+            interval_end_insn: geometry.interval_insns,
         }
     }
 
@@ -105,8 +116,30 @@ impl TraceStream {
     }
 
     /// Index of the phase active at the current position.
+    ///
+    /// O(1): the index is cached and only recomputed when the position
+    /// crosses an interval boundary.
     pub fn current_phase(&self) -> usize {
-        self.spec.phase_for_interval(self.geometry.interval_of(self.insn), self.geometry.intervals)
+        self.cur_phase
+    }
+
+    /// Recomputes the cached phase after the position moved past the end
+    /// of the cached interval. At the pre-rewind sentinel position
+    /// (`insn == trace_insns`) the phase wraps to interval 0, exactly as
+    /// [`TraceGeometry::interval_of`] does.
+    fn refresh_phase_cache(&mut self) {
+        if self.insn < self.interval_end_insn {
+            return;
+        }
+        if self.insn >= self.geometry.trace_insns() {
+            self.cur_phase = self.spec.phase_for_interval(0, self.geometry.intervals);
+            self.interval_end_insn = u64::MAX;
+            return;
+        }
+        let interval = self.geometry.interval_of(self.insn);
+        self.cur_phase = self.spec.phase_for_interval(interval, self.geometry.intervals);
+        self.interval_end_insn =
+            self.geometry.interval_start(interval) + self.geometry.interval_insns;
     }
 
     /// Produces the next item of the stream, advancing the position by
@@ -116,12 +149,9 @@ impl TraceStream {
         if self.insn == trace_len {
             self.rewind();
         }
-        let interval = self.geometry.interval_of(self.insn);
-        let phase_idx =
-            self.spec.phase_for_interval(interval, self.geometry.intervals);
+        let phase_idx = self.cur_phase;
         let phase = &self.spec.phases()[phase_idx];
-        let interval_end = self.geometry.interval_start(interval) + self.geometry.interval_insns;
-        let remaining = interval_end - self.insn;
+        let remaining = self.interval_end_insn - self.insn;
         debug_assert!(remaining > 0);
 
         // Geometric gap to the next memory access. Geometric memorylessness
@@ -141,11 +171,13 @@ impl TraceStream {
             self.pending_gap = None;
             let access = self.sample_access(phase_idx);
             self.insn += 1;
+            self.refresh_phase_cache();
             return TraceItem::Access(access);
         }
         let batch = gap.min(remaining).min(u64::from(u32::MAX)) as u32;
         self.pending_gap = Some((phase_idx, gap - u64::from(batch)));
         self.insn += u64::from(batch);
+        self.refresh_phase_cache();
         TraceItem::Compute { insns: batch }
     }
 
@@ -156,6 +188,8 @@ impl TraceStream {
         self.pending_gap = None;
         self.insn = 0;
         self.wraps += 1;
+        self.cur_phase = self.spec.phase_for_interval(0, self.geometry.intervals);
+        self.interval_end_insn = self.geometry.interval_insns;
     }
 
     /// Number of non-memory instructions before the next access
@@ -178,10 +212,9 @@ impl TraceStream {
         let cum = &self.cum_weights[phase_idx];
         let total = *cum.last().expect("phases have at least one region");
         let pick: f64 = self.rng.gen::<f64>() * total;
-        let n_regions = self.spec.phases()[phase_idx].regions.len();
-        let region_idx = cum.partition_point(|&w| w <= pick).min(n_regions - 1);
-        let region = self.spec.phases()[phase_idx].regions[region_idx];
-        let store_ratio = self.spec.phases()[phase_idx].store_ratio;
+        let phase = &self.spec.phases()[phase_idx];
+        let region_idx = cum.partition_point(|&w| w <= pick).min(phase.regions.len() - 1);
+        let (region, store_ratio) = (phase.regions[region_idx], phase.store_ratio);
         let block = self.sample_block(region);
         let store = self.rng.gen::<f64>() < store_ratio;
         MemAccess { block, store }
@@ -341,6 +374,43 @@ mod tests {
         };
         assert!(rate(&first) > 0.5, "first half is memory heavy: {}", rate(&first));
         assert!(rate(&second) < 0.1, "second half is light: {}", rate(&second));
+    }
+
+    #[test]
+    fn cached_phase_matches_recomputation() {
+        // The O(1) phase cache must agree with the from-scratch
+        // interval_of/phase_for_interval derivation at every position,
+        // including the pre-rewind sentinel (insn == trace_insns, where
+        // interval_of wraps to 0) and across trace wraps.
+        let heavy = Phase {
+            mem_ratio: 0.6,
+            store_ratio: 0.1,
+            base_cpi: 0.5,
+            mlp: 2.0,
+            regions: vec![Region::uniform(0, 50, 1.0)],
+        };
+        let light = Phase {
+            mem_ratio: 0.05,
+            store_ratio: 0.0,
+            base_cpi: 0.7,
+            mlp: 1.0,
+            regions: vec![Region::uniform(1, 20, 1.0)],
+        };
+        let s = BenchmarkSpec::new("p", 11, vec![heavy, light], vec![0, 1, 0]).unwrap();
+        let g = TraceGeometry::tiny();
+        let mut stream = TraceStream::new(s, g);
+        for _ in 0..30_000 {
+            let expected = stream
+                .spec
+                .phase_for_interval(g.interval_of(stream.insn), g.intervals);
+            assert_eq!(
+                stream.current_phase(),
+                expected,
+                "cached phase diverged at insn {}",
+                stream.insn
+            );
+            stream.next_item();
+        }
     }
 
     #[test]
