@@ -1,0 +1,313 @@
+//! `mppm-analyze` — a self-hosted, dependency-free static-analysis pass
+//! over the MPPM workspace's own Rust sources.
+//!
+//! MPPM's value as a debunking tool rests on bit-exact reproducibility.
+//! Earlier PRs *proved* the schedulers and caches equivalent with
+//! differential oracles and resume byte-identical — but nothing
+//! statically prevented the next change from reintroducing the exact bug
+//! classes those PRs fixed. This crate encodes them as lint rules that
+//! run on every build (see [`rules`] for the catalog):
+//!
+//! | rule | bug class |
+//! |------|-----------|
+//! | `float-partial-order`  | partial float orderings in sorts/merges (PR 3 `SchedKey`) |
+//! | `nondet-map-iteration` | hash-order-dependent results |
+//! | `non-atomic-write`     | torn store/journal/results files (PR 2) |
+//! | `wallclock-in-sim`     | host-clock reads in simulated time |
+//! | `unwrap-in-lib`        | undocumented panics in library code |
+//! | `lossy-counter-cast`   | silent truncation of 64-bit counters |
+//!
+//! The environment has no `clippy`/`syn`, so the pass is hand-rolled: a
+//! small lexer ([`lexer`]) strips comments and literals, then
+//! token-stream rules emit findings with `file:line` spans. Intentional
+//! exceptions are written in the code as
+//!
+//! ```text
+//! // mppm-lint: allow(<rule>): <justification>
+//! ```
+//!
+//! on (or directly above) the offending line. The justification is
+//! mandatory; an allow without one, for an unknown rule, or that no
+//! longer suppresses anything is itself a violation — suppressions rot
+//! otherwise.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use lexer::Lexed;
+use rules::{all_rules, mark_test_regions, rule_names, Scope};
+use std::path::{Path, PathBuf};
+
+/// One analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Per-token flag: inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: Vec<bool>,
+    /// Whole file is test code (`#![cfg(test)]`).
+    pub file_is_test: bool,
+}
+
+impl SourceFile {
+    /// Lexes one in-memory source.
+    pub fn parse(path: impl Into<String>, src: &str) -> Self {
+        let lexed = lexer::lex(src);
+        let (in_test, file_is_test) = mark_test_regions(&lexed.toks);
+        Self { path: path.into(), lexed, in_test, file_is_test }
+    }
+
+    fn in_tests_tree(&self) -> bool {
+        self.path.starts_with("tests/") || self.path.contains("/tests/")
+    }
+
+    fn is_lib_source(&self) -> bool {
+        self.path.starts_with("crates/")
+            && self.path.contains("/src/")
+            && !self.path.contains("/src/bin/")
+            && !self.path.ends_with("/main.rs")
+    }
+
+    /// Whether a rule with `scope` applies to the token at `tok`.
+    fn scope_admits(&self, scope: Scope, tok: usize) -> bool {
+        match scope {
+            Scope::Everywhere => true,
+            Scope::NonTest => {
+                !self.file_is_test && !self.in_tests_tree() && !self.in_test[tok]
+            }
+            Scope::Lib => {
+                self.is_lib_source()
+                    && !self.file_is_test
+                    && !self.in_tests_tree()
+                    && !self.in_test[tok]
+            }
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name (includes the suppression meta-rules).
+    pub rule: String,
+    /// Explanation.
+    pub message: String,
+}
+
+/// A parsed `// mppm-lint: allow(rule): justification` directive.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rule: String,
+    justification: String,
+    used: bool,
+}
+
+/// The result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Files scanned.
+    pub files: usize,
+    /// Violations that survived suppression, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Findings silenced by a justified allow directive.
+    pub suppressed: usize,
+}
+
+impl Analysis {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The directive marker looked up inside line comments.
+const MARKER: &str = "mppm-lint:";
+
+/// Parses the allow directives of one file. Malformed directives are
+/// reported immediately as `invalid-suppression` violations.
+fn parse_allows(file: &SourceFile, violations: &mut Vec<Violation>) -> Vec<Allow> {
+    let known = rule_names();
+    let mut allows = Vec::new();
+    for comment in &file.lexed.comments {
+        // Only plain `//` comments issue directives. `///` / `//!` doc
+        // comments (whose text starts with the third `/` or a `!`) may
+        // legitimately *describe* the directive syntax.
+        if comment.text.starts_with('/') || comment.text.starts_with('!') {
+            continue;
+        }
+        let text = comment.text.trim();
+        let Some(pos) = text.find(MARKER) else { continue };
+        let invalid = |msg: String| Violation {
+            file: file.path.clone(),
+            line: comment.line,
+            rule: "invalid-suppression".into(),
+            message: msg,
+        };
+        let directive = text[pos + MARKER.len()..].trim();
+        let Some(rest) = directive.strip_prefix("allow(") else {
+            violations.push(invalid(format!(
+                "unrecognized mppm-lint directive `{directive}`; expected \
+                 `mppm-lint: allow(<rule>): <justification>`"
+            )));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            violations.push(invalid("unterminated `allow(` directive".into()));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !known.contains(&rule.as_str()) {
+            violations.push(invalid(format!(
+                "allow names unknown rule `{rule}` (known: {})",
+                known.join(", ")
+            )));
+            continue;
+        }
+        let after = rest[close + 1..].trim();
+        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            violations.push(invalid(format!(
+                "allow({rule}) carries no justification; write \
+                 `mppm-lint: allow({rule}): <why this site is sound>`"
+            )));
+            continue;
+        }
+        allows.push(Allow {
+            line: comment.line,
+            rule,
+            justification: justification.to_string(),
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Analyzes in-memory `(path, source)` pairs. This is the whole engine;
+/// [`analyze_workspace`] merely feeds it files from disk.
+pub fn analyze_sources<P: AsRef<str>, S: AsRef<str>>(files: &[(P, S)]) -> Analysis {
+    let rules = all_rules();
+    let mut analysis = Analysis::default();
+    for (path, src) in files {
+        let file = SourceFile::parse(path.as_ref(), src.as_ref());
+        analysis.files += 1;
+        let mut allows = parse_allows(&file, &mut analysis.violations);
+        for rule in &rules {
+            if !rule.applies_to(&file.path) {
+                continue;
+            }
+            for finding in rule.check(&file) {
+                if !file.scope_admits(rule.scope(), finding.tok) {
+                    continue;
+                }
+                let line = file.lexed.toks[finding.tok].line;
+                // An allow on the same line, or on its own line directly
+                // above, silences the finding.
+                let allow = allows.iter_mut().find(|a| {
+                    a.rule == rule.name() && (a.line == line || a.line + 1 == line)
+                });
+                if let Some(allow) = allow {
+                    allow.used = true;
+                    analysis.suppressed += 1;
+                    continue;
+                }
+                analysis.violations.push(Violation {
+                    file: file.path.clone(),
+                    line,
+                    rule: rule.name().into(),
+                    message: finding.message,
+                });
+            }
+        }
+        for allow in allows {
+            if !allow.used {
+                analysis.violations.push(Violation {
+                    file: file.path.clone(),
+                    line: allow.line,
+                    rule: "unused-suppression".into(),
+                    message: format!(
+                        "allow({}) suppresses nothing (justified as: {}); remove it",
+                        allow.rule, allow.justification
+                    ),
+                });
+            }
+        }
+    }
+    analysis
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    analysis
+}
+
+/// Collects the workspace's own `.rs` sources under `root`, skipping
+/// build artifacts (`target/`), hidden directories, and the offline
+/// dependency stand-ins (`crates/compat/` mimic *external* crates whose
+/// APIs are outside our invariants). Paths come back sorted so analysis
+/// order — and therefore report order — is deterministic.
+///
+/// # Errors
+///
+/// Any I/O error from walking or reading the tree.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_rs(root, root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push((rel, std::fs::read_to_string(&path)?));
+    }
+    Ok(out)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name == "compat" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Any I/O error from reading the tree.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    Ok(analyze_sources(&workspace_sources(root)?))
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory holding both a `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,64 @@
+//! `mppm-analyze` — run the determinism lint pass over the workspace.
+//!
+//! ```text
+//! mppm-analyze                 # report, exit 0 regardless
+//! mppm-analyze --deny          # exit 1 on any violation (the CI gate)
+//! mppm-analyze --json          # machine-readable report
+//! mppm-analyze --root <dir>    # explicit workspace root
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => fail("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: mppm-analyze [--deny] [--json] [--root <dir>]\n\n\
+                     Determinism lint pass over the MPPM workspace sources.\n\
+                     --deny   exit 1 on any violation (CI gate)\n\
+                     --json   machine-readable report\n\
+                     --root   workspace root (default: nearest ancestor with Cargo.toml + crates/)"
+                );
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        mppm_analyze::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        fail("could not locate the workspace root; pass --root <dir>");
+    };
+    match mppm_analyze::analyze_workspace(&root) {
+        Ok(analysis) => {
+            let report = if json {
+                mppm_analyze::report::json(&analysis)
+            } else {
+                mppm_analyze::report::human(&analysis)
+            };
+            print!("{report}");
+            if deny && !analysis.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => fail(&format!("analyzing {}: {e}", root.display())),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("mppm-analyze: {msg}");
+    std::process::exit(2);
+}

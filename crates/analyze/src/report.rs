@@ -1,0 +1,105 @@
+//! Human-readable and JSON reporters for an [`Analysis`](crate::Analysis).
+
+use crate::Analysis;
+use std::fmt::Write as _;
+
+/// Renders the compiler-style human report: one `file:line: [rule]
+/// message` finding per line, then a summary.
+pub fn human(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for v in &analysis.violations {
+        let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    let _ = writeln!(
+        out,
+        "{} file(s) scanned, {} violation(s), {} finding(s) suppressed by justified allows",
+        analysis.files,
+        analysis.violations.len(),
+        analysis.suppressed
+    );
+    out
+}
+
+/// Renders the machine-readable report (hand-rolled JSON — this crate is
+/// dependency-free by design).
+pub fn json(analysis: &Analysis) -> String {
+    let mut out = String::from("{\n  \"files\": ");
+    let _ = write!(out, "{}", analysis.files);
+    let _ = write!(out, ",\n  \"suppressed\": {}", analysis.suppressed);
+    out.push_str(",\n  \"violations\": [");
+    for (i, v) in analysis.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&v.file),
+            v.line,
+            escape(&v.rule),
+            escape(&v.message)
+        );
+    }
+    if !analysis.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Violation;
+
+    fn sample() -> Analysis {
+        Analysis {
+            files: 2,
+            suppressed: 1,
+            violations: vec![Violation {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "float-partial-order".into(),
+                message: "a \"quoted\" message".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn human_lists_findings_and_summary() {
+        let text = human(&sample());
+        assert!(text.contains("crates/x/src/lib.rs:7: [float-partial-order]"));
+        assert!(text.contains("2 file(s) scanned, 1 violation(s), 1 finding(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let text = json(&sample());
+        assert!(text.contains("\"line\": 7"));
+        assert!(text.contains("a \\\"quoted\\\" message"));
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn json_empty_violations_is_an_empty_array() {
+        let text = json(&Analysis { files: 1, suppressed: 0, violations: vec![] });
+        assert!(text.contains("\"violations\": []"));
+    }
+}

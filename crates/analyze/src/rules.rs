@@ -1,0 +1,441 @@
+//! The determinism rule set.
+//!
+//! Each rule is a pure function over a lexed source file: it emits
+//! candidate findings as token indices, and the engine in [`crate`]
+//! applies scope filtering (test code, path policies) and suppression
+//! comments. Rules are token-stream patterns — deliberately simple
+//! enough to audit by eye, at the cost of being over-approximations
+//! that the `// mppm-lint: allow(...)` escape hatch compensates for.
+
+use crate::lexer::{Tok, TokKind};
+use crate::SourceFile;
+
+/// Where a rule applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// All scanned code, including tests and examples.
+    Everywhere,
+    /// Skips `#[cfg(test)]` / `#[test]` regions and `tests/` trees.
+    NonTest,
+    /// [`Scope::NonTest`] restricted to library sources
+    /// (`crates/*/src/**`, excluding `src/bin/` and `main.rs`).
+    Lib,
+}
+
+/// One candidate finding: the token it anchors on plus the message.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Index into the file's token stream.
+    pub tok: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable kebab-case rule name (used in `allow(...)` comments).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list` style output and docs.
+    fn description(&self) -> &'static str;
+    /// Scope policy.
+    fn scope(&self) -> Scope;
+    /// Per-file path policy on top of the scope (default: everywhere).
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+    /// Emits candidate findings for one file.
+    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+}
+
+/// The full rule set, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(FloatPartialOrder),
+        Box::new(NondetMapIteration),
+        Box::new(NonAtomicWrite),
+        Box::new(WallclockInSim),
+        Box::new(UnwrapInLib),
+        Box::new(LossyCounterCast),
+    ]
+}
+
+/// All rule names, for suppression validation.
+pub fn rule_names() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.name()).collect()
+}
+
+fn ident_at<'a>(toks: &'a [Tok], i: usize) -> Option<&'a str> {
+    toks.get(i).and_then(Tok::ident)
+}
+
+fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// Matches `a::b` at token `i` (`i` is `a`).
+fn path_pair(toks: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    ident_at(toks, i) == Some(a)
+        && punct_at(toks, i + 1, ':')
+        && punct_at(toks, i + 2, ':')
+        && ident_at(toks, i + 3) == Some(b)
+}
+
+/// `float-partial-order` — the PR 3 `SchedKey` bug class: ordering floats
+/// with `partial_cmp` is a *partial* order; a NaN (or a future refactor
+/// that introduces one) makes sorts and merges order-dependent and
+/// non-reproducible. Method-call positions (`.partial_cmp(`) are flagged;
+/// `fn partial_cmp` definitions inside `PartialOrd` impls are not.
+pub struct FloatPartialOrder;
+
+impl Rule for FloatPartialOrder {
+    fn name(&self) -> &'static str {
+        "float-partial-order"
+    }
+    fn description(&self) -> &'static str {
+        "float ordering via `.partial_cmp(...)` (incl. inside `sort_by`) instead of `mppm::stats::total_cmp`"
+    }
+    fn scope(&self) -> Scope {
+        Scope::Everywhere
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for i in 1..toks.len() {
+            if ident_at(toks, i) == Some("partial_cmp") && punct_at(toks, i - 1, '.') {
+                out.push(Finding {
+                    tok: i,
+                    message: "`.partial_cmp(...)` is a partial order (NaN poisons sort/merge \
+                              determinism); use `mppm::stats::total_cmp` or `f64::total_cmp`"
+                        .into(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `nondet-map-iteration` — `HashMap`/`HashSet` iteration order varies
+/// across processes (and std versions), so any result that flows through
+/// map iteration is non-reproducible. Result-producing code must use the
+/// BTree variants; provably iteration-free uses carry a justified allow.
+pub struct NondetMapIteration;
+
+impl Rule for NondetMapIteration {
+    fn name(&self) -> &'static str {
+        "nondet-map-iteration"
+    }
+    fn description(&self) -> &'static str {
+        "`HashMap`/`HashSet` in result-producing code; iteration order is nondeterministic"
+    }
+    fn scope(&self) -> Scope {
+        Scope::NonTest
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(name @ ("HashMap" | "HashSet")) = t.ident() {
+                out.push(Finding {
+                    tok: i,
+                    message: format!(
+                        "`{name}` iteration order is nondeterministic; use `{}` in \
+                         result-producing code, or justify that this map is never iterated",
+                        if name == "HashMap" { "BTreeMap" } else { "BTreeSet" }
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `non-atomic-write` — a `std::fs::write`/`File::create` that a kill can
+/// tear mid-buffer, leaving a corrupt store entry, journal shard or
+/// results table behind (the gap PR 2 closed for JSON caches).
+pub struct NonAtomicWrite;
+
+impl Rule for NonAtomicWrite {
+    fn name(&self) -> &'static str {
+        "non-atomic-write"
+    }
+    fn description(&self) -> &'static str {
+        "`fs::write`/`File::create` outside the atomic temp-file+rename writers"
+    }
+    fn scope(&self) -> Scope {
+        Scope::Everywhere
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            if path_pair(toks, i, "fs", "write") || path_pair(toks, i, "File", "create") {
+                out.push(Finding {
+                    tok: i,
+                    message: "non-atomic file write can be torn by a kill; route through \
+                              `mppm_experiments::atomic_write_bytes`/`atomic_write_json` \
+                              (temp file + rename)"
+                        .into(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `wallclock-in-sim` — host-clock reads (`Instant::now`, `SystemTime`)
+/// anywhere but benchmarking/speed-measurement code. Simulated time must
+/// come from the simulator; wall-clock telemetry is legitimate only where
+/// it is the *measurement*, and such sites carry a justified allow.
+pub struct WallclockInSim;
+
+impl Rule for WallclockInSim {
+    fn name(&self) -> &'static str {
+        "wallclock-in-sim"
+    }
+    fn description(&self) -> &'static str {
+        "`Instant::now`/`SystemTime` outside bench/speed timing code"
+    }
+    fn scope(&self) -> Scope {
+        Scope::Everywhere
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        !path.starts_with("crates/bench/") && path != "crates/experiments/src/speed.rs"
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            let hit = path_pair(toks, i, "Instant", "now")
+                || ident_at(toks, i) == Some("SystemTime");
+            if hit {
+                out.push(Finding {
+                    tok: i,
+                    message: "wall-clock read in simulation code: simulated time must be \
+                              deterministic; only bench/speed timing may read the host clock"
+                        .into(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `unwrap-in-lib` — `.unwrap()` in library code, and `.expect(...)`
+/// whose argument is not a non-empty string literal. A panic in library
+/// code kills a whole campaign shard; where a panic is genuinely an
+/// invariant, `.expect("why this cannot fail")` documents it — that
+/// form is the blessed fix, anything terser is flagged.
+pub struct UnwrapInLib;
+
+impl Rule for UnwrapInLib {
+    fn name(&self) -> &'static str {
+        "unwrap-in-lib"
+    }
+    fn description(&self) -> &'static str {
+        "`.unwrap()` (or `.expect` without a static message) in library code outside `#[cfg(test)]`"
+    }
+    fn scope(&self) -> Scope {
+        Scope::Lib
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for i in 1..toks.len() {
+            if !punct_at(toks, i - 1, '.') {
+                continue;
+            }
+            match ident_at(toks, i) {
+                Some("unwrap") if punct_at(toks, i + 1, '(') => out.push(Finding {
+                    tok: i,
+                    message: "`.unwrap()` in library code: return an error or document the \
+                              invariant with `.expect(\"...\")`"
+                        .into(),
+                }),
+                Some("expect") if punct_at(toks, i + 1, '(') => {
+                    let arg_ok = toks
+                        .get(i + 2)
+                        .is_some_and(|t| t.kind == TokKind::Str && !t.text.trim().is_empty());
+                    if !arg_ok {
+                        out.push(Finding {
+                            tok: i,
+                            message: "`.expect(...)` without a non-empty string-literal message: \
+                                      state the invariant that makes the panic unreachable"
+                                .into(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// `lossy-counter-cast` — `as` casts to a sub-64-bit integer type can
+/// silently truncate `u64`/`u128` counters (instruction counts, cycle
+/// clocks, mix ranks). Use `try_from` with a documented invariant, or
+/// justify the bound in an allow comment on hot paths.
+pub struct LossyCounterCast;
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+impl Rule for LossyCounterCast {
+    fn name(&self) -> &'static str {
+        "lossy-counter-cast"
+    }
+    fn description(&self) -> &'static str {
+        "narrowing `as` cast that can silently truncate 64-bit counters"
+    }
+    fn scope(&self) -> Scope {
+        Scope::NonTest
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            if ident_at(toks, i) == Some("as") {
+                if let Some(target) = ident_at(toks, i + 1) {
+                    if NARROW_TARGETS.contains(&target) {
+                        out.push(Finding {
+                            tok: i,
+                            message: format!(
+                                "`as {target}` silently truncates wider counters; use \
+                                 `{target}::try_from(...)` with a documented invariant"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Marks which tokens sit inside test-only code: any item annotated
+/// `#[test]` or `#[cfg(test)]` (including `cfg(all(test, ...))`, but not
+/// `cfg(not(test))`), plus whole files carrying an inner `#![cfg(test)]`.
+///
+/// Returns the per-token flags and whether the entire file is test code.
+pub fn mark_test_regions(toks: &[Tok]) -> (Vec<bool>, bool) {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !punct_at(toks, i, '#') {
+            i += 1;
+            continue;
+        }
+        let inner = punct_at(toks, i + 1, '!');
+        let open = i + 1 + usize::from(inner);
+        if !punct_at(toks, open, '[') {
+            i += 1;
+            continue;
+        }
+        // Collect identifier texts inside the attribute brackets.
+        let mut depth = 0usize;
+        let mut j = open;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            if punct_at(toks, j, '[') {
+                depth += 1;
+            } else if punct_at(toks, j, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(id) = ident_at(toks, j) {
+                idents.push(id);
+            }
+            j += 1;
+        }
+        let is_test_attr = idents.contains(&"test")
+            && !idents.contains(&"not")
+            && matches!(idents.first(), Some(&"test") | Some(&"cfg"));
+        if is_test_attr {
+            if inner {
+                return (vec![true; toks.len()], true);
+            }
+            // Mark up to the end of the annotated item: the block after
+            // the next `{`, or through the `;` for block-less items.
+            let mut k = j + 1;
+            while k < toks.len() && !punct_at(toks, k, '{') && !punct_at(toks, k, ';') {
+                k += 1;
+            }
+            let end = if punct_at(toks, k, '{') {
+                let mut braces = 0usize;
+                let mut m = k;
+                while m < toks.len() {
+                    if punct_at(toks, m, '{') {
+                        braces += 1;
+                    } else if punct_at(toks, m, '}') {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                m
+            } else {
+                k
+            };
+            for flag in in_test.iter_mut().take(end.min(toks.len() - 1) + 1).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i = j + 1;
+    }
+    (in_test, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn live() {} #[cfg(test)] mod tests { fn helper() {} } fn live2() {}";
+        let l = lex(src);
+        let (flags, whole) = mark_test_regions(&l.toks);
+        assert!(!whole);
+        let by_name = |name: &str| {
+            l.toks
+                .iter()
+                .position(|t| t.ident() == Some(name))
+                .map(|i| flags[i])
+                .expect("token present")
+        };
+        assert!(!by_name("live"));
+        assert!(by_name("helper"));
+        assert!(!by_name("live2"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))] fn prod() {}";
+        let l = lex(src);
+        let (flags, _) = mark_test_regions(&l.toks);
+        assert!(flags.iter().all(|f| !f), "cfg(not(test)) is not test code");
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() {}";
+        let l = lex(src);
+        let (flags, whole) = mark_test_regions(&l.toks);
+        assert!(whole);
+        assert!(flags.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn should_panic_attr_is_not_test_marker() {
+        // `expected = "..."` carries no `test` ident; and a bare
+        // `#[should_panic]` must not hide the fn body either.
+        let src = "#[should_panic(expected = \"boom\")] fn f() { x.g(); }";
+        let l = lex(src);
+        let (flags, _) = mark_test_regions(&l.toks);
+        assert!(flags.iter().all(|f| !f));
+    }
+}

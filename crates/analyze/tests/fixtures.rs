@@ -1,0 +1,336 @@
+//! Fixture corpus: every rule must fire on a seeded violation and stay
+//! silent on the fixed form, and the suppression machinery must demand
+//! justifications and flag rot.
+//!
+//! Fixtures are in-memory sources handed straight to the engine, with
+//! paths chosen to satisfy each rule's scope policy (`crates/*/src/` for
+//! library rules). They live inside string literals here, which the
+//! analyzer's own lexer strips when it scans *this* file — the corpus
+//! cannot trip the self-test.
+
+use mppm_analyze::{analyze_sources, Analysis};
+
+const LIB: &str = "crates/fixture/src/lib.rs";
+
+fn analyze_one(path: &str, src: &str) -> Analysis {
+    analyze_sources(&[(path, src)])
+}
+
+fn rules_fired(analysis: &Analysis) -> Vec<(String, usize)> {
+    analysis.violations.iter().map(|v| (v.rule.clone(), v.line)).collect()
+}
+
+/// Asserts `bad` produces exactly one `rule` violation (and nothing else)
+/// and `good` produces none.
+fn fires_and_fixes(rule: &str, bad: &str, good: &str) {
+    let bad_result = analyze_one(LIB, bad);
+    assert_eq!(
+        bad_result.violations.len(),
+        1,
+        "{rule}: seeded violation must fire exactly once, got {:?}",
+        rules_fired(&bad_result)
+    );
+    assert_eq!(bad_result.violations[0].rule, rule);
+    let good_result = analyze_one(LIB, good);
+    assert!(
+        good_result.is_clean(),
+        "{rule}: fixed form must be silent, got {:?}",
+        rules_fired(&good_result)
+    );
+}
+
+#[test]
+fn float_partial_order() {
+    fires_and_fixes(
+        "float-partial-order",
+        r#"
+fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs
+}
+"#,
+        r#"
+fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}
+"#,
+    );
+}
+
+#[test]
+fn float_partial_order_ignores_trait_definitions() {
+    // `fn partial_cmp` inside a PartialOrd impl is the *definition* of a
+    // total order over a newtype — only call sites are flagged.
+    let src = r#"
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+"#;
+    assert!(analyze_one(LIB, src).is_clean());
+}
+
+#[test]
+fn nondet_map_iteration() {
+    fires_and_fixes(
+        "nondet-map-iteration",
+        r#"
+use std::collections::HashMap;
+fn tally(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut m = HashMap::new();
+    for &x in xs { *m.entry(x).or_insert(0) += 1; }
+    m.into_iter().collect()
+}
+"#
+        // Keep the fixture to a single firing line: the `use` line.
+        .replacen("let mut m = HashMap::new();", "let mut m = std::collections::BTreeMap::new();", 1)
+        .as_str(),
+        r#"
+use std::collections::BTreeMap;
+fn tally(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut m = BTreeMap::new();
+    for &x in xs { *m.entry(x).or_insert(0) += 1; }
+    m.into_iter().collect()
+}
+"#,
+    );
+}
+
+#[test]
+fn nondet_map_is_fine_in_tests() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    fn distinct(xs: &[u64]) -> usize {
+        xs.iter().collect::<HashSet<_>>().len()
+    }
+}
+"#;
+    assert!(analyze_one(LIB, src).is_clean(), "order-insensitive test helpers are exempt");
+}
+
+#[test]
+fn non_atomic_write() {
+    fires_and_fixes(
+        "non-atomic-write",
+        r#"
+fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+"#,
+        r#"
+fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_write_bytes(path, bytes)
+}
+"#,
+    );
+}
+
+#[test]
+fn non_atomic_write_applies_inside_tests_too() {
+    // Torn-file *fabrication* in tests is legal only via a justified
+    // allow — the rule itself must fire there.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tears() { std::fs::write("x", b"half").unwrap(); }
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    assert_eq!(rules_fired(&analysis).len(), 1);
+    assert_eq!(analysis.violations[0].rule, "non-atomic-write");
+}
+
+#[test]
+fn wallclock_in_sim() {
+    fires_and_fixes(
+        "wallclock-in-sim",
+        r#"
+fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+"#,
+        r#"
+fn stamp(clock: u64) -> u64 {
+    clock
+}
+"#,
+    );
+}
+
+#[test]
+fn wallclock_allowed_in_bench_paths() {
+    let src = "fn t() { let x = std::time::Instant::now(); }";
+    assert!(analyze_one("crates/bench/benches/figures.rs", src).is_clean());
+    assert!(analyze_one("crates/experiments/src/speed.rs", src).is_clean());
+    assert!(!analyze_one("crates/experiments/src/fig3.rs", src).is_clean());
+}
+
+#[test]
+fn unwrap_in_lib() {
+    fires_and_fixes(
+        "unwrap-in-lib",
+        r#"
+fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+"#,
+        r#"
+fn head(xs: &[u64]) -> u64 {
+    *xs.first().expect("caller guarantees a non-empty slice")
+}
+"#,
+    );
+}
+
+#[test]
+fn unwrap_in_lib_flags_messageless_expect() {
+    let empty = "fn f(x: Option<u64>) -> u64 { x.expect(\"\") }";
+    let dynamic = "fn f(x: Option<u64>, m: &str) -> u64 { x.expect(m) }";
+    for src in [empty, dynamic] {
+        let analysis = analyze_one(LIB, src);
+        assert_eq!(analysis.violations.len(), 1, "{src}");
+        assert_eq!(analysis.violations[0].rule, "unwrap-in-lib");
+    }
+}
+
+#[test]
+fn unwrap_is_fine_in_tests_bins_and_examples() {
+    let src = "fn f(x: Option<u64>) -> u64 { x.unwrap() }";
+    assert!(analyze_one("crates/fixture/src/bin/tool.rs", src).is_clean());
+    assert!(analyze_one("crates/fixture/src/main.rs", src).is_clean());
+    assert!(analyze_one("examples/quickstart.rs", src).is_clean());
+    assert!(analyze_one("tests/end_to_end.rs", src).is_clean());
+    let test_mod = "#[cfg(test)] mod tests { fn f(x: Option<u64>) -> u64 { x.unwrap() } }";
+    assert!(analyze_one(LIB, test_mod).is_clean());
+}
+
+#[test]
+fn lossy_counter_cast() {
+    fires_and_fixes(
+        "lossy-counter-cast",
+        r#"
+fn depth(counter: u64) -> u32 {
+    counter as u32
+}
+"#,
+        r#"
+fn depth(counter: u64) -> u32 {
+    u32::try_from(counter).expect("depth is bounded by associativity")
+}
+"#,
+    );
+}
+
+#[test]
+fn widening_and_float_casts_are_fine() {
+    let src = r#"
+fn f(x: u32, y: u64) -> (u64, usize, f64) {
+    (x as u64, x as usize, y as f64)
+}
+"#;
+    assert!(analyze_one(LIB, src).is_clean());
+}
+
+#[test]
+fn justified_allow_suppresses_and_counts() {
+    let src = r#"
+fn fast_path(pos: usize) -> u32 {
+    pos as u32 // mppm-lint: allow(lossy-counter-cast): pos < assoc <= 2^32 by construction
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    assert!(analysis.is_clean(), "got {:?}", rules_fired(&analysis));
+    assert_eq!(analysis.suppressed, 1);
+}
+
+#[test]
+fn allow_on_the_line_above_suppresses() {
+    let src = r#"
+fn fast_path(pos: usize) -> u32 {
+    // mppm-lint: allow(lossy-counter-cast): pos < assoc <= 2^32 by construction
+    pos as u32
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    assert!(analysis.is_clean(), "got {:?}", rules_fired(&analysis));
+    assert_eq!(analysis.suppressed, 1);
+}
+
+#[test]
+fn unjustified_allow_is_a_violation() {
+    let src = r#"
+fn fast_path(pos: usize) -> u32 {
+    pos as u32 // mppm-lint: allow(lossy-counter-cast)
+}
+"#;
+    let fired = rules_fired(&analyze_one(LIB, src));
+    // The naked allow is invalid AND the cast still fires.
+    assert!(
+        fired.iter().any(|(r, _)| r == "invalid-suppression"),
+        "missing justification must be flagged: {fired:?}"
+    );
+    assert!(fired.iter().any(|(r, _)| r == "lossy-counter-cast"));
+}
+
+#[test]
+fn unknown_rule_in_allow_is_a_violation() {
+    let src = "fn f() {} // mppm-lint: allow(no-such-rule): because\n";
+    let fired = rules_fired(&analyze_one(LIB, src));
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].0, "invalid-suppression");
+}
+
+#[test]
+fn unused_allow_is_a_violation() {
+    let src = r#"
+fn clean(pos: u64) -> u64 {
+    pos + 1 // mppm-lint: allow(lossy-counter-cast): stale justification
+}
+"#;
+    let fired = rules_fired(&analyze_one(LIB, src));
+    assert_eq!(fired.len(), 1, "{fired:?}");
+    assert_eq!(fired[0].0, "unused-suppression");
+}
+
+#[test]
+fn allow_only_covers_its_own_rule() {
+    let src = r#"
+fn f(counter: u64) -> u32 {
+    let _ = std::time::Instant::now(); // mppm-lint: allow(lossy-counter-cast): wrong rule
+    counter as u32
+}
+"#;
+    let fired = rules_fired(&analyze_one(LIB, src));
+    // Wallclock still fires; the cast on the *next* line is covered by
+    // the allow's line+1 reach; nothing marks the allow unused.
+    assert!(fired.iter().any(|(r, _)| r == "wallclock-in-sim"), "{fired:?}");
+    assert!(!fired.iter().any(|(r, _)| r == "unused-suppression"), "{fired:?}");
+}
+
+#[test]
+fn violations_inside_literals_never_fire() {
+    let src = r###"
+fn docs() -> &'static str {
+    // The lexer must keep rule patterns inside literals out of reach:
+    r#"call .partial_cmp( and .unwrap() and fs::write and Instant::now"#
+}
+"###;
+    assert!(analyze_one(LIB, src).is_clean());
+}
+
+#[test]
+fn report_lines_carry_file_and_line() {
+    let src = "\n\nfn f(x: Option<u64>) -> u64 { x.unwrap() }\n";
+    let analysis = analyze_one(LIB, src);
+    assert_eq!(analysis.violations.len(), 1);
+    let v = &analysis.violations[0];
+    assert_eq!((v.file.as_str(), v.line), (LIB, 3));
+    let human = mppm_analyze::report::human(&analysis);
+    assert!(human.contains("crates/fixture/src/lib.rs:3: [unwrap-in-lib]"), "{human}");
+}

@@ -86,9 +86,9 @@ fn bench_update_rules(c: &mut Criterion) {
 /// SDC to 8 ways versus re-measuring. The fold must be effectively free.
 fn bench_sdc_fold(c: &mut Criterion) {
     let mut sdc = Sdc::new(16);
-    for d in 0..16 {
+    for d in 0..16u32 {
         for _ in 0..(1000 - d * 50) {
-            sdc.record(Some(d as u32));
+            sdc.record(Some(d));
         }
     }
     for _ in 0..500 {

@@ -85,7 +85,7 @@ fn bench_fig9_stress_sort(c: &mut Criterion) {
                     model.predict(&refs).expect("valid").stp()
                 })
                 .collect();
-            stp.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            stp.sort_by(|a, b| a.total_cmp(b));
             stp
         });
     });

@@ -76,6 +76,7 @@ impl NaiveCache {
             let way = set.remove(pos);
             set.insert(0, way);
             self.hits += 1;
+            // mppm-lint: allow(lossy-counter-cast): pos < assoc <= u32::MAX; hot kernel path stays branch-free
             return AccessResult { hit: true, depth: Some(pos as u32), evicted: None };
         }
         self.misses += 1;

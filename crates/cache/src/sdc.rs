@@ -49,7 +49,7 @@ impl Sdc {
 
     /// The associativity these counters were measured at.
     pub fn assoc(&self) -> u32 {
-        (self.counters.len() - 1) as u32
+        u32::try_from(self.counters.len() - 1).expect("constructed from a u32 assoc")
     }
 
     /// Records one access: `depth` is the 0-based LRU hit depth, or `None`
@@ -166,9 +166,10 @@ impl Sdc {
                 continue;
             }
             // P(Binomial(d, p) = j), computed iteratively.
-            let mut prob = (1.0 - p).powi(d as i32); // j = 0
+            let mut prob =
+                (1.0 - p).powi(i32::try_from(d).expect("depth is bounded by assoc")); // j = 0
             for j in 0..=d {
-                let target = if (j as u32) < new_assoc { j } else { new_assoc as usize };
+                let target = if j < new_assoc as usize { j } else { new_assoc as usize };
                 counters[target] += count * prob;
                 // advance to j+1
                 if j < d {

@@ -153,6 +153,7 @@ impl SetAssocCache {
             // rotation of the prefix ending at `pos`.
             set[..=pos].rotate_right(1);
             self.hits += 1;
+            // mppm-lint: allow(lossy-counter-cast): pos < assoc <= u32::MAX; hot kernel path stays branch-free
             return AccessResult { hit: true, depth: Some(pos as u32), evicted: None };
         }
 
@@ -182,6 +183,7 @@ impl SetAssocCache {
             // and brings a stale slot to the front, which is overwritten.
             set[..=len].rotate_right(1);
             set[0] = Way { block, inserted: self.tick };
+            // mppm-lint: allow(lossy-counter-cast): len < assoc <= u32::MAX; hot kernel path stays branch-free
             self.lens[set_idx] = (len + 1) as u32;
             None
         };

@@ -101,6 +101,7 @@ pub fn execute(
         );
     }
 
+    // mppm-lint: allow(wallclock-in-sim): progress telemetry only; never feeds simulated time or results
     let started = Instant::now();
     let evaluated: usize = pending.iter().map(|s| s.end - s.start).sum();
     let results: Vec<Result<(), String>> =

@@ -197,6 +197,7 @@ mod tests {
         journal.store(&rec).unwrap();
         let path = journal.shard_path(shard.id);
         let bytes = std::fs::read(&path).unwrap();
+        // mppm-lint: allow(non-atomic-write): deliberately tears the shard to prove a torn file is recomputed
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
         assert_eq!(journal.load(shard.id, mixes), None, "torn shard is recomputed");
 

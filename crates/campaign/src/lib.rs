@@ -202,10 +202,17 @@ pub fn csv_bundle(result: &CampaignResult) -> String {
 ///
 /// Any I/O error creating the directory or writing a file.
 pub fn write_csvs(result: &CampaignResult, dir: &std::path::Path) -> std::io::Result<()> {
+    use mppm_experiments::atomic_write_bytes;
     std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("campaign_designs.csv"), design_table(result).to_csv())?;
-    std::fs::write(dir.join("campaign_slowdown_hist.csv"), histogram_table(result).to_csv())?;
-    std::fs::write(dir.join("campaign_stability.csv"), stability_table(result).to_csv())?;
+    atomic_write_bytes(&dir.join("campaign_designs.csv"), design_table(result).to_csv().as_bytes())?;
+    atomic_write_bytes(
+        &dir.join("campaign_slowdown_hist.csv"),
+        histogram_table(result).to_csv().as_bytes(),
+    )?;
+    atomic_write_bytes(
+        &dir.join("campaign_stability.csv"),
+        stability_table(result).to_csv().as_bytes(),
+    )?;
     Ok(())
 }
 

@@ -113,7 +113,7 @@ impl CampaignSpec {
         if let Some(&bad) = self.designs.iter().find(|&&d| d >= configs) {
             return invalid(format!("design index {bad} out of range (have {configs} configs)"));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         if let Some(&dup) = self.designs.iter().find(|&&d| !seen.insert(d)) {
             return invalid(format!("design index {dup} listed twice"));
         }

@@ -64,6 +64,7 @@ fn killed_campaign_resumes_bit_identically_across_thread_counts() {
         }
         let torn = dir.join("shard-d0-00010.json");
         let bytes = std::fs::read(&torn).unwrap();
+        // mppm-lint: allow(non-atomic-write): deliberately tears the shard to exercise resume-after-kill
         std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
 
         let resumed = run_campaign(&ctx_b, &spec, &options).unwrap();

@@ -71,6 +71,13 @@ pub enum Command {
         trials: usize,
         quick: bool,
     },
+    /// Run the determinism lint pass over the workspace sources.
+    Lint {
+        /// Exit non-zero on any violation (the CI gate).
+        deny: bool,
+        /// Machine-readable report.
+        json: bool,
+    },
     /// Show usage.
     Help,
 }
@@ -101,13 +108,16 @@ USAGE:
   mppm-cli record <bench> --out FILE [--quick]
   mppm-cli campaign [--cores N] [--configs A,B,...] [--sample N] [--seed S]
               [--shard-size N] [--trials N] [--quick]
+  mppm-cli lint [--deny] [--json]
   mppm-cli help
 
 Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
 --config selects the Table 2 LLC configuration 1..6 (default 1).
 --quick uses short traces for instant results.
 `campaign` sweeps every mix (or a seeded stratified --sample) over each
---configs design point, checkpointing shards so a killed run resumes.";
+--configs design point, checkpointing shards so a killed run resumes.
+`lint` runs the mppm-analyze determinism rules over the workspace's own
+sources; --deny makes violations fatal (the CI gate).";
 
 fn parse_config(value: &str) -> Result<usize, ParseError> {
     let n: usize = value
@@ -148,7 +158,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "quick" {
+            if name == "quick" || name == "deny" || name == "json" {
                 flags.push((name, None));
                 i += 1;
             } else {
@@ -174,6 +184,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "list" | "simulate" => &["quick", "config"],
         "record" => &["quick", "out"],
         "campaign" => &["quick", "cores", "configs", "sample", "seed", "shard-size", "trials"],
+        "lint" => &["deny", "json"],
         _ => &[],
     };
     for (name, _) in &flags {
@@ -249,6 +260,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             )?;
             Ok(Command::Simulate { mix, config, quick })
         }
+        "lint" => {
+            Ok(Command::Lint { deny: flag("deny").is_some(), json: flag("json").is_some() })
+        }
         "record" => {
             let benchmark = positional
                 .first()
@@ -314,6 +328,17 @@ mod tests {
     fn no_args_is_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse_ok(&["help"]), Command::Help);
+    }
+
+    #[test]
+    fn lint_flags() {
+        assert_eq!(parse_ok(&["lint"]), Command::Lint { deny: false, json: false });
+        assert_eq!(parse_ok(&["lint", "--deny"]), Command::Lint { deny: true, json: false });
+        assert_eq!(
+            parse_ok(&["lint", "--deny", "--json"]),
+            Command::Lint { deny: true, json: true }
+        );
+        assert!(parse_err(&["lint", "--quick"]).contains("unknown flag"));
     }
 
     #[test]

@@ -126,6 +126,24 @@ fn run(cmd: Command) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
+        Command::Lint { deny, json } => {
+            let root = std::env::current_dir()
+                .ok()
+                .and_then(|cwd| mppm_analyze::find_workspace_root(&cwd))
+                .ok_or("could not locate the workspace root (run from inside the repo)")?;
+            let analysis = mppm_analyze::analyze_workspace(&root)
+                .map_err(|e| format!("analyzing {}: {e}", root.display()))?;
+            let report = if json {
+                mppm_analyze::report::json(&analysis)
+            } else {
+                mppm_analyze::report::human(&analysis)
+            };
+            print!("{report}");
+            if deny && !analysis.is_clean() {
+                return Err(format!("{} lint violation(s)", analysis.violations.len()));
+            }
+            Ok(())
+        }
         Command::Count { cores } => {
             let n = suite::spec_suite().len();
             let count = count_mixes(n, cores).map_err(|e| e.to_string())?;
@@ -240,7 +258,8 @@ fn run(cmd: Command) -> Result<(), String> {
             let mut stream = TraceStream::new(spec.clone(), g);
             let trace = RecordedTrace::capture(&mut stream, g.trace_insns());
             let bytes = trace.to_bytes();
-            std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+            mppm_experiments::atomic_write_bytes(std::path::Path::new(&out), &bytes)
+                .map_err(|e| format!("writing {out}: {e}"))?;
             println!(
                 "recorded {} instructions ({} items, {} bytes) to {out}",
                 trace.insns(),

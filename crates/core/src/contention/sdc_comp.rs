@@ -31,8 +31,7 @@ impl ContentionModel for SdcCompetitionModel {
                 .max_by(|&a, &b| {
                     let ca = windows[a].counters()[ways[a] as usize];
                     let cb = windows[b].counters()[ways[b] as usize];
-                    ca.partial_cmp(&cb)
-                        .expect("counters are finite")
+                    ca.total_cmp(&cb)
                         .then(ways[b].cmp(&ways[a]))
                         .then(b.cmp(&a))
                 });

@@ -5,6 +5,32 @@
 //! populations that are aggregated shard by shard without ever holding
 //! the full sample in memory.
 
+/// Total order over `f64` for sorts, merges and maxima.
+///
+/// Wraps [`f64::total_cmp`] (IEEE 754 `totalOrder`): identical to
+/// `partial_cmp` on the finite values the model produces, but still a
+/// total order if a NaN ever slips in (ordered after +∞), so a poisoned
+/// input degrades one statistic instead of making sort output — and
+/// everything downstream of it — depend on element order. Every float
+/// comparator in the workspace routes through here or `f64::total_cmp`
+/// directly; the `float-partial-order` lint enforces it.
+///
+/// # Example
+///
+/// ```
+/// use mppm::stats::total_cmp;
+///
+/// let mut xs = vec![2.5, f64::NAN, 1.0];
+/// xs.sort_by(|a, b| total_cmp(*a, *b));
+/// assert_eq!(xs[0], 1.0);
+/// assert_eq!(xs[1], 2.5);
+/// assert!(xs[2].is_nan());
+/// ```
+#[must_use]
+pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 ///
 /// One pass, O(1) memory, deterministic for a fixed observation order —
@@ -145,7 +171,7 @@ impl P2Quantile {
             self.q[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                self.q.sort_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -210,7 +236,7 @@ impl P2Quantile {
         }
         if self.count < 5 {
             let mut head = self.q[..self.count].to_vec();
-            head.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            head.sort_by(|a, b| a.total_cmp(b));
             // Nearest-rank interpolation over the buffered head.
             let idx = self.p * (head.len() - 1) as f64;
             let lo = idx.floor() as usize;
@@ -369,7 +395,7 @@ pub fn ci95(xs: &[f64]) -> Option<ConfidenceInterval> {
 /// Fractional ranks (1-based, ties averaged).
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("values are comparable"));
+    idx.sort_by(|&a, &b| total_cmp(xs[a], xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -489,6 +515,38 @@ pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn total_cmp_matches_partial_cmp_on_finite_values() {
+        let xs = [-1.5, 0.0, 3.25, f64::MIN, f64::MAX, 1e-300, -1e300];
+        for &a in &xs {
+            for &b in &xs {
+                // mppm-lint: allow(float-partial-order): this test asserts total_cmp agrees with partial_cmp on finite values
+                assert_eq!(Some(total_cmp(a, b)), a.partial_cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_and_infinities_deterministically() {
+        use std::cmp::Ordering;
+        // NaN sorts after +inf: a poisoned value lands at the tail of a
+        // sort instead of leaving the order dependent on input position.
+        assert_eq!(total_cmp(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(total_cmp(f64::NEG_INFINITY, f64::MIN), Ordering::Less);
+        assert_eq!(total_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        // The one divergence from `==`: IEEE totalOrder separates signed
+        // zeros. Documented so a future "simplification" to partial_cmp
+        // has to confront this case.
+        assert_eq!(total_cmp(-0.0, 0.0), Ordering::Less);
+
+        let mut xs = vec![f64::NAN, 2.0, f64::NEG_INFINITY, 1.0, f64::INFINITY];
+        xs.sort_by(|a, b| total_cmp(*a, *b));
+        assert_eq!(xs[0], f64::NEG_INFINITY);
+        assert_eq!(&xs[1..3], &[1.0, 2.0]);
+        assert_eq!(xs[3], f64::INFINITY);
+        assert!(xs[4].is_nan());
+    }
 
     #[test]
     fn mean_and_std() {

@@ -95,7 +95,7 @@ pub fn tercile_pools(profiles: &[SingleCoreProfile]) -> (Vec<usize>, Vec<usize>,
     order.sort_by(|&a, &b| {
         let fa = profiles[a].cpi_mem() / profiles[a].cpi_sc();
         let fb = profiles[b].cpi_mem() / profiles[b].cpi_sc();
-        fa.partial_cmp(&fb).expect("finite")
+        mppm::stats::total_cmp(fa, fb)
     });
     let n = order.len();
     let comp = order[..n / 3].to_vec();

@@ -5,7 +5,7 @@
 //! workloads. This module reuses Figure 4's 4-core population.
 
 use mppm_trace::suite;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::fig4::CoreCountResult;
 use crate::table::{f3, Table};
@@ -40,15 +40,15 @@ pub fn run(results: &CoreCountResult) -> Fig9Output {
     let predicted: Vec<f64> = results.predicted.iter().map(|p| p.stp()).collect();
 
     let mut order: Vec<usize> = (0..measured.len()).collect();
-    order.sort_by(|&a, &b| measured[a].partial_cmp(&measured[b]).expect("finite"));
+    order.sort_by(|&a, &b| mppm::stats::total_cmp(measured[a], measured[b]));
     let sorted: Vec<(String, f64, f64)> =
         order.iter().map(|&i| (labels[i].clone(), measured[i], predicted[i])).collect();
 
     let worst_k = 25.min(measured.len());
-    let measured_worst: HashSet<usize> = order[..worst_k].iter().copied().collect();
+    let measured_worst: BTreeSet<usize> = order[..worst_k].iter().copied().collect();
     let mut pred_order: Vec<usize> = (0..predicted.len()).collect();
-    pred_order.sort_by(|&a, &b| predicted[a].partial_cmp(&predicted[b]).expect("finite"));
-    let predicted_worst: HashSet<usize> = pred_order[..worst_k].iter().copied().collect();
+    pred_order.sort_by(|&a, &b| mppm::stats::total_cmp(predicted[a], predicted[b]));
+    let predicted_worst: BTreeSet<usize> = pred_order[..worst_k].iter().copied().collect();
     let worst_overlap = measured_worst.intersection(&predicted_worst).count();
 
     Fig9Output { sorted, worst_overlap, worst_k }

@@ -13,7 +13,7 @@ use mppm_sim::{simulate_mix, MachineConfig, MixResult};
 use mppm_trace::{suite, BenchmarkSpec, TraceGeometry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -89,7 +89,7 @@ pub struct Store {
     root: PathBuf,
     /// Cached mix measurements per (machine, geometry) file, loaded
     /// lazily.
-    mixes: Mutex<HashMap<String, HashMap<String, MixRecord>>>,
+    mixes: Mutex<BTreeMap<String, BTreeMap<String, MixRecord>>>,
 }
 
 impl Store {
@@ -98,7 +98,7 @@ impl Store {
         let root = root.into();
         std::fs::create_dir_all(root.join("profiles"))?;
         std::fs::create_dir_all(root.join("sims"))?;
-        Ok(Self { root, mixes: Mutex::new(HashMap::new()) })
+        Ok(Self { root, mixes: Mutex::new(BTreeMap::new()) })
     }
 
     /// Opens the workspace-default store under `target/mppm-store`.
@@ -191,10 +191,11 @@ impl Store {
             .iter()
             .map(|n| suite::benchmark(n).expect("mix references a suite benchmark"))
             .collect();
+        // mppm-lint: allow(wallclock-in-sim): records how long the sim took (sim_seconds telemetry), not simulated time
         let started = Instant::now();
         let result: MixResult = simulate_mix(&specs, machine, geometry);
         // `cpi_sc` arrives in caller order; rebuild it in canonical order.
-        let mut sc_by_name: HashMap<&str, f64> = HashMap::new();
+        let mut sc_by_name: BTreeMap<&str, f64> = BTreeMap::new();
         for (n, &sc) in mix_names.iter().zip(cpi_sc) {
             sc_by_name.insert(n, sc);
         }
@@ -240,21 +241,24 @@ fn read_json<T: serde::de::DeserializeOwned>(path: &Path) -> Option<T> {
     serde_json::from_slice(&bytes).ok()
 }
 
-/// Serializes `value` as JSON to `path` atomically: the bytes go to a
-/// uniquely named temp file in the same directory, which is then renamed
-/// over the target. A reader can observe the old contents or the new
-/// contents, never a truncated mix — so a killed run can never leave a
-/// corrupt cache entry or campaign journal shard behind. Temp names embed
-/// the process id and a counter, so concurrent writers (worker threads,
-/// parallel test processes) cannot clobber each other's staging files.
+/// Writes `bytes` to `path` atomically: the bytes go to a uniquely named
+/// temp file in the same directory, which is then renamed over the
+/// target. A reader can observe the old contents or the new contents,
+/// never a truncated file — so a killed run can never leave a corrupt
+/// cache entry, campaign journal shard, or half-written CSV behind. Temp
+/// names embed the process id and a counter, so concurrent writers
+/// (worker threads, parallel test processes) cannot clobber each other's
+/// staging files.
+///
+/// Every result-file write in the workspace routes through this function
+/// or [`atomic_write_json`]; the `non-atomic-write` lint enforces it.
 ///
 /// # Errors
 ///
 /// Any I/O error from writing the temp file or renaming it.
-pub fn atomic_write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
-    let json = serde_json::to_vec(value).expect("serialization cannot fail");
     let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
     })?;
@@ -263,10 +267,24 @@ pub fn atomic_write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Resul
         std::process::id(),
         NEXT_TMP.fetch_add(1, Ordering::Relaxed)
     ));
-    std::fs::write(&tmp, &json)?;
+    // The staging file is private to this writer (unique name) until the
+    // rename below publishes it, so this is the one place a bare write
+    // is sound — it IS the atomic primitive.
+    // mppm-lint: allow(non-atomic-write): unique-named staging file, published only by the rename below
+    std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
     })
+}
+
+/// Serializes `value` as JSON to `path` via [`atomic_write_bytes`].
+///
+/// # Errors
+///
+/// Any I/O error from writing the temp file or renaming it.
+pub fn atomic_write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let json = serde_json::to_vec(value).expect("serialization cannot fail");
+    atomic_write_bytes(path, &json)
 }
 
 fn write_json<T: Serialize>(path: &Path, value: &T) {
@@ -387,11 +405,13 @@ mod tests {
             "{}.tmp-999-0",
             path.file_name().unwrap().to_str().unwrap()
         ));
+        // mppm-lint: allow(non-atomic-write): fabricates the stray staging file this test is about
         std::fs::write(&tmp, b"{\"name\": \"hmm").unwrap();
 
         // Truncate the real cache entry, simulating a non-atomic torn
         // write (exactly what atomic_write_json makes impossible).
         let bytes = std::fs::read(&path).unwrap();
+        // mppm-lint: allow(non-atomic-write): deliberately tears the cache entry to prove reload survives it
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
 
         let reopened = Store::open(dir.path.clone()).unwrap();

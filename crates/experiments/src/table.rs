@@ -93,7 +93,7 @@ impl Table {
         let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.csv"));
-        std::fs::write(&path, self.to_csv())?;
+        crate::store::atomic_write_bytes(&path, self.to_csv().as_bytes())?;
         Ok(path)
     }
 }

@@ -50,7 +50,8 @@ impl TraceGeometry {
     /// Interval index containing instruction `insn` (which may exceed one
     /// trace length; positions wrap around the trace).
     pub fn interval_of(&self, insn: u64) -> u32 {
-        ((insn % self.trace_insns()) / self.interval_insns) as u32
+        u32::try_from((insn % self.trace_insns()) / self.interval_insns)
+            .expect("index < intervals, which is u32")
     }
 
     /// First instruction of interval `idx` (0-based, `idx < intervals`).

@@ -47,7 +47,7 @@ impl Phase {
         for r in &self.regions {
             r.validate()?;
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for r in &self.regions {
             if !seen.insert(r.id) {
                 return Err(format!("phase references region id {} twice", r.id));

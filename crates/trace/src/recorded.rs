@@ -118,7 +118,9 @@ impl RecordedTrace {
             let take = item.insns().min(insns - captured);
             match item {
                 TraceItem::Compute { .. } => {
-                    items.push(TraceItem::Compute { insns: take as u32 });
+                    items.push(TraceItem::Compute {
+                        insns: u32::try_from(take).expect("clipped to a u32 batch length"),
+                    });
                 }
                 access => items.push(access),
             }
@@ -191,7 +193,9 @@ impl RecordedTrace {
                     if payload == 0 || payload > u64::from(u32::MAX) {
                         return Err(DecodeError::EmptyBatch(i));
                     }
-                    TraceItem::Compute { insns: payload as u32 }
+                    TraceItem::Compute {
+                        insns: u32::try_from(payload).expect("range-checked above"),
+                    }
                 }
                 TAG_LOAD => TraceItem::Access(MemAccess { block: payload, store: false }),
                 TAG_STORE => TraceItem::Access(MemAccess { block: payload, store: true }),

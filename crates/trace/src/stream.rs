@@ -1,6 +1,6 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::{BenchmarkSpec, MemAccess, Region, RegionKind, TraceGeometry, TraceItem};
@@ -42,7 +42,7 @@ pub struct TraceStream {
     /// Completed trace passes.
     wraps: u64,
     /// Per-region-id stream walk positions.
-    stream_pos: HashMap<u32, u64>,
+    stream_pos: BTreeMap<u32, u64>,
     /// Remaining compute instructions before the next memory access,
     /// together with the phase index it was sampled under; `None` means
     /// the gap has not been sampled yet. Geometric memorylessness makes
@@ -87,7 +87,7 @@ impl TraceStream {
             rng,
             insn: 0,
             wraps: 0,
-            stream_pos: HashMap::new(),
+            stream_pos: BTreeMap::new(),
             pending_gap: None,
             cum_weights,
             cur_phase,
@@ -174,7 +174,8 @@ impl TraceStream {
             self.refresh_phase_cache();
             return TraceItem::Access(access);
         }
-        let batch = gap.min(remaining).min(u64::from(u32::MAX)) as u32;
+        let batch = u32::try_from(gap.min(remaining).min(u64::from(u32::MAX)))
+            .expect("clamped to u32::MAX above");
         self.pending_gap = Some((phase_idx, gap - u64::from(batch)));
         self.insn += u64::from(batch);
         self.refresh_phase_cache();

@@ -21,7 +21,7 @@
 //! the baseline machine are: L1D = 512 blocks, private L2 = 4096 blocks,
 //! shared LLC = 8192 blocks (config #1) up to 32768 blocks (config #6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 use crate::{BenchmarkSpec, Phase, Region};
@@ -339,7 +339,7 @@ pub fn spec_suite() -> &'static [BenchmarkSpec] {
 /// assert!(mppm_trace::suite::benchmark("nonexistent").is_none());
 /// ```
 pub fn benchmark(name: &str) -> Option<&'static BenchmarkSpec> {
-    static INDEX: OnceLock<HashMap<&'static str, &'static BenchmarkSpec>> = OnceLock::new();
+    static INDEX: OnceLock<BTreeMap<&'static str, &'static BenchmarkSpec>> = OnceLock::new();
     INDEX
         .get_or_init(|| spec_suite().iter().map(|s| (s.name(), s)).collect())
         .get(name)

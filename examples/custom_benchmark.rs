@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let pred = model.predict(&[&profile, &co_profile])?;
         results.push((corunner.name(), pred.slowdowns()[0]));
     }
-    results.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    results.sort_by(|a, b| mppm::stats::total_cmp(b.1, a.1));
     println!("worst co-runners for mydb (predicted slowdown of mydb):");
     for (name, slowdown) in results.iter().take(5) {
         println!("  {name:<12} {slowdown:.3}x");

@@ -59,7 +59,7 @@ fn main() {
         );
     }
 
-    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    ranking.sort_by(|a, b| mppm::stats::total_cmp(b.1, a.1));
     println!("\nranking (best first):");
     for (rank, (idx, stp, lo, hi)) in ranking.iter().enumerate() {
         let decided = rank == 0

@@ -77,7 +77,7 @@ fn main() {
     let worst = slowdowns
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty mix");
     println!(

@@ -11,7 +11,7 @@ use mppm::mix::{enumerate_mixes, Mix};
 use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
 use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
 use mppm_trace::{suite, TraceGeometry};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
@@ -35,9 +35,10 @@ fn main() {
         four_core.len()
     );
 
+    // mppm-lint: allow(wallclock-in-sim): prints how long the hunt took; no result depends on it
     let started = Instant::now();
     let mut scored: Vec<(f64, &Mix)> = Vec::new();
-    let mut slowdown_per_bench: HashMap<&str, (f64, f64)> = HashMap::new();
+    let mut slowdown_per_bench: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
     for mix in two_core.iter().chain(&four_core) {
         let refs: Vec<&SingleCoreProfile> = mix.resolve(&profiles);
         let pred = model.predict(&refs).expect("valid profiles");
@@ -57,7 +58,7 @@ fn main() {
         started.elapsed().as_secs_f64() * 1000.0 / scored.len() as f64
     );
 
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    scored.sort_by(|a, b| mppm::stats::total_cmp(a.0, b.0));
     println!("ten most stressful workloads (lowest per-core STP):");
     for (stp, mix) in scored.iter().take(10) {
         let names: Vec<&str> =
@@ -71,7 +72,7 @@ fn main() {
         .into_iter()
         .map(|(name, (total, count))| (name, total / count))
         .collect();
-    avg.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    avg.sort_by(|a, b| mppm::stats::total_cmp(b.1, a.1));
     println!("\nmost cache-sensitive benchmarks (average predicted slowdown):");
     for (name, slowdown) in avg.iter().take(6) {
         println!("  {name:<10} {slowdown:.3}x");

@@ -71,7 +71,11 @@ fn simulate_mix_matches_golden_snapshot() {
 
     if std::env::var_os("MPPM_REGEN_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().expect("golden dir")).unwrap();
-        std::fs::write(&path, serde_json::to_string_pretty(&fresh).unwrap()).unwrap();
+        mppm_experiments::atomic_write_bytes(
+            &path,
+            serde_json::to_string_pretty(&fresh).unwrap().as_bytes(),
+        )
+        .unwrap();
         eprintln!("regenerated {}", path.display());
         return;
     }

@@ -54,7 +54,7 @@ fn victim_ordering_matches_simulator() {
         pred.slowdowns());
     // And the top victim agrees exactly.
     let argmax = |xs: &[f64]| {
-        xs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        xs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("slowdown vectors are non-empty").0
     };
     assert_eq!(argmax(&meas_slow), argmax(pred.slowdowns()));
 }
