@@ -16,6 +16,7 @@
 //! | `wallclock-in-sim`     | host-clock reads in simulated time |
 //! | `unwrap-in-lib`        | undocumented panics in library code |
 //! | `lossy-counter-cast`   | silent truncation of 64-bit counters |
+//! | `deprecated-sim-entrypoint` | retired `simulate_mix*` free functions instead of `MixSim` |
 //!
 //! The environment has no `clippy`/`syn`, so the pass is hand-rolled: a
 //! small lexer ([`lexer`]) strips comments and literals, then

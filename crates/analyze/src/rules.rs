@@ -56,6 +56,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(WallclockInSim),
         Box::new(UnwrapInLib),
         Box::new(LossyCounterCast),
+        Box::new(DeprecatedSimEntrypoint),
     ]
 }
 
@@ -304,6 +305,56 @@ impl Rule for LossyCounterCast {
                             ),
                         });
                     }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `deprecated-sim-entrypoint` — in-repo use of the retired
+/// `simulate_mix*` free-function family. The `MixSim` builder is the one
+/// supported entry point to the detailed simulator; the free functions
+/// survive only as deprecated wrappers for downstream code. The
+/// wrappers' own crate (`crates/cmpsim/src/`) is exempt — it *defines*
+/// them — and test code may exercise them deliberately (the
+/// builder-equivalence differentials do).
+pub struct DeprecatedSimEntrypoint;
+
+const DEPRECATED_SIM_ENTRYPOINTS: &[&str] = &[
+    "simulate_mix",
+    "simulate_mix_with",
+    "simulate_mix_partitioned",
+    "simulate_mix_heterogeneous",
+    "simulate_mix_opts",
+];
+
+impl Rule for DeprecatedSimEntrypoint {
+    fn name(&self) -> &'static str {
+        "deprecated-sim-entrypoint"
+    }
+    fn description(&self) -> &'static str {
+        "retired `simulate_mix*` free function in non-test code; use the `MixSim` builder"
+    }
+    fn scope(&self) -> Scope {
+        Scope::NonTest
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        !path.starts_with("crates/cmpsim/src/")
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(name) = t.ident() {
+                if DEPRECATED_SIM_ENTRYPOINTS.contains(&name) {
+                    out.push(Finding {
+                        tok: i,
+                        message: format!(
+                            "`{name}` is a deprecated wrapper; build the run with \
+                             `mppm_sim::MixSim` instead"
+                        ),
+                    });
                 }
             }
         }

@@ -279,6 +279,45 @@ fn fast_path(pos: usize) -> u32 {
 }
 
 #[test]
+fn deprecated_sim_entrypoint() {
+    fires_and_fixes(
+        "deprecated-sim-entrypoint",
+        r#"
+fn run(specs: &[Spec], m: &Machine, g: Geometry) -> MixResult {
+    mppm_sim::simulate_mix(specs, m, g)
+}
+"#,
+        r#"
+fn run(specs: &[Spec], m: &Machine, g: Geometry) -> MixResult {
+    mppm_sim::MixSim::new(specs, m, g).run()
+}
+"#,
+    );
+}
+
+#[test]
+fn deprecated_sim_entrypoint_exempts_the_defining_crate_and_tests() {
+    // The wrappers live in cmpsim's own sources, and tests may exercise
+    // them deliberately — neither is flagged.
+    let src = "fn f() { let _ = simulate_mix_partitioned(s, m, g, q); }\n";
+    assert!(analyze_one("crates/cmpsim/src/multi.rs", src).is_clean());
+    assert!(analyze_one("tests/differential.rs", src).is_clean());
+    // Everywhere else each deprecated entry point fires.
+    let all = r#"
+fn f() {
+    simulate_mix(a, b, c);
+    simulate_mix_with(a, b, c, d);
+    simulate_mix_partitioned(a, b, c, d);
+    simulate_mix_heterogeneous(a, b, c, d);
+    simulate_mix_opts(a, b, c, d);
+}
+"#;
+    let fired = rules_fired(&analyze_one(LIB, all));
+    assert_eq!(fired.len(), 5, "{fired:?}");
+    assert!(fired.iter().all(|(r, _)| r == "deprecated-sim-entrypoint"));
+}
+
+#[test]
 fn unknown_rule_in_allow_is_a_violation() {
     let src = "fn f() {} // mppm-lint: allow(no-such-rule): because\n";
     let fired = rules_fired(&analyze_one(LIB, src));

@@ -8,7 +8,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
 use mppm_bench::{bench_geometry, bench_profiles};
-use mppm_sim::{simulate_mix, MachineConfig};
+use mppm_sim::{MachineConfig, MixSim};
 use mppm_trace::suite;
 
 fn core_counts() -> Vec<usize> {
@@ -46,7 +46,7 @@ fn bench_detailed_sim(c: &mut Criterion) {
             .map(|n| suite::benchmark(n).expect("benchmark exists"))
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {
-            b.iter(|| simulate_mix(&specs, &machine, bench_geometry()));
+            b.iter(|| MixSim::new(&specs, &machine, bench_geometry()).run());
         });
     }
     group.finish();

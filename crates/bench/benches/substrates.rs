@@ -9,7 +9,7 @@ use mppm_bench::bench_geometry;
 use mppm_cache::reference::NaiveCache;
 use mppm_cache::{CacheConfig, Replacement, Sdc, SetAssocCache};
 use mppm_sim::{
-    run_single_core, simulate_mix_opts, LlcMode, MachineConfig, MixOptions, Scheduler,
+    run_single_core, LlcMode, MachineConfig, MixSim, Scheduler,
 };
 use mppm_trace::{suite, TraceStream};
 
@@ -110,8 +110,9 @@ fn bench_sim_interleave(c: &mut Criterion) {
             [("event", Scheduler::EventDriven), ("reference", Scheduler::Reference)]
         {
             group.bench_function(format!("{cores}core_{name}"), |b| {
-                let opts = MixOptions { scheduler, ..MixOptions::default() };
-                b.iter(|| simulate_mix_opts(&specs, &machine, bench_geometry(), &opts));
+                b.iter(|| {
+                    MixSim::new(&specs, &machine, bench_geometry()).scheduler(scheduler).run()
+                });
             });
         }
     }

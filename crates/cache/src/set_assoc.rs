@@ -85,6 +85,7 @@ pub struct SetAssocCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl SetAssocCache {
@@ -118,6 +119,7 @@ impl SetAssocCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -134,6 +136,11 @@ impl SetAssocCache {
     /// Total misses observed.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Total evictions observed (misses that displaced a resident line).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Accesses `block`, filling it on a miss.
@@ -177,6 +184,7 @@ impl SetAssocCache {
             let victim = set[victim_pos].block;
             set[..=victim_pos].rotate_right(1);
             set[0] = Way { block, inserted: self.tick };
+            self.evictions += 1;
             Some(victim)
         } else {
             // Rotating one slot past the resident prefix shifts it right
@@ -209,6 +217,7 @@ impl SetAssocCache {
         self.tick = 0;
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
         if let Replacement::Random { seed } = self.replacement {
             self.rng = Some(SmallRng::seed_from_u64(seed));
         }
@@ -255,8 +264,10 @@ mod tests {
         let mut c = tiny(2);
         c.access(0);
         c.access(4);
+        assert_eq!(c.evictions(), 0);
         let r = c.access(8); // evicts 0
         assert_eq!(r.evicted, Some(0));
+        assert_eq!(c.evictions(), 1);
         assert!(!c.contains(0));
         assert!(c.contains(4));
         assert!(c.contains(8));
@@ -315,10 +326,14 @@ mod tests {
         let mut c = tiny(2);
         c.access(1);
         c.access(2);
+        c.access(5);
+        c.access(9); // third line in set 1 of a 2-way: forces an eviction
+        assert_eq!(c.evictions(), 1);
         c.reset();
         assert_eq!(c.occupancy(), 0);
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 0);
+        assert_eq!(c.evictions(), 0);
         assert!(!c.contains(1));
     }
 

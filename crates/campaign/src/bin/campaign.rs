@@ -6,23 +6,29 @@
 //!
 //! ```text
 //! campaign [--quick] [--cores N] [--configs 1,2,...] \
-//!          [--sample N --seed S] [--shard-size N] [--trials N]
+//!          [--sample N --seed S] [--shard-size N] [--trials N] \
+//!          [--trace FILE] [--progress]
 //! ```
 //!
 //! `--configs` takes 1-based Table 2 LLC config numbers. Without
 //! `--sample` the full mix space is enumerated (refused above 4M mixes).
+//! `--trace FILE` writes a deterministic JSONL event trace; `--progress`
+//! mirrors campaign milestones to stderr.
 
 use mppm_campaign::{
-    csv_bundle, design_table, histogram_table, run_campaign, stability_table, write_csvs,
+    csv_bundle, design_table, histogram_table, run_campaign_with, stability_table, write_csvs,
     AggregateOptions, CampaignSpec, MixSource,
 };
 use mppm_experiments::{Context, Scale};
+use mppm_obs::{JsonlSink, Observer, ProgressSink, Sink};
 use std::path::PathBuf;
 
 struct Args {
     scale: Scale,
     spec: CampaignSpec,
     options: AggregateOptions,
+    trace: Option<PathBuf>,
+    progress: bool,
 }
 
 fn usage() -> ! {
@@ -36,7 +42,9 @@ fn usage() -> ! {
          --sample N     stratified sample of N mixes instead of the full space\n\
          --seed S       sample seed (default 1, ignored without --sample)\n\
          --shard-size N mixes per checkpoint shard (default 64)\n\
-         --trials N     random subsets per stability point (default 200)"
+         --trials N     random subsets per stability point (default 200)\n\
+         --trace FILE   write a deterministic JSONL event trace to FILE\n\
+         --progress     print campaign milestones to stderr"
     );
     std::process::exit(2);
 }
@@ -47,6 +55,8 @@ fn parse_args() -> Args {
     let mut options = AggregateOptions::default();
     let mut sample: Option<usize> = None;
     let mut seed = 1u64;
+    let mut trace: Option<PathBuf> = None;
+    let mut progress = false;
     let mut args = std::env::args().skip(1);
     let parse = |v: Option<String>, what: &str| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -75,6 +85,13 @@ fn parse_args() -> Args {
             "--seed" => seed = parse(args.next(), "--seed"),
             "--shard-size" => spec.shard_size = parse(args.next(), "--shard-size") as usize,
             "--trials" => options.stability_trials = parse(args.next(), "--trials") as usize,
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace needs a file path");
+                    usage()
+                })));
+            }
+            "--progress" => progress = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other}");
@@ -85,19 +102,40 @@ fn parse_args() -> Args {
     if let Some(count) = sample {
         spec.source = MixSource::Stratified { count, seed };
     }
-    Args { scale, spec, options }
+    Args { scale, spec, options, trace, progress }
 }
 
 fn main() {
     let args = parse_args();
     let ctx = Context::new(args.scale);
-    let result = match run_campaign(&ctx, &args.spec, &args.options) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    if args.progress {
+        sinks.push(Box::new(ProgressSink));
+    }
+    if let Some(path) = &args.trace {
+        sinks.push(Box::new(JsonlSink::new(path.clone())));
+    }
+    let observer =
+        if sinks.is_empty() { Observer::disabled() } else { Observer::with_sinks(sinks) };
+
+    let result = {
+        let root = observer.root("campaign");
+        match run_campaign_with(&ctx, &args.spec, &args.options, &root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     };
+    if let Err(e) = observer.finish() {
+        eprintln!("error writing trace: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.trace {
+        println!("wrote JSONL trace to {}", path.display());
+    }
 
     println!(
         "campaign {}: {} mixes x {} designs ({} cores)\n",

@@ -13,6 +13,7 @@
 
 use mppm::SingleCoreProfile;
 use mppm_experiments::{parallel_map, Context};
+use mppm_obs::{Span, Value};
 use std::time::Instant;
 
 use crate::journal::{Journal, MixOutcome, ShardRecord};
@@ -44,16 +45,24 @@ impl ExecutionStats {
 
 /// Computes one shard: the MPPM prediction of every mix in range on the
 /// shard's design point.
+///
+/// `span` is the *shard's* scope. Each mix gets a child scope named by
+/// its global plan index (`mix-0007`), so the trace's event order is a
+/// function of the plan alone — never of which worker ran the shard.
 fn compute_shard(
     ctx: &Context,
     plan: &CampaignPlan,
     profiles: &[SingleCoreProfile],
     shard: &Shard,
+    span: &Span,
 ) -> ShardRecord {
     let outcomes = plan.mixes[shard.start..shard.end]
         .iter()
-        .map(|mix| {
-            let pred = ctx.predict(mix, profiles);
+        .enumerate()
+        .map(|(offset, mix)| {
+            let mix_span = span.child(&format!("mix-{:04}", shard.start + offset));
+            let pred = ctx.predict_observed(mix, profiles, &mix_span);
+            span.counter("campaign.mixes").incr();
             MixOutcome {
                 members: mix.members().to_vec(),
                 stp: pred.stp(),
@@ -79,6 +88,26 @@ pub fn execute(
     ctx: &Context,
     plan: &CampaignPlan,
     journal: &Journal,
+) -> Result<(Vec<ShardRecord>, ExecutionStats), CampaignError> {
+    execute_observed(ctx, plan, journal, &Span::disabled())
+}
+
+/// [`execute`] under an observability span.
+///
+/// Every computed shard opens a child scope (`shard-d0-i0003`) owned by
+/// exactly one worker; inside it each mix opens its own scope for the
+/// solver's residual events, and a `checkpoint` event marks the moment
+/// the shard hit the journal. Resumed shards emit nothing — the trace
+/// records work actually performed.
+///
+/// # Errors
+///
+/// Exactly as [`execute`].
+pub fn execute_observed(
+    ctx: &Context,
+    plan: &CampaignPlan,
+    journal: &Journal,
+    span: &Span,
 ) -> Result<(Vec<ShardRecord>, ExecutionStats), CampaignError> {
     // Profiles once per design point (cached on disk by the store).
     let profiles: Vec<Vec<SingleCoreProfile>> = plan
@@ -106,10 +135,25 @@ pub fn execute(
     let evaluated: usize = pending.iter().map(|s| s.end - s.start).sum();
     let results: Vec<Result<(), String>> =
         parallel_map("campaign", &pending, |shard| {
-            let record = compute_shard(ctx, plan, &profiles[shard.id.design], shard);
-            journal.store(&record).map_err(|e| {
+            let shard_span =
+                span.child(&format!("shard-d{}-i{:04}", shard.id.design, shard.id.index));
+            let record =
+                compute_shard(ctx, plan, &profiles[shard.id.design], shard, &shard_span);
+            let stored = journal.store(&record).map_err(|e| {
                 format!("persisting shard d{}-{}: {e}", shard.id.design, shard.id.index)
-            })
+            });
+            if stored.is_ok() {
+                shard_span.event(
+                    "checkpoint",
+                    &[
+                        ("design", Value::from(shard.id.design)),
+                        ("index", Value::from(shard.id.index)),
+                        ("mixes", Value::from(shard.end - shard.start)),
+                    ],
+                );
+                span.counter("campaign.shards").incr();
+            }
+            stored
         });
     let compute_seconds = started.elapsed().as_secs_f64();
     if let Some(Err(e)) = results.into_iter().find(Result::is_err) {

@@ -34,7 +34,7 @@ use mppm_sim::llc_configs;
 pub use aggregate::{
     aggregate, AggregateOptions, DesignAggregate, SlowdownHistogram, StabilityPoint, SummaryStats,
 };
-pub use executor::{execute, ExecutionStats};
+pub use executor::{execute, execute_observed, ExecutionStats};
 pub use journal::{Journal, MixOutcome, ShardRecord};
 pub use plan::{CampaignPlan, CampaignSpec, MixSource, Shard, ShardId};
 
@@ -98,12 +98,52 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     options: &AggregateOptions,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with(ctx, spec, options, &mppm_obs::Span::disabled())
+}
+
+/// [`run_campaign`] under an observability span — the entry point the
+/// `campaign` binary's `--trace`/`--progress` flags feed.
+///
+/// The span receives one `plan` event up front (population size, shard
+/// count, design count), then per-shard scopes with `checkpoint` events
+/// and per-mix solver residuals from [`execute_observed`], and finally
+/// an `aggregated` event. A disabled span (what [`run_campaign`] passes)
+/// restores the uninstrumented behavior exactly.
+///
+/// # Errors
+///
+/// Exactly as [`run_campaign`].
+pub fn run_campaign_with(
+    ctx: &Context,
+    spec: &CampaignSpec,
+    options: &AggregateOptions,
+    span: &mppm_obs::Span,
+) -> Result<CampaignResult, CampaignError> {
+    use mppm_obs::Value;
     let n = mppm_trace::suite::spec_suite().len();
     let plan = CampaignPlan::build(spec, n, ctx.geometry())?;
     let journal = Journal::open(ctx.store().root(), &plan)
         .map_err(|e| CampaignError::Io(format!("opening journal: {e}")))?;
-    let (records, stats) = execute(ctx, &plan, &journal)?;
+    span.event(
+        "plan",
+        &[
+            ("plan_id", Value::from(plan.id.as_str())),
+            ("cores", Value::from(spec.cores)),
+            ("mixes", Value::from(plan.mixes.len())),
+            ("designs", Value::from(spec.designs.len())),
+            ("shards", Value::from(plan.shards.len())),
+        ],
+    );
+    let (records, stats) = execute_observed(ctx, &plan, &journal, span)?;
     let (designs, stability) = aggregate(&plan, &records, options);
+    span.event(
+        "aggregated",
+        &[
+            ("computed_shards", Value::from(stats.computed_shards)),
+            ("resumed_shards", Value::from(stats.resumed_shards)),
+            ("evaluated_mixes", Value::from(stats.evaluated_mixes)),
+        ],
+    );
     Ok(CampaignResult {
         plan_id: plan.id,
         cores: spec.cores,

@@ -70,6 +70,10 @@ pub enum Command {
         /// Random subsets per ranking-stability point.
         trials: usize,
         quick: bool,
+        /// JSONL event-trace output path, if requested.
+        trace: Option<String>,
+        /// Mirror campaign milestones to stderr.
+        progress: bool,
     },
     /// Run the determinism lint pass over the workspace sources.
     Lint {
@@ -108,6 +112,7 @@ USAGE:
   mppm-cli record <bench> --out FILE [--quick]
   mppm-cli campaign [--cores N] [--configs A,B,...] [--sample N] [--seed S]
               [--shard-size N] [--trials N] [--quick]
+              [--trace FILE] [--progress]
   mppm-cli lint [--deny] [--json]
   mppm-cli help
 
@@ -115,7 +120,9 @@ Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
 --config selects the Table 2 LLC configuration 1..6 (default 1).
 --quick uses short traces for instant results.
 `campaign` sweeps every mix (or a seeded stratified --sample) over each
---configs design point, checkpointing shards so a killed run resumes.
+--configs design point, checkpointing shards so a killed run resumes;
+--trace writes a deterministic JSONL event trace and --progress mirrors
+milestones to stderr.
 `lint` runs the mppm-analyze determinism rules over the workspace's own
 sources; --deny makes violations fatal (the CI gate).";
 
@@ -158,7 +165,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "quick" || name == "deny" || name == "json" {
+            if name == "quick" || name == "deny" || name == "json" || name == "progress" {
                 flags.push((name, None));
                 i += 1;
             } else {
@@ -183,7 +190,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "predict" => &["quick", "config", "contention", "partition", "bandwidth"],
         "list" | "simulate" => &["quick", "config"],
         "record" => &["quick", "out"],
-        "campaign" => &["quick", "cores", "configs", "sample", "seed", "shard-size", "trials"],
+        "campaign" => &[
+            "quick", "cores", "configs", "sample", "seed", "shard-size", "trials", "trace",
+            "progress",
+        ],
         "lint" => &["deny", "json"],
         _ => &[],
     };
@@ -298,6 +308,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })?),
                 _ => None,
             };
+            let trace = match flag("trace") {
+                Some(Some(v)) => Some(v.to_string()),
+                Some(None) => return Err(ParseError("--trace expects a file path".into())),
+                None => None,
+            };
             Ok(Command::Campaign {
                 cores,
                 configs,
@@ -306,6 +321,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 shard_size: number("shard-size", 64)? as usize,
                 trials: number("trials", 200)? as usize,
                 quick,
+                trace,
+                progress: flag("progress").is_some(),
             })
         }
         other => Err(ParseError(format!("unknown command `{other}`; try `mppm-cli help`"))),
@@ -423,12 +440,15 @@ mod tests {
                 shard_size: 64,
                 trials: 200,
                 quick: false,
+                trace: None,
+                progress: false,
             }
         );
         assert_eq!(
             parse_ok(&[
                 "campaign", "--quick", "--cores", "4", "--configs", "1,3,6", "--sample", "500",
-                "--seed", "9", "--shard-size", "32", "--trials", "100",
+                "--seed", "9", "--shard-size", "32", "--trials", "100", "--trace",
+                "/tmp/t.jsonl", "--progress",
             ]),
             Command::Campaign {
                 cores: 4,
@@ -438,10 +458,13 @@ mod tests {
                 shard_size: 32,
                 trials: 100,
                 quick: true,
+                trace: Some("/tmp/t.jsonl".into()),
+                progress: true,
             }
         );
         assert!(parse_err(&["campaign", "--configs", "0,1"]).contains("1..6"));
         assert!(parse_err(&["campaign", "--sample", "lots"]).contains("number"));
+        assert!(parse_err(&["predict", "a,b", "--trace", "x"]).contains("unknown flag"));
     }
 
     #[test]

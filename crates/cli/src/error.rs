@@ -1,0 +1,125 @@
+//! The CLI's top-level error type and its process exit codes.
+//!
+//! Every failure path in `run` converts (usually via `From`) into one
+//! [`CliError`] variant, and each variant maps to a distinct exit code
+//! so scripts and CI can tell *why* an invocation failed without
+//! parsing stderr:
+//!
+//! | code | meaning                                          |
+//! |------|--------------------------------------------------|
+//! | 1    | invalid input (unknown benchmark, bad partition) |
+//! | 2    | usage / argument parse error (set in `main`)     |
+//! | 3    | model error ([`mppm::ModelError`])               |
+//! | 4    | campaign error ([`mppm_campaign::CampaignError`])|
+//! | 5    | store / trace / CSV I/O error                    |
+
+use std::fmt;
+
+/// Everything the `mppm-cli` commands can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// User input that parsed but does not make sense (unknown
+    /// benchmark, inconsistent partition, ...).
+    Invalid(String),
+    /// The analytical model rejected the request.
+    Model(mppm::ModelError),
+    /// A campaign failed (spec validation, journal I/O, mix space).
+    Campaign(mppm_campaign::CampaignError),
+    /// Filesystem I/O: the store, a recorded trace, CSVs, a JSONL trace.
+    Io(std::io::Error),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Invalid(_) => 1,
+            CliError::Model(_) => 3,
+            CliError::Campaign(_) => 4,
+            CliError::Io(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+            CliError::Model(e) => write!(f, "model error: {e}"),
+            CliError::Campaign(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Invalid(_) => None,
+            CliError::Model(e) => Some(e),
+            CliError::Campaign(e) => Some(e),
+            CliError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<mppm::ModelError> for CliError {
+    fn from(e: mppm::ModelError) -> Self {
+        CliError::Model(e)
+    }
+}
+
+impl From<mppm_campaign::CampaignError> for CliError {
+    fn from(e: mppm_campaign::CampaignError) -> Self {
+        CliError::Campaign(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Invalid(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Invalid(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let io = CliError::from(std::io::Error::new(std::io::ErrorKind::Other, "disk"));
+        let cases = [
+            (CliError::Invalid("bad".into()).exit_code(), 1),
+            (CliError::Model(mppm::ModelError::EmptyWorkload).exit_code(), 3),
+            (
+                CliError::Campaign(mppm_campaign::CampaignError::InvalidSpec("x".into()))
+                    .exit_code(),
+                4,
+            ),
+            (io.exit_code(), 5),
+        ];
+        for (got, want) in cases {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn display_carries_the_cause() {
+        let e = CliError::Model(mppm::ModelError::EmptyWorkload);
+        assert!(e.to_string().contains("model error"));
+        let e = CliError::from("unknown benchmark `nope`".to_string());
+        assert_eq!(e.to_string(), "unknown benchmark `nope`");
+    }
+}

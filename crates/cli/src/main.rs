@@ -12,8 +12,10 @@
 //! with the experiment binaries.
 
 mod args;
+mod error;
 
 use args::{parse, Command, ContentionKind, USAGE};
+use error::CliError;
 use mppm::classify::{classify, Thresholds};
 use mppm::mix::count_mixes;
 use mppm::{
@@ -21,9 +23,10 @@ use mppm::{
     SdcCompetitionModel, SingleCoreProfile,
 };
 use mppm_campaign::{
-    design_table, histogram_table, run_campaign, stability_table, write_csvs, AggregateOptions,
-    CampaignSpec, MixSource,
+    design_table, histogram_table, run_campaign_with, stability_table, write_csvs,
+    AggregateOptions, CampaignSpec, MixSource,
 };
+use mppm_obs::{JsonlSink, Observer, ProgressSink, Sink};
 use mppm_experiments::table::{f3, Table};
 use mppm_experiments::{Context, Scale, Store};
 use mppm_sim::{llc_configs, MachineConfig};
@@ -35,10 +38,11 @@ fn main() {
         Ok(cmd) => {
             if let Err(e) = run(cmd) {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(e.exit_code());
             }
         }
         Err(e) => {
+            // Usage errors keep the conventional exit code 2.
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
         }
@@ -57,12 +61,14 @@ fn machine(config: usize) -> MachineConfig {
     MachineConfig::baseline().with_llc(llc_configs()[config])
 }
 
-fn resolve_mix(names: &[String]) -> Result<Vec<&'static mppm_trace::BenchmarkSpec>, String> {
+fn resolve_mix(names: &[String]) -> Result<Vec<&'static mppm_trace::BenchmarkSpec>, CliError> {
     names
         .iter()
         .map(|n| {
             suite::benchmark(n).ok_or_else(|| {
-                format!("unknown benchmark `{n}`; `mppm-cli list` shows the suite")
+                CliError::Invalid(format!(
+                    "unknown benchmark `{n}`; `mppm-cli list` shows the suite"
+                ))
             })
         })
         .collect()
@@ -81,15 +87,15 @@ fn predict_with_kind(
     profiles: &[SingleCoreProfile],
     kind: &ContentionKind,
     bandwidth: Option<f64>,
-) -> Result<Prediction, String> {
+) -> Result<Prediction, CliError> {
     let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
     let config = MppmConfig { bandwidth, ..MppmConfig::default() };
     fn go<M: ContentionModel>(
         cfg: MppmConfig,
         m: M,
         refs: &[&SingleCoreProfile],
-    ) -> Result<Prediction, String> {
-        Mppm::new(cfg, m).predict(refs).map_err(|e| e.to_string())
+    ) -> Result<Prediction, CliError> {
+        Ok(Mppm::new(cfg, m).predict(refs)?)
     }
     match kind {
         ContentionKind::Foa => go(config, FoaModel, &refs),
@@ -120,7 +126,7 @@ fn print_prediction(pred: &Prediction) {
     );
 }
 
-fn run(cmd: Command) -> Result<(), String> {
+fn run(cmd: Command) -> Result<(), CliError> {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -130,9 +136,11 @@ fn run(cmd: Command) -> Result<(), String> {
             let root = std::env::current_dir()
                 .ok()
                 .and_then(|cwd| mppm_analyze::find_workspace_root(&cwd))
-                .ok_or("could not locate the workspace root (run from inside the repo)")?;
+                .ok_or(CliError::Invalid(
+                    "could not locate the workspace root (run from inside the repo)".into(),
+                ))?;
             let analysis = mppm_analyze::analyze_workspace(&root)
-                .map_err(|e| format!("analyzing {}: {e}", root.display()))?;
+                .map_err(|e| CliError::Invalid(format!("analyzing {}: {e}", root.display())))?;
             let report = if json {
                 mppm_analyze::report::json(&analysis)
             } else {
@@ -140,18 +148,22 @@ fn run(cmd: Command) -> Result<(), String> {
             };
             print!("{report}");
             if deny && !analysis.is_clean() {
-                return Err(format!("{} lint violation(s)", analysis.violations.len()));
+                return Err(CliError::Invalid(format!(
+                    "{} lint violation(s)",
+                    analysis.violations.len()
+                )));
             }
             Ok(())
         }
         Command::Count { cores } => {
             let n = suite::spec_suite().len();
-            let count = count_mixes(n, cores).map_err(|e| e.to_string())?;
+            let count =
+                count_mixes(n, cores).map_err(|e| CliError::Invalid(e.to_string()))?;
             println!("{count} distinct {cores}-program workloads over the {n}-benchmark suite");
             Ok(())
         }
         Command::List { config, quick } => {
-            let store = Store::open_default().map_err(|e| e.to_string())?;
+            let store = Store::open_default()?;
             let machine = machine(config);
             let g = geometry(quick);
             eprintln!(
@@ -184,22 +196,24 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Predict { mix, config, quick, contention, bandwidth } => {
-            let store = Store::open_default().map_err(|e| e.to_string())?;
+            let store = Store::open_default()?;
             let mut m = machine(config);
             if let Some(bw) = bandwidth {
                 m = m.with_mem_bandwidth(bw);
             }
             if let ContentionKind::Partition(ways) = &contention {
                 if ways.contains(&0) {
-                    return Err("every program needs at least one way".into());
+                    return Err(CliError::Invalid(
+                        "every program needs at least one way".into(),
+                    ));
                 }
                 let total: u32 = ways.iter().sum();
                 if total != m.llc.assoc {
-                    return Err(format!(
+                    return Err(CliError::Invalid(format!(
                         "--partition ways sum to {total} but LLC config #{} has {} ways",
                         config + 1,
                         m.llc.assoc
-                    ));
+                    )));
                 }
             }
             let specs = resolve_mix(&mix)?;
@@ -209,7 +223,7 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Simulate { mix, config, quick } => {
-            let store = Store::open_default().map_err(|e| e.to_string())?;
+            let store = Store::open_default()?;
             let m = machine(config);
             let g = geometry(quick);
             let specs = resolve_mix(&mix)?;
@@ -230,7 +244,13 @@ fn run(cmd: Command) -> Result<(), String> {
                     .iter()
                     .enumerate()
                     .position(|(i, n)| n == name && !used[i])
-                    .expect("record covers the mix");
+                    .ok_or_else(|| {
+                        CliError::Invalid(format!(
+                            "cached record at {:?} does not cover `{name}`; \
+                             delete target/mppm-store and re-run",
+                            record.names
+                        ))
+                    })?;
                 used[slot] = true;
                 let meas = record.cpi_mc[slot];
                 t.row(vec![
@@ -258,8 +278,7 @@ fn run(cmd: Command) -> Result<(), String> {
             let mut stream = TraceStream::new(spec.clone(), g);
             let trace = RecordedTrace::capture(&mut stream, g.trace_insns());
             let bytes = trace.to_bytes();
-            mppm_experiments::atomic_write_bytes(std::path::Path::new(&out), &bytes)
-                .map_err(|e| format!("writing {out}: {e}"))?;
+            mppm_experiments::atomic_write_bytes(std::path::Path::new(&out), &bytes)?;
             println!(
                 "recorded {} instructions ({} items, {} bytes) to {out}",
                 trace.insns(),
@@ -268,7 +287,17 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Campaign { cores, configs, sample, seed, shard_size, trials, quick } => {
+        Command::Campaign {
+            cores,
+            configs,
+            sample,
+            seed,
+            shard_size,
+            trials,
+            quick,
+            trace,
+            progress,
+        } => {
             let scale = if quick { Scale::Quick } else { Scale::Full };
             let ctx = Context::new(scale);
             let spec = CampaignSpec {
@@ -281,7 +310,23 @@ fn run(cmd: Command) -> Result<(), String> {
                 shard_size,
             };
             let options = AggregateOptions { stability_trials: trials, ..Default::default() };
-            let result = run_campaign(&ctx, &spec, &options).map_err(|e| e.to_string())?;
+            let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+            if progress {
+                sinks.push(Box::new(ProgressSink));
+            }
+            if let Some(path) = &trace {
+                sinks.push(Box::new(JsonlSink::new(path)));
+            }
+            let observer =
+                if sinks.is_empty() { Observer::disabled() } else { Observer::with_sinks(sinks) };
+            let result = {
+                let root = observer.root("campaign");
+                run_campaign_with(&ctx, &spec, &options, &root)?
+            };
+            observer.finish()?;
+            if let Some(path) = &trace {
+                println!("wrote JSONL trace to {path}");
+            }
             println!(
                 "campaign {}: {} mixes x {} designs ({} cores)\n",
                 result.plan_id,
@@ -303,7 +348,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 );
             }
             let dir = mppm_experiments::table::results_dir();
-            write_csvs(&result, &dir).map_err(|e| e.to_string())?;
+            write_csvs(&result, &dir)?;
             println!("wrote campaign CSVs to {}", dir.display());
             Ok(())
         }

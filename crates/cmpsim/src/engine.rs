@@ -86,6 +86,13 @@ impl Uncore {
         let misses = self.llcs.iter().map(SetAssocCache::misses).sum();
         (hits, misses)
     }
+
+    /// Total LLC evictions across all slices (misses that displaced a
+    /// resident line — the kernel counter observability publishes per
+    /// mix).
+    pub fn llc_evictions(&self) -> u64 {
+        self.llcs.iter().map(SetAssocCache::evictions).sum()
+    }
 }
 
 /// How the engine treats the last-level cache.

@@ -18,7 +18,7 @@
 //! * [`profile_single_core`] runs one benchmark alone and produces the
 //!   per-interval [`mppm::SingleCoreProfile`] (CPI, memory CPI, LLC
 //!   stack-distance counters) that MPPM consumes.
-//! * [`simulate_mix`] runs a multi-program mix with an event-driven
+//! * [`MixSim`] runs a multi-program mix with an event-driven
 //!   scheduler: each core executes compute items and private-cache hits
 //!   in local bursts, and only shared-LLC/memory-channel events are
 //!   globally ordered (by arrival timestamp, core index as tie-break)
@@ -27,11 +27,13 @@
 //!   instead of O(cores) per *item*. Programs that finish re-iterate
 //!   their trace so contention stays live (the FAME methodology), and
 //!   each program's multi-core CPI is measured over its first full trace.
+//!   The historical `simulate_mix*` free functions survive as deprecated
+//!   wrappers over the builder.
 //!
 //! # Example
 //!
 //! ```
-//! use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+//! use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 //! use mppm_trace::{suite, TraceGeometry};
 //!
 //! let machine = MachineConfig::baseline();
@@ -41,7 +43,7 @@
 //! let profile = profile_single_core(gamess, &machine, geometry);
 //! assert!(profile.cpi_sc() > 0.3);
 //!
-//! let mix = simulate_mix(&[gamess, gamess], &machine, geometry);
+//! let mix = MixSim::new(&[gamess, gamess], &machine, geometry).run();
 //! assert!(mix.cpi_mc[0] >= profile.cpi_sc() * 0.99);
 //! ```
 
@@ -58,9 +60,16 @@ pub use engine::{BurstStop, CoreEngine, LlcMode, Uncore};
 pub use memory::MemoryChannel;
 pub use machine::{llc_configs, CoreConfig, MachineConfig, LLC_CONFIG_COUNT};
 pub use multi::{
-    event_interleave, reference_interleave, simulate_mix, simulate_mix_heterogeneous,
-    simulate_mix_opts, simulate_mix_partitioned, simulate_mix_with, InterleaveOutcome, MixOptions,
-    MixResult, SchedKey, Scheduler,
+    event_interleave, reference_interleave, InterleaveOutcome, MixOptions, MixResult, MixSim,
+    SchedKey, Scheduler,
+};
+// The deprecated free-function entry points stay re-exported so existing
+// downstream code keeps compiling (with a deprecation warning at *their*
+// call sites, not at this re-export).
+#[allow(deprecated)]
+pub use multi::{
+    simulate_mix, simulate_mix_heterogeneous, simulate_mix_opts, simulate_mix_partitioned,
+    simulate_mix_with,
 };
 pub use single::{
     profile_single_core, profile_single_core_with, run_single_core, SingleRunStats,

@@ -19,6 +19,7 @@
 //! first stepping *is* a merge of the per-core step sequences by
 //! `(pre-step clock, core index)` — see DESIGN.md §9 for the argument.
 
+use mppm_obs::{Span, Value};
 use mppm_trace::{BenchmarkSpec, TraceGeometry};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -80,86 +81,219 @@ impl MixResult {
     }
 }
 
+/// Builder for one multi-program mix simulation — the single entry
+/// point that consolidated the old `simulate_mix*` free-function family
+/// (each survives as a thin deprecated wrapper over this type).
+///
+/// Defaults match `simulate_mix`: one warmup pass, unified LLC,
+/// homogeneous cores, the event-driven scheduler, no observer.
+///
+/// ```
+/// use mppm_sim::{MachineConfig, MixSim};
+/// use mppm_trace::{suite, TraceGeometry};
+///
+/// let gamess = suite::benchmark("gamess").unwrap();
+/// let lbm = suite::benchmark("lbm").unwrap();
+/// let result = MixSim::new(&[gamess, lbm], &MachineConfig::baseline(), TraceGeometry::tiny())
+///     .run();
+/// assert_eq!(result.names, vec!["gamess", "lbm"]);
+/// ```
+#[must_use = "configure the mix, then call `.run()`"]
+pub struct MixSim<'a> {
+    specs: &'a [&'a BenchmarkSpec],
+    machine: &'a MachineConfig,
+    geometry: TraceGeometry,
+    warmup_passes: u32,
+    ways: Option<&'a [u32]>,
+    core_factors: Option<&'a [f64]>,
+    scheduler: Scheduler,
+    observer: Option<&'a Span>,
+}
+
+impl<'a> MixSim<'a> {
+    /// A mix of `specs`, one core each, on `machine` with `geometry`.
+    pub fn new(
+        specs: &'a [&'a BenchmarkSpec],
+        machine: &'a MachineConfig,
+        geometry: TraceGeometry,
+    ) -> Self {
+        Self {
+            specs,
+            machine,
+            geometry,
+            warmup_passes: 1,
+            ways: None,
+            core_factors: None,
+            scheduler: Scheduler::default(),
+            observer: None,
+        }
+    }
+
+    /// Full warmup trace passes per program before measurement
+    /// (default 1).
+    pub fn warmup_passes(mut self, passes: u32) -> Self {
+        self.warmup_passes = passes;
+        self
+    }
+
+    /// Way-partitions the LLC: core `i` owns `ways[i]` ways of every
+    /// set (paper §2.3's partitioning discussion).
+    pub fn partitioned(mut self, ways: &'a [u32]) -> Self {
+        self.ways = Some(ways);
+        self
+    }
+
+    /// Scales per-core compute throughput by `1/core_factors[i]`
+    /// (1.0 = the baseline big core, 2.0 = a half-throughput little
+    /// core) — the §8 heterogeneity extension.
+    pub fn core_factors(mut self, factors: &'a [f64]) -> Self {
+        self.core_factors = Some(factors);
+        self
+    }
+
+    /// Selects the interleaving scheduler (default
+    /// [`Scheduler::EventDriven`]).
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Attaches an observability span: the run emits one `mix-config`
+    /// event, one `core` event per program, `llc`/`scheduler` counter
+    /// summaries, and publishes registry counters — all at the end of
+    /// the run, never from the hot loops. A disabled span costs
+    /// nothing.
+    pub fn observer(mut self, span: &'a Span) -> Self {
+        self.observer = Some(span);
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// Cores advance in local-time order (the core with the smallest
+    /// local clock steps next), so shared-LLC accesses from different
+    /// cores interleave in approximate timestamp order. Every program
+    /// keeps re-iterating its trace until *all* programs have completed
+    /// their measurement pass — the re-iteration methodology of Tuck &
+    /// Tullsen / FAME — so contention stays live throughout. Each
+    /// program first executes `warmup_passes` full traces (warming the
+    /// caches, mirroring [`crate::profile_single_core`]); its
+    /// multi-core CPI is then measured over its next full trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, or a configured `ways`/`core_factors`
+    /// slice has the wrong length, or the ways do not sum to the LLC
+    /// associativity.
+    pub fn run(self) -> MixResult {
+        let uncore = match self.ways {
+            Some(ways) => {
+                assert_eq!(ways.len(), self.specs.len(), "one way count per program");
+                Uncore::partitioned(self.machine, ways)
+            }
+            None => Uncore::new(self.machine),
+        };
+        let unit_factors;
+        let factors = match self.core_factors {
+            Some(f) => {
+                assert_eq!(f.len(), self.specs.len(), "one core factor per program");
+                f
+            }
+            None => {
+                unit_factors = vec![1.0; self.specs.len()];
+                &unit_factors
+            }
+        };
+        let disabled = Span::disabled();
+        let span = self.observer.unwrap_or(&disabled);
+        run_mix_with_factors(
+            self.specs,
+            self.machine,
+            self.geometry,
+            self.warmup_passes,
+            uncore,
+            factors,
+            self.scheduler,
+            span,
+        )
+    }
+}
+
 /// Simulates `specs` co-running on one core each, sharing the machine's
-/// LLC, with one warmup trace pass per program (see [`simulate_mix_with`]).
+/// LLC, with one warmup trace pass per program.
 ///
 /// # Panics
 ///
 /// Panics if `specs` is empty.
+#[deprecated(since = "0.2.0", note = "use `MixSim::new(specs, machine, geometry).run()`")]
 pub fn simulate_mix(
     specs: &[&BenchmarkSpec],
     machine: &MachineConfig,
     geometry: TraceGeometry,
 ) -> MixResult {
-    simulate_mix_with(specs, machine, geometry, 1)
+    MixSim::new(specs, machine, geometry).run()
 }
 
 /// Simulates `specs` co-running on one core each, sharing the machine's
-/// LLC.
-///
-/// Cores advance in local-time order (the core with the smallest local
-/// clock steps next), so shared-LLC accesses from different cores
-/// interleave in approximate timestamp order. Every program keeps
-/// re-iterating its trace until *all* programs have completed their
-/// measurement pass — the re-iteration methodology of Tuck & Tullsen /
-/// FAME — so contention stays live throughout.
-///
-/// Each program first executes `warmup_passes` full traces (warming the
-/// caches, mirroring [`crate::profile_single_core`]); its multi-core CPI
-/// is then measured over its next full trace.
+/// LLC, with `warmup_passes` warmup trace passes (see [`MixSim::run`]
+/// for the interleaving and measurement methodology).
 ///
 /// # Panics
 ///
 /// Panics if `specs` is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MixSim::new(specs, machine, geometry).warmup_passes(n).run()`"
+)]
 pub fn simulate_mix_with(
     specs: &[&BenchmarkSpec],
     machine: &MachineConfig,
     geometry: TraceGeometry,
     warmup_passes: u32,
 ) -> MixResult {
-    let uncore = Uncore::new(machine);
-    run_mix(specs, machine, geometry, warmup_passes, uncore)
+    MixSim::new(specs, machine, geometry).warmup_passes(warmup_passes).run()
 }
 
 /// Simulates `specs` on a machine whose LLC is *way-partitioned*: core
 /// `i` owns `ways[i]` ways of every set (paper §2.3's partitioning
-/// discussion). One warmup pass, as in [`simulate_mix`].
+/// discussion). One warmup pass.
 ///
 /// # Panics
 ///
 /// Panics if `specs` is empty, `ways.len() != specs.len()`, or the ways
 /// do not sum to the LLC associativity.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MixSim::new(specs, machine, geometry).partitioned(ways).run()`"
+)]
 pub fn simulate_mix_partitioned(
     specs: &[&BenchmarkSpec],
     machine: &MachineConfig,
     geometry: TraceGeometry,
     ways: &[u32],
 ) -> MixResult {
-    assert_eq!(ways.len(), specs.len(), "one way count per program");
-    let uncore = Uncore::partitioned(machine, ways);
-    run_mix(specs, machine, geometry, 1, uncore)
+    MixSim::new(specs, machine, geometry).partitioned(ways).run()
 }
 
 /// Simulates `specs` on a *heterogeneous* multi-core (§8 extension):
 /// core `i`'s compute throughput is scaled by `1/core_factors[i]` (1.0 =
 /// the baseline big core, 2.0 = a half-throughput little core). The LLC
-/// stays unified and shared; one warmup pass as in [`simulate_mix`].
+/// stays unified and shared; one warmup pass.
 ///
 /// # Panics
 ///
 /// Panics if `specs` is empty or `core_factors.len() != specs.len()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MixSim::new(specs, machine, geometry).core_factors(f).run()`"
+)]
 pub fn simulate_mix_heterogeneous(
     specs: &[&BenchmarkSpec],
     machine: &MachineConfig,
     geometry: TraceGeometry,
     core_factors: &[f64],
 ) -> MixResult {
-    simulate_mix_opts(
-        specs,
-        machine,
-        geometry,
-        &MixOptions { core_factors: Some(core_factors), ..MixOptions::default() },
-    )
+    MixSim::new(specs, machine, geometry).core_factors(core_factors).run()
 }
 
 /// Which interleaving scheduler drives a mix simulation.
@@ -175,18 +309,19 @@ pub enum Scheduler {
     Reference,
 }
 
-/// Full-control options for [`simulate_mix_opts`]: every axis the
-/// dedicated entry points expose, plus the scheduler choice.
+/// Full-control options for the deprecated [`simulate_mix_opts`] entry
+/// point. New code should use the [`MixSim`] builder, which covers the
+/// same axes.
 #[derive(Debug, Clone, Copy)]
 pub struct MixOptions<'a> {
-    /// Full warmup trace passes per program before measurement (default 1,
-    /// matching [`simulate_mix`]).
+    /// Full warmup trace passes per program before measurement
+    /// (default 1).
     pub warmup_passes: u32,
     /// `Some(ways)` way-partitions the LLC as in
-    /// [`simulate_mix_partitioned`]; `None` keeps it unified.
+    /// [`MixSim::partitioned`]; `None` keeps it unified.
     pub ways: Option<&'a [u32]>,
     /// `Some(factors)` scales per-core compute throughput as in
-    /// [`simulate_mix_heterogeneous`]; `None` runs homogeneous cores.
+    /// [`MixSim::core_factors`]; `None` runs homogeneous cores.
     pub core_factors: Option<&'a [f64]>,
     /// Interleaving scheduler (default [`Scheduler::EventDriven`]).
     pub scheduler: Scheduler,
@@ -199,56 +334,28 @@ impl Default for MixOptions<'_> {
 }
 
 /// Simulates `specs` co-running under explicit [`MixOptions`] — the
-/// union of every dedicated `simulate_mix*` entry point, used directly by
-/// the differential oracle and the scheduler benchmarks.
+/// option-struct predecessor of the [`MixSim`] builder.
 ///
 /// # Panics
 ///
 /// Panics if `specs` is empty or an option slice has the wrong length.
+#[deprecated(since = "0.2.0", note = "use the `MixSim` builder")]
 pub fn simulate_mix_opts(
     specs: &[&BenchmarkSpec],
     machine: &MachineConfig,
     geometry: TraceGeometry,
     opts: &MixOptions,
 ) -> MixResult {
-    let uncore = match opts.ways {
-        Some(ways) => {
-            assert_eq!(ways.len(), specs.len(), "one way count per program");
-            Uncore::partitioned(machine, ways)
-        }
-        None => Uncore::new(machine),
-    };
-    let unit_factors;
-    let factors = match opts.core_factors {
-        Some(f) => {
-            assert_eq!(f.len(), specs.len(), "one core factor per program");
-            f
-        }
-        None => {
-            unit_factors = vec![1.0; specs.len()];
-            &unit_factors
-        }
-    };
-    run_mix_with_factors(specs, machine, geometry, opts.warmup_passes, uncore, factors, opts.scheduler)
-}
-
-fn run_mix(
-    specs: &[&BenchmarkSpec],
-    machine: &MachineConfig,
-    geometry: TraceGeometry,
-    warmup_passes: u32,
-    uncore: Uncore,
-) -> MixResult {
-    let factors = vec![1.0; specs.len()];
-    run_mix_with_factors(
-        specs,
-        machine,
-        geometry,
-        warmup_passes,
-        uncore,
-        &factors,
-        Scheduler::default(),
-    )
+    let mut sim = MixSim::new(specs, machine, geometry)
+        .warmup_passes(opts.warmup_passes)
+        .scheduler(opts.scheduler);
+    if let Some(ways) = opts.ways {
+        sim = sim.partitioned(ways);
+    }
+    if let Some(factors) = opts.core_factors {
+        sim = sim.core_factors(factors);
+    }
+    sim.run()
 }
 
 /// Total-order scheduling key: earliest local time first, core index as
@@ -292,6 +399,12 @@ pub struct InterleaveOutcome {
     pub llc_accesses: Vec<u64>,
     /// Shared-LLC misses per core over the whole run.
     pub llc_misses: Vec<u64>,
+    /// Events pushed onto the scheduler heap ([`event_interleave`]
+    /// only; zero under the reference interleaver, which has no heap).
+    pub heap_pushes: u64,
+    /// Events popped off the scheduler heap (zero under the reference
+    /// interleaver).
+    pub heap_pops: u64,
 }
 
 /// Shared bookkeeping for both interleavers: measurement-window records
@@ -301,6 +414,8 @@ struct InterleaveState {
     completion: Vec<Option<f64>>,
     llc_accesses: Vec<u64>,
     llc_misses: Vec<u64>,
+    heap_pushes: u64,
+    heap_pops: u64,
     remaining: usize,
     warmup_insns: u64,
     trace_insns: u64,
@@ -314,6 +429,8 @@ impl InterleaveState {
             completion: vec![None; cores],
             llc_accesses: vec![0; cores],
             llc_misses: vec![0; cores],
+            heap_pushes: 0,
+            heap_pops: 0,
             remaining: cores,
             warmup_insns,
             trace_insns,
@@ -369,6 +486,8 @@ impl InterleaveState {
                 .collect(),
             llc_accesses: self.llc_accesses,
             llc_misses: self.llc_misses,
+            heap_pushes: self.heap_pushes,
+            heap_pops: self.heap_pops,
         }
     }
 }
@@ -472,8 +591,10 @@ pub fn event_interleave(
     for idx in 0..engines.len() {
         let limit = state.next_limit(engines, idx, chunk);
         heap.push(Event::new(engines[idx].run_until_llc(limit), idx));
+        state.heap_pushes += 1;
     }
     while let Some(ev) = heap.pop() {
+        state.heap_pops += 1;
         let idx = ev.key.core;
         if ev.llc {
             let obs = engines[idx].commit_llc(uncore);
@@ -484,6 +605,7 @@ pub fn event_interleave(
         }
         let limit = state.next_limit(engines, idx, chunk);
         heap.push(Event::new(engines[idx].run_until_llc(limit), idx));
+        state.heap_pushes += 1;
     }
     unreachable!("the heap always holds one event per core until completion");
 }
@@ -497,6 +619,7 @@ fn run_mix_with_factors(
     mut uncore: Uncore,
     core_factors: &[f64],
     scheduler: Scheduler,
+    span: &Span,
 ) -> MixResult {
     assert!(!specs.is_empty(), "a mix needs at least one program");
     let mut engines: Vec<CoreEngine> = specs
@@ -533,16 +656,86 @@ fn run_mix_with_factors(
         uncore.llc_totals(),
         "per-core tallies must match the LLC's counters"
     );
-    MixResult {
+    let result = MixResult {
         names: specs.iter().map(|s| s.name().to_string()).collect(),
         cpi_mc: completion_cycles.iter().map(|&c| c / trace_insns as f64).collect(),
         completion_cycles,
         trace_insns,
         llc_accesses,
         llc_misses,
-        llc_accesses_per_core: outcome.llc_accesses,
-        llc_misses_per_core: outcome.llc_misses,
+        llc_accesses_per_core: outcome.llc_accesses.clone(),
+        llc_misses_per_core: outcome.llc_misses.clone(),
+    };
+    if span.is_enabled() {
+        publish_mix(span, &uncore, &outcome, &result, warmup_passes, scheduler);
     }
+    result
+}
+
+/// Publishes one finished mix to an enabled span: configuration, the
+/// per-core outcome, and the simulator's native counters (LLC kernel
+/// counters, scheduler heap traffic). Called once per simulation — the
+/// interleaving loops themselves are never instrumented, which is what
+/// keeps the disabled-observer overhead unmeasurable.
+fn publish_mix(
+    span: &Span,
+    uncore: &Uncore,
+    outcome: &InterleaveOutcome,
+    result: &MixResult,
+    warmup_passes: u32,
+    scheduler: Scheduler,
+) {
+    let sched_name = match scheduler {
+        Scheduler::EventDriven => "event-driven",
+        Scheduler::Reference => "reference",
+    };
+    span.event(
+        "mix-config",
+        &[
+            ("cores", Value::from(result.names.len())),
+            ("trace_insns", Value::from(result.trace_insns)),
+            ("warmup_passes", Value::from(warmup_passes)),
+            ("scheduler", Value::from(sched_name)),
+            ("partitioned", Value::from(uncore.is_partitioned())),
+        ],
+    );
+    for (core, name) in result.names.iter().enumerate() {
+        span.event(
+            "core",
+            &[
+                ("core", Value::from(core)),
+                ("program", Value::from(name.as_str())),
+                ("cpi", Value::from(result.cpi_mc[core])),
+                ("llc_accesses", Value::from(result.llc_accesses_per_core[core])),
+                ("llc_misses", Value::from(result.llc_misses_per_core[core])),
+            ],
+        );
+    }
+    let (hits, misses) = uncore.llc_totals();
+    let evictions = uncore.llc_evictions();
+    span.event(
+        "llc",
+        &[
+            ("hits", Value::from(hits)),
+            ("misses", Value::from(misses)),
+            ("evictions", Value::from(evictions)),
+        ],
+    );
+    span.event(
+        "scheduler",
+        &[
+            ("heap_pushes", Value::from(outcome.heap_pushes)),
+            ("heap_pops", Value::from(outcome.heap_pops)),
+            ("llc_commits", Value::from(result.llc_accesses)),
+        ],
+    );
+    span.counter("sim.mixes").incr();
+    span.counter("sim.llc.hits").add(hits);
+    span.counter("sim.llc.misses").add(misses);
+    span.counter("sim.llc.evictions").add(evictions);
+    span.counter("sim.llc.commits").add(result.llc_accesses);
+    span.counter("sim.sched.heap_pushes").add(outcome.heap_pushes);
+    span.counter("sim.sched.heap_pops").add(outcome.heap_pops);
 }
 
 #[cfg(test)]
@@ -558,7 +751,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one program")]
     fn empty_mix_panics() {
-        simulate_mix(&[], &MachineConfig::baseline(), geometry());
+        MixSim::new(&[], &MachineConfig::baseline(), geometry()).run();
     }
 
     #[test]
@@ -568,7 +761,7 @@ mod tests {
         let m = MachineConfig::baseline();
         let g = geometry();
         let spec = suite::benchmark("soplex").unwrap();
-        let solo = simulate_mix(&[spec], &m, g);
+        let solo = MixSim::new(&[spec], &m, g).run();
         let profile = profile_single_core(spec, &m, g);
         assert!(
             (solo.cpi_mc[0] - profile.cpi_sc()).abs() < 1e-9,
@@ -584,7 +777,7 @@ mod tests {
         let g = geometry();
         let names = ["gamess", "soplex", "lbm", "hmmer"];
         let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
-        let mix = simulate_mix(&specs, &m, g);
+        let mix = MixSim::new(&specs, &m, g).run();
         for (i, name) in names.iter().enumerate() {
             let iso = profile_single_core(specs[i], &m, g);
             assert!(
@@ -605,7 +798,7 @@ mod tests {
         let g = TraceGeometry::new(100_000, 10);
         let gamess = suite::benchmark("gamess").unwrap();
         let solo = profile_single_core(gamess, &m, g);
-        let mix = simulate_mix(&[gamess, gamess], &m, g);
+        let mix = MixSim::new(&[gamess, gamess], &m, g).run();
         let slowdown = mix.cpi_mc[0] / solo.cpi_sc();
         assert!(slowdown > 1.3, "two gamess copies should conflict: slowdown {slowdown}");
     }
@@ -617,7 +810,7 @@ mod tests {
         let povray = suite::benchmark("povray").unwrap();
         let hmmer = suite::benchmark("hmmer").unwrap();
         let solo_p = profile_single_core(povray, &m, g);
-        let mix = simulate_mix(&[povray, hmmer], &m, g);
+        let mix = MixSim::new(&[povray, hmmer], &m, g).run();
         let slowdown = mix.cpi_mc[0] / solo_p.cpi_sc();
         assert!(slowdown < 1.05, "compute pair slowdown {slowdown}");
     }
@@ -630,7 +823,7 @@ mod tests {
         let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
         let cpi_sc: Vec<f64> =
             specs.iter().map(|s| profile_single_core(s, &m, g).cpi_sc()).collect();
-        let mix = simulate_mix(&specs, &m, g);
+        let mix = MixSim::new(&specs, &m, g).run();
         let stp = mix.stp(&cpi_sc);
         let antt = mix.antt(&cpi_sc);
         assert!(stp > 0.5 && stp <= 2.0 + 1e-9, "stp {stp}");
@@ -643,8 +836,8 @@ mod tests {
         let g = TraceGeometry::tiny();
         let specs: Vec<_> =
             ["gcc", "milc"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
-        let a = simulate_mix(&specs, &m, g);
-        let b = simulate_mix(&specs, &m, g);
+        let a = MixSim::new(&specs, &m, g).run();
+        let b = MixSim::new(&specs, &m, g).run();
         assert_eq!(a, b);
     }
 
@@ -662,7 +855,7 @@ mod tests {
         let unlimited = MachineConfig::baseline();
         let solo_unl: Vec<f64> =
             specs.iter().map(|s| profile_single_core(s, &unlimited, g).cpi_sc()).collect();
-        let mix_unl = simulate_mix(&specs, &unlimited, g);
+        let mix_unl = MixSim::new(&specs, &unlimited, g).run();
         let slow_unl = mix_unl.cpi_mc[0] / solo_unl[0];
         assert!(slow_unl < 1.05, "unlimited bandwidth: slowdown {slow_unl}");
 
@@ -671,7 +864,7 @@ mod tests {
         let limited = MachineConfig::baseline().with_mem_bandwidth(0.04);
         let solo_lim: Vec<f64> =
             specs.iter().map(|s| profile_single_core(s, &limited, g).cpi_sc()).collect();
-        let mix_lim = simulate_mix(&specs, &limited, g);
+        let mix_lim = MixSim::new(&specs, &limited, g).run();
         let slow_lim = mix_lim.cpi_mc[0] / solo_lim[0];
         assert!(
             slow_lim > slow_unl + 0.05,
@@ -688,8 +881,8 @@ mod tests {
         let gamess = suite::benchmark("gamess").unwrap();
         let lbm = suite::benchmark("lbm").unwrap();
         let solo = profile_single_core(gamess, &m, g).cpi_sc();
-        let unified = simulate_mix(&[gamess, lbm], &m, g);
-        let partitioned = simulate_mix_partitioned(&[gamess, lbm], &m, g, &[7, 1]);
+        let unified = MixSim::new(&[gamess, lbm], &m, g).run();
+        let partitioned = MixSim::new(&[gamess, lbm], &m, g).partitioned(&[7, 1]).run();
         let slow_unified = unified.cpi_mc[0] / solo;
         let slow_part = partitioned.cpi_mc[0] / solo;
         assert!(
@@ -704,7 +897,7 @@ mod tests {
         let m = MachineConfig::baseline();
         let g = geometry();
         let soplex = suite::benchmark("soplex").unwrap();
-        let mix = simulate_mix_partitioned(&[soplex, soplex], &m, g, &[4, 4]);
+        let mix = MixSim::new(&[soplex, soplex], &m, g).partitioned(&[4, 4]).run();
         assert!(
             (mix.cpi_mc[0] - mix.cpi_mc[1]).abs() < 1e-9,
             "equal slices, equal CPI: {:?}",
@@ -717,7 +910,7 @@ mod tests {
     fn partition_ways_must_cover_cache() {
         let m = MachineConfig::baseline();
         let soplex = suite::benchmark("soplex").unwrap();
-        simulate_mix_partitioned(&[soplex, soplex], &m, geometry(), &[4, 3]);
+        MixSim::new(&[soplex, soplex], &m, geometry()).partitioned(&[4, 3]).run();
     }
 
     #[test]
@@ -727,7 +920,7 @@ mod tests {
         let hmmer = suite::benchmark("hmmer").unwrap();
         // Same program on a big and a little core: the little copy's CPI
         // must be higher, but by less than 2x (memory time is unscaled).
-        let mix = simulate_mix_heterogeneous(&[hmmer, hmmer], &m, g, &[1.0, 2.0]);
+        let mix = MixSim::new(&[hmmer, hmmer], &m, g).core_factors(&[1.0, 2.0]).run();
         let ratio = mix.cpi_mc[1] / mix.cpi_mc[0];
         assert!(ratio > 1.5, "little core must be slower: ratio {ratio}");
         assert!(ratio < 2.0 + 1e-9, "memory time does not scale: ratio {ratio}");
@@ -742,7 +935,7 @@ mod tests {
         let g = geometry();
         let spec = suite::benchmark("gobmk").unwrap();
         let scaled_profile = profile_single_core(spec, &m, g).scaled_core(1.5);
-        let solo = simulate_mix_heterogeneous(&[spec], &m, g, &[1.5]);
+        let solo = MixSim::new(&[spec], &m, g).core_factors(&[1.5]).run();
         assert!(
             (solo.cpi_mc[0] - scaled_profile.cpi_sc()).abs() < 1e-9,
             "simulated {} vs derived {}",
@@ -757,7 +950,7 @@ mod tests {
         let g = TraceGeometry::tiny();
         let specs: Vec<_> =
             ["lbm", "mcf"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
-        let mix = simulate_mix(&specs, &m, g);
+        let mix = MixSim::new(&specs, &m, g).run();
         assert!(mix.llc_accesses > 0);
         assert!(mix.llc_misses <= mix.llc_accesses);
         assert!(mix.llc_misses > 0, "streaming mixes must miss");
@@ -783,14 +976,11 @@ mod tests {
         let g = TraceGeometry::tiny();
         let lbm = suite::benchmark("lbm").unwrap();
         let specs = [lbm, lbm, lbm, lbm];
-        let opts = MixOptions { ways: Some(&[2, 2, 2, 2]), ..MixOptions::default() };
-        let event = simulate_mix_opts(&specs, &m, g, &opts);
-        let reference = simulate_mix_opts(
-            &specs,
-            &m,
-            g,
-            &MixOptions { scheduler: Scheduler::Reference, ..opts },
-        );
+        let event = MixSim::new(&specs, &m, g).partitioned(&[2, 2, 2, 2]).run();
+        let reference = MixSim::new(&specs, &m, g)
+            .partitioned(&[2, 2, 2, 2])
+            .scheduler(Scheduler::Reference)
+            .run();
         assert_eq!(event, reference, "tie-breaking must match the reference interleaver");
         for core in 1..specs.len() {
             assert_eq!(
@@ -798,6 +988,94 @@ mod tests {
                 event.cpi_mc[core].to_bits(),
                 "equal slices, bit-equal CPI: {:?}",
                 event.cpi_mc
+            );
+        }
+    }
+
+    #[derive(Clone, Default)]
+    struct CaptureSink(std::sync::Arc<std::sync::Mutex<Vec<mppm_obs::Event>>>);
+
+    impl mppm_obs::Sink for CaptureSink {
+        fn record(&self, event: mppm_obs::Event) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    #[test]
+    fn observed_mix_publishes_events_and_counters_without_changing_results() {
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let gamess = suite::benchmark("gamess").unwrap();
+        let lbm = suite::benchmark("lbm").unwrap();
+        let silent = MixSim::new(&[gamess, lbm], &m, g).run();
+
+        let capture = CaptureSink::default();
+        let observer = mppm_obs::Observer::new(Box::new(capture.clone()));
+        let observed = {
+            let root = observer.root("mix-0000");
+            MixSim::new(&[gamess, lbm], &m, g).observer(&root).run()
+        };
+        assert_eq!(silent, observed, "observation must not perturb the simulation");
+
+        let events = capture.0.lock().unwrap().clone();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["span-start", "mix-config", "core", "core", "llc", "scheduler", "span-end"]
+        );
+        let sched = &events[5];
+        let pushes = sched.fields.iter().find(|(k, _)| *k == "heap_pushes").unwrap();
+        assert!(
+            matches!(pushes.1, mppm_obs::Value::U64(n) if n > 0),
+            "event-driven run must report heap traffic: {pushes:?}"
+        );
+        let snapshot = observer.counter_snapshot();
+        let get = |name: &str| {
+            snapshot.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert_eq!(get("sim.mixes"), 1);
+        assert_eq!(get("sim.llc.commits"), observed.llc_accesses);
+        // Warmup passes also touch the LLC, so kernel hit/miss totals
+        // exceed the measured-window commits.
+        assert!(get("sim.llc.hits") + get("sim.llc.misses") >= observed.llc_accesses);
+        assert!(get("sim.sched.heap_pops") > 0);
+    }
+
+    #[test]
+    fn deprecated_wrappers_stay_bit_exact_against_the_builder() {
+        // The five legacy entry points are contractually thin: each must
+        // produce the identical MixResult as its MixSim spelling.
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let gamess = suite::benchmark("gamess").unwrap();
+        let lbm = suite::benchmark("lbm").unwrap();
+        let specs = [gamess, lbm];
+        #[allow(deprecated)]
+        {
+            assert_eq!(simulate_mix(&specs, &m, g), MixSim::new(&specs, &m, g).run());
+            assert_eq!(
+                simulate_mix_with(&specs, &m, g, 0),
+                MixSim::new(&specs, &m, g).warmup_passes(0).run()
+            );
+            assert_eq!(
+                simulate_mix_partitioned(&specs, &m, g, &[6, 2]),
+                MixSim::new(&specs, &m, g).partitioned(&[6, 2]).run()
+            );
+            assert_eq!(
+                simulate_mix_heterogeneous(&specs, &m, g, &[1.0, 1.5]),
+                MixSim::new(&specs, &m, g).core_factors(&[1.0, 1.5]).run()
+            );
+            let opts = MixOptions {
+                warmup_passes: 2,
+                scheduler: Scheduler::Reference,
+                ..MixOptions::default()
+            };
+            assert_eq!(
+                simulate_mix_opts(&specs, &m, g, &opts),
+                MixSim::new(&specs, &m, g)
+                    .warmup_passes(2)
+                    .scheduler(Scheduler::Reference)
+                    .run()
             );
         }
     }

@@ -17,9 +17,7 @@
 //! MPPM_ORACLE_CASES=100 cargo test -p mppm-sim --test differential
 //! ```
 
-use mppm_sim::{
-    llc_configs, simulate_mix_opts, MachineConfig, MixOptions, MixResult, Scheduler,
-};
+use mppm_sim::{llc_configs, MachineConfig, MixOptions, MixResult, MixSim, Scheduler};
 use mppm_trace::{BenchmarkSpec, Phase, Region, TraceGeometry};
 use proptest::prelude::*;
 
@@ -94,18 +92,20 @@ fn assert_schedulers_agree(
     opts: &MixOptions,
 ) -> (MixResult, MixResult) {
     let refs: Vec<&BenchmarkSpec> = specs.iter().collect();
-    let event = simulate_mix_opts(
-        &refs,
-        machine,
-        geometry,
-        &MixOptions { scheduler: Scheduler::EventDriven, ..*opts },
-    );
-    let reference = simulate_mix_opts(
-        &refs,
-        machine,
-        geometry,
-        &MixOptions { scheduler: Scheduler::Reference, ..*opts },
-    );
+    let build = |scheduler: Scheduler| {
+        let mut sim = MixSim::new(&refs, machine, geometry)
+            .warmup_passes(opts.warmup_passes)
+            .scheduler(scheduler);
+        if let Some(ways) = opts.ways {
+            sim = sim.partitioned(ways);
+        }
+        if let Some(factors) = opts.core_factors {
+            sim = sim.core_factors(factors);
+        }
+        sim.run()
+    };
+    let event = build(Scheduler::EventDriven);
+    let reference = build(Scheduler::Reference);
     for core in 0..refs.len() {
         assert_eq!(
             event.cpi_mc[core].to_bits(),
@@ -255,6 +255,62 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// API consolidation oracle: every retired `simulate_mix*` wrapper
+    /// must stay a zero-diff alias of the [`MixSim`] builder it now
+    /// delegates to, across random mixes and geometries.
+    #[test]
+    #[allow(deprecated)] // the wrappers are the subject under test
+    fn deprecated_wrappers_match_the_builder(
+        raw in mix_strategy(2..5),
+        factors in collection::vec(0.5f64..2.5, 4),
+        warmup in 0u32..3,
+        interval_insns in 1_000u64..5_000,
+        intervals in 2u32..6,
+    ) {
+        use mppm_sim::{
+            simulate_mix, simulate_mix_heterogeneous, simulate_mix_opts,
+            simulate_mix_partitioned, simulate_mix_with,
+        };
+        let specs = build_specs(&raw);
+        let refs: Vec<&BenchmarkSpec> = specs.iter().collect();
+        let machine = MachineConfig::baseline();
+        let g = build_geometry(interval_insns, intervals);
+
+        let builder = MixSim::new(&refs, &machine, g).run();
+        prop_assert_eq!(&simulate_mix(&refs, &machine, g), &builder);
+        prop_assert_eq!(&simulate_mix_with(&refs, &machine, g, 1), &builder);
+
+        let factors = &factors[..refs.len()];
+        prop_assert_eq!(
+            &simulate_mix_heterogeneous(&refs, &machine, g, factors),
+            &MixSim::new(&refs, &machine, g).core_factors(factors).run()
+        );
+
+        // Equal slices of the baseline 8-way LLC when the mix divides it.
+        if 8 % refs.len() == 0 {
+            let ways = vec![8 / refs.len() as u32; refs.len()];
+            prop_assert_eq!(
+                &simulate_mix_partitioned(&refs, &machine, g, &ways),
+                &MixSim::new(&refs, &machine, g).partitioned(&ways).run()
+            );
+        }
+
+        let opts = MixOptions {
+            warmup_passes: warmup,
+            core_factors: Some(factors),
+            scheduler: Scheduler::Reference,
+            ..MixOptions::default()
+        };
+        prop_assert_eq!(
+            &simulate_mix_opts(&refs, &machine, g, &opts),
+            &MixSim::new(&refs, &machine, g)
+                .warmup_passes(warmup)
+                .core_factors(factors)
+                .scheduler(Scheduler::Reference)
+                .run()
+        );
     }
 
     /// Everything at once: heterogeneous factors, finite bandwidth, and a

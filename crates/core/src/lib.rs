@@ -64,3 +64,25 @@ pub use cpi_stack::CpiStack;
 pub use error::ModelError;
 pub use model::{Mppm, MppmConfig, Prediction, SlowdownUpdate};
 pub use profile::{IntervalProfile, MachineSummary, SingleCoreProfile};
+
+/// The curated import surface for typical MPPM workflows.
+///
+/// `use mppm::prelude::*;` brings in everything needed to load profiles,
+/// run the model, and score the outcome — nothing more:
+///
+/// ```
+/// use mppm::prelude::*;
+///
+/// let a = SingleCoreProfile::synthetic("a", 8, 10, 1_000, 0.5, 0.1, 400.0, 40.0);
+/// let b = SingleCoreProfile::synthetic("b", 8, 10, 1_000, 1.5, 0.8, 900.0, 600.0);
+/// let pred = Mppm::new(MppmConfig::default(), FoaModel).predict(&[&a, &b])?;
+/// let _ = (stp(pred.cpi_sc(), pred.cpi_mc()), antt(pred.cpi_sc(), pred.cpi_mc()));
+/// # Ok::<(), ModelError>(())
+/// ```
+pub mod prelude {
+    pub use crate::contention::FoaModel;
+    pub use crate::error::ModelError;
+    pub use crate::metrics::{antt, stp};
+    pub use crate::model::{Mppm, MppmConfig, Prediction};
+    pub use crate::profile::SingleCoreProfile;
+}

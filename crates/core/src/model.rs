@@ -4,6 +4,7 @@ use crate::contention::ContentionModel;
 use crate::metrics;
 use crate::profile::SingleCoreProfile;
 use crate::ModelError;
+use mppm_obs::{Span, Value};
 
 /// How the per-iteration slowdown estimate is normalized.
 ///
@@ -161,6 +162,24 @@ impl<M: ContentionModel> Mppm<M> {
     /// Returns [`ModelError`] if the mix is empty, any profile fails
     /// validation, or the profiles disagree on machine parameters.
     pub fn predict(&self, profiles: &[&SingleCoreProfile]) -> Result<Prediction, ModelError> {
+        self.predict_observed(profiles, &Span::disabled())
+    }
+
+    /// [`Mppm::predict`] with an observability span attached: emits one
+    /// `solver-step` event per fixed-point iteration (with the step's
+    /// convergence residual, `max_p |ΔR_p|`) and a final `solver`
+    /// summary, and feeds the `model.predictions` / `model.steps`
+    /// registry counters. A disabled span makes this identical to
+    /// `predict` at no measurable cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] exactly as [`Mppm::predict`] does.
+    pub fn predict_observed(
+        &self,
+        profiles: &[&SingleCoreProfile],
+        span: &Span,
+    ) -> Result<Prediction, ModelError> {
         self.config.validate()?;
         if profiles.is_empty() {
             return Err(ModelError::EmptyWorkload);
@@ -276,6 +295,31 @@ impl<M: ContentionModel> Mppm<M> {
                 executed[p] += advance[p];
             }
             history.push(slowdown.clone());
+            if span.is_enabled() {
+                let prev = &history[history.len() - 2];
+                let residual = slowdown
+                    .iter()
+                    .zip(prev)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0_f64, f64::max);
+                span.event(
+                    "solver-step",
+                    &[("step", Value::from(steps)), ("residual", Value::from(residual))],
+                );
+            }
+        }
+
+        if span.is_enabled() {
+            span.event(
+                "solver",
+                &[
+                    ("programs", Value::from(n)),
+                    ("steps", Value::from(steps)),
+                    ("converged", Value::from(converged)),
+                ],
+            );
+            span.counter("model.predictions").incr();
+            span.counter("model.steps").add(steps as u64);
         }
 
         let cpi_sc: Vec<f64> = profiles.iter().map(|p| p.cpi_sc()).collect();

@@ -33,4 +33,36 @@ fn main() {
         Ok(path) => println!("(machine-readable copy: {})", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_interleave.json: {e}"),
     }
+
+    // Observability overhead: the zero-cost claim, measured. The same
+    // mixes run bare, with a disabled observer span, and with an enabled
+    // no-op sink; results are asserted identical inside obs_overhead.
+    let obs = speed::obs_overhead(&ctx, &[2, 4, 8, 16], bench_mixes);
+    let otable = speed::report_obs(&obs);
+    println!("\nObservability overhead: disabled span must cost < 2%");
+    println!("{}", otable.render());
+    match speed::write_obs_json(&obs) {
+        Ok(path) => println!("(machine-readable copy: {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_obs.json: {e}"),
+    }
+
+    // Gate: a disabled observer must be free. Quick-scale runs are short
+    // enough that run-to-run jitter swamps a 2% bound (±8% observed), so
+    // the smoke gate only catches gross regressions — accidental work on
+    // the disabled path shows up as 2x, not 10%.
+    let budget = match ctx.scale() {
+        Scale::Full => 0.02,
+        Scale::Quick => 0.25,
+    };
+    for p in &obs {
+        if p.disabled_overhead() > budget {
+            eprintln!(
+                "error: disabled-observer overhead {:+.2}% at {} cores exceeds the {:.0}% budget",
+                p.disabled_overhead() * 100.0,
+                p.cores,
+                budget * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
 }

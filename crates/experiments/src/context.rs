@@ -128,8 +128,21 @@ impl Context {
 
     /// Predicts one mix against pre-computed suite profiles.
     pub fn predict(&self, mix: &Mix, profiles: &[SingleCoreProfile]) -> Prediction {
+        self.predict_observed(mix, profiles, &mppm_obs::Span::disabled())
+    }
+
+    /// [`Context::predict`] under an observability span: the solver
+    /// emits per-iteration residual events into `span`'s scope.
+    pub fn predict_observed(
+        &self,
+        mix: &Mix,
+        profiles: &[SingleCoreProfile],
+        span: &mppm_obs::Span,
+    ) -> Prediction {
         let refs: Vec<&SingleCoreProfile> = mix.resolve(profiles);
-        self.model().predict(&refs).expect("suite profiles are valid and compatible")
+        self.model()
+            .predict_observed(&refs, span)
+            .expect("suite profiles are valid and compatible")
     }
 
     /// Simulates one mix on the detailed simulator (cached), returning the

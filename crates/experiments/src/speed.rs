@@ -10,7 +10,8 @@
 //! linear in the number of programs — is what this experiment checks.
 
 use mppm::mix::Mix;
-use mppm_sim::{simulate_mix_opts, MixOptions, Scheduler};
+use mppm_obs::{NoopSink, Observer};
+use mppm_sim::{MixSim, Scheduler};
 use mppm_trace::suite;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -117,9 +118,10 @@ pub fn interleave_comparison(
                 for (slot, scheduler) in
                     [Scheduler::Reference, Scheduler::EventDriven].into_iter().enumerate()
                 {
-                    let opts = MixOptions { scheduler, ..MixOptions::default() };
                     let started = Instant::now();
-                    results.push(simulate_mix_opts(&members, &machine, geometry, &opts));
+                    results.push(
+                        MixSim::new(&members, &machine, geometry).scheduler(scheduler).run(),
+                    );
                     seconds[slot] += started.elapsed().as_secs_f64();
                 }
                 assert_eq!(results[0], results[1], "schedulers diverged on {mix:?}");
@@ -175,6 +177,132 @@ pub fn write_interleave_json(points: &[InterleavePoint]) -> std::io::Result<Path
     Ok(path)
 }
 
+/// Observability-overhead timing at one core count: the same mixes with
+/// no observer, with a disabled observer (the default in every hot
+/// path), and with an enabled [`NoopSink`] observer.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ObsPoint {
+    /// Programs per mix.
+    pub cores: usize,
+    /// Average s/mix with no observer attached at all.
+    pub baseline_seconds: f64,
+    /// Average s/mix with an explicitly attached *disabled* span.
+    pub disabled_seconds: f64,
+    /// Average s/mix with an enabled observer feeding a no-op sink.
+    pub noop_sink_seconds: f64,
+}
+
+impl ObsPoint {
+    /// Fractional overhead of the disabled span against no observer
+    /// (the "zero-cost" claim: this must stay under 2%).
+    pub fn disabled_overhead(&self) -> f64 {
+        self.disabled_seconds / self.baseline_seconds - 1.0
+    }
+
+    /// Fractional overhead of the enabled no-op-sink observer.
+    pub fn noop_overhead(&self) -> f64 {
+        self.noop_sink_seconds / self.baseline_seconds - 1.0
+    }
+}
+
+/// Measures the cost of the observability layer on the detailed
+/// simulator: identical mixes, three instrumentation levels, results
+/// asserted bit-identical so the comparison cannot silently diverge.
+///
+/// Like [`interleave_comparison`] this never touches the store — all
+/// three variants simulate fresh in the same process.
+pub fn obs_overhead(ctx: &Context, core_counts: &[usize], mixes_per_point: usize) -> Vec<ObsPoint> {
+    let machine = ctx.baseline();
+    let geometry = ctx.geometry();
+    let specs = suite::spec_suite();
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let mixes: Vec<Mix> = mixes_for(cores, mixes_per_point);
+            let mut seconds = [0.0f64; 3];
+            for mix in &mixes {
+                let members: Vec<_> = mix.members().iter().map(|&i| &specs[i]).collect();
+
+                let started = Instant::now();
+                let bare = MixSim::new(&members, &machine, geometry).run();
+                seconds[0] += started.elapsed().as_secs_f64();
+
+                let disabled = mppm_obs::Span::disabled();
+                let started = Instant::now();
+                let with_disabled =
+                    MixSim::new(&members, &machine, geometry).observer(&disabled).run();
+                seconds[1] += started.elapsed().as_secs_f64();
+
+                let observer = Observer::new(Box::new(NoopSink));
+                let root = observer.root("bench");
+                let started = Instant::now();
+                let with_noop =
+                    MixSim::new(&members, &machine, geometry).observer(&root).run();
+                seconds[2] += started.elapsed().as_secs_f64();
+
+                assert_eq!(bare, with_disabled, "disabled observer changed results on {mix:?}");
+                assert_eq!(bare, with_noop, "noop observer changed results on {mix:?}");
+            }
+            let per_mix = |total: f64| total / mixes.len() as f64;
+            ObsPoint {
+                cores,
+                baseline_seconds: per_mix(seconds[0]),
+                disabled_seconds: per_mix(seconds[1]),
+                noop_sink_seconds: per_mix(seconds[2]),
+            }
+        })
+        .collect()
+}
+
+/// Renders the observability-overhead table and writes the CSV.
+pub fn report_obs(points: &[ObsPoint]) -> Table {
+    let mut t = Table::new(&[
+        "cores",
+        "baseline s/mix",
+        "disabled s/mix",
+        "noop-sink s/mix",
+        "disabled overhead",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.cores.to_string(),
+            f3(p.baseline_seconds),
+            f3(p.disabled_seconds),
+            f3(p.noop_sink_seconds),
+            format!("{:+.2}%", p.disabled_overhead() * 100.0),
+        ]);
+    }
+    let _ = t.save_csv("speed_obs");
+    t
+}
+
+/// Writes the machine-readable observability-overhead comparison to
+/// `BENCH_obs.json` at the workspace root (redirected to
+/// `target/test-results/` under `cargo test`).
+pub fn write_obs_json(points: &[ObsPoint]) -> std::io::Result<PathBuf> {
+    #[derive(Serialize)]
+    struct BenchFile {
+        description: String,
+        unit: String,
+        points: Vec<ObsPoint>,
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if cfg!(test) { root.join("target/test-results") } else { root };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_obs.json");
+    atomic_write_json(
+        &path,
+        &BenchFile {
+            description: "Detailed-simulator s/mix with no observer, a disabled \
+                          observer span, and an enabled no-op-sink observer, same build"
+                .to_string(),
+            unit: "seconds per mix".to_string(),
+            points: points.to_vec(),
+        },
+    )?;
+    Ok(path)
+}
+
 /// Renders the timing table and writes the CSV.
 pub fn report(points: &[SpeedPoint]) -> Table {
     let mut t = Table::new(&["cores", "sim s/mix", "model s/mix", "speedup"]);
@@ -210,6 +338,24 @@ mod tests {
         );
         let table = report(&points);
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn obs_overhead_measures_and_serializes() {
+        let ctx = Context::new(Scale::Quick);
+        let points = obs_overhead(&ctx, &[2], 1);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.baseline_seconds > 0.0);
+        assert!(p.disabled_seconds > 0.0);
+        assert!(p.noop_sink_seconds > 0.0);
+        let table = report_obs(&points);
+        assert_eq!(table.len(), 1);
+        let path = write_obs_json(&points).expect("json written");
+        let raw = std::fs::read_to_string(path).expect("json readable");
+        assert!(raw.contains("\"cores\":2"), "unexpected JSON shape: {raw}");
+        assert!(raw.contains("disabled_seconds"));
+        assert!(raw.contains("noop_sink_seconds"));
     }
 
     #[test]

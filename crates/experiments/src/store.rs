@@ -9,7 +9,7 @@
 
 use mppm::SingleCoreProfile;
 use mppm_cache::CacheConfig;
-use mppm_sim::{simulate_mix, MachineConfig, MixResult};
+use mppm_sim::{MachineConfig, MixResult, MixSim};
 use mppm_trace::{suite, BenchmarkSpec, TraceGeometry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -193,7 +193,7 @@ impl Store {
             .collect();
         // mppm-lint: allow(wallclock-in-sim): records how long the sim took (sim_seconds telemetry), not simulated time
         let started = Instant::now();
-        let result: MixResult = simulate_mix(&specs, machine, geometry);
+        let result: MixResult = MixSim::new(&specs, machine, geometry).run();
         // `cpi_sc` arrives in caller order; rebuild it in canonical order.
         let mut sc_by_name: BTreeMap<&str, f64> = BTreeMap::new();
         for (n, &sc) in mix_names.iter().zip(cpi_sc) {
@@ -241,41 +241,13 @@ fn read_json<T: serde::de::DeserializeOwned>(path: &Path) -> Option<T> {
     serde_json::from_slice(&bytes).ok()
 }
 
-/// Writes `bytes` to `path` atomically: the bytes go to a uniquely named
-/// temp file in the same directory, which is then renamed over the
-/// target. A reader can observe the old contents or the new contents,
-/// never a truncated file — so a killed run can never leave a corrupt
-/// cache entry, campaign journal shard, or half-written CSV behind. Temp
-/// names embed the process id and a counter, so concurrent writers
-/// (worker threads, parallel test processes) cannot clobber each other's
-/// staging files.
+/// Atomic byte-level writes, re-exported from the observability crate
+/// (the implementation moved to `mppm_obs` so the JSONL trace sink can
+/// use the same primitive without depending on this crate).
 ///
 /// Every result-file write in the workspace routes through this function
 /// or [`atomic_write_json`]; the `non-atomic-write` lint enforces it.
-///
-/// # Errors
-///
-/// Any I/O error from writing the temp file or renaming it.
-pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
-    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
-    })?;
-    let tmp = path.with_file_name(format!(
-        "{file_name}.tmp-{}-{}",
-        std::process::id(),
-        NEXT_TMP.fetch_add(1, Ordering::Relaxed)
-    ));
-    // The staging file is private to this writer (unique name) until the
-    // rename below publishes it, so this is the one place a bare write
-    // is sound — it IS the atomic primitive.
-    // mppm-lint: allow(non-atomic-write): unique-named staging file, published only by the rename below
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })
-}
+pub use mppm_obs::atomic_write_bytes;
 
 /// Serializes `value` as JSON to `path` via [`atomic_write_bytes`].
 ///

@@ -1,0 +1,134 @@
+//! Named atomic counters for hot-path tallies.
+//!
+//! The registry is a cold-path structure: simulator and solver loops
+//! keep their native plain-integer counters and publish totals here at
+//! span boundaries (once per mix / per solve), so the per-access cost
+//! of observability is exactly zero. Handles are [`Counter`]s — cheap
+//! clones of an `Arc<AtomicU64>` — and an *inert* counter (the
+//! disabled-observer case) is a `None` whose `add` is a single
+//! predictable branch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A registry of named monotone counters.
+///
+/// Registration is find-or-create under a mutex (cold path); updates
+/// through the returned [`Counter`] handles are lock-free relaxed
+/// atomics. Snapshots iterate a `BTreeMap`, so they are always in
+/// deterministic (sorted) name order.
+#[derive(Debug, Default)]
+pub struct CounterRegistry {
+    slots: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero if needed.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = slots.entry(name.to_string()).or_default();
+        Counter(Some(Arc::clone(slot)))
+    }
+
+    /// Current `(name, value)` pairs in sorted name order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+    }
+}
+
+/// A handle to one registry counter, or an inert stand-in.
+///
+/// Inert counters come from a disabled observer: every operation is a
+/// no-op behind one branch, so call sites need no `if enabled` guards.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A counter that ignores updates and always reads zero.
+    pub fn inert() -> Self {
+        Self(None)
+    }
+
+    /// Whether updates actually land in a registry.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` (relaxed; totals are only read at quiescent points).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(slot) = &self.0 {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (zero for inert counters).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |slot| slot.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_or_create_shares_one_slot() {
+        let reg = CounterRegistry::new();
+        let a = reg.counter("sim.llc.hits");
+        let b = reg.counter("sim.llc.hits");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.snapshot(), vec![("sim.llc.hits".to_string(), 4)]);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = CounterRegistry::new();
+        reg.counter("zeta").add(1);
+        reg.counter("alpha").add(2);
+        reg.counter("mid").add(3);
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn inert_counter_is_silent() {
+        let c = Counter::inert();
+        c.add(10);
+        c.incr();
+        assert!(!c.is_live());
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let reg = CounterRegistry::new();
+        let c = reg.counter("spins");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,189 @@
+//! The event record and its JSONL encoding.
+//!
+//! Encoding is hand-rolled so the crate stays dependency-free; the
+//! format is one JSON object per line with a fixed key order
+//! (`seq`, `scope`, `index`, `name`, then the fields in emission
+//! order), which keeps the files diffable and trivially strippable in
+//! tests.
+
+use std::fmt::Write as _;
+
+/// A field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned counter or identifier.
+    U64(u64),
+    /// Floating-point measurement (residuals, CPIs, seconds).
+    F64(f64),
+    /// Boolean flag (e.g. solver convergence).
+    Bool(bool),
+    /// Short label.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One observability event: a named record anchored to a span scope.
+///
+/// `(scope, index)` is the canonical order (see the crate docs for the
+/// single-writer-per-scope contract that makes it deterministic); `seq`
+/// is assigned by the sink after sorting, so it is monotone in the
+/// written file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Full span path, `/`-separated (e.g. `campaign/shard-d0-i0003`).
+    pub scope: String,
+    /// Position within the scope's emission order.
+    pub index: u64,
+    /// Event name (e.g. `span-start`, `solver-step`, `checkpoint`).
+    pub name: String,
+    /// Payload, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_jsonl(&self, seq: u64) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        out.push_str("{\"seq\":");
+        let _ = write!(out, "{seq}");
+        out.push_str(",\"scope\":");
+        push_json_str(&mut out, &self.scope);
+        out.push_str(",\"index\":");
+        let _ = write!(out, "{}", self.index);
+        out.push_str(",\"name\":");
+        push_json_str(&mut out, &self.name);
+        for (key, value) in &self.fields {
+            out.push(',');
+            push_json_str(&mut out, key);
+            out.push(':');
+            match value {
+                Value::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::F64(v) if v.is_finite() => {
+                    let _ = write!(out, "{v:?}");
+                }
+                // JSON has no NaN/Infinity literal; `null` keeps the
+                // line parseable and the anomaly visible.
+                Value::F64(_) => out.push_str("null"),
+                Value::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Str(v) => push_json_str(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            // mppm-lint: allow(lossy-counter-cast): char-to-u32 is total, not a counter
+            c if (c as u32) < 0x20 => {
+                // mppm-lint: allow(lossy-counter-cast): char-to-u32 is total, not a counter
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_has_fixed_key_order_and_escapes() {
+        let e = Event {
+            scope: "campaign/shard-d0-i0000".into(),
+            index: 2,
+            name: "note".into(),
+            fields: vec![
+                ("count", Value::U64(7)),
+                ("ratio", Value::F64(0.5)),
+                ("ok", Value::Bool(true)),
+                ("label", Value::Str("a\"b\\c\nd".into())),
+            ],
+        };
+        assert_eq!(
+            e.to_jsonl(41),
+            "{\"seq\":41,\"scope\":\"campaign/shard-d0-i0000\",\"index\":2,\
+             \"name\":\"note\",\"count\":7,\"ratio\":0.5,\"ok\":true,\
+             \"label\":\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_is_null() {
+        let e = Event {
+            scope: "s".into(),
+            index: 0,
+            name: "f".into(),
+            fields: vec![("x", Value::F64(1.0)), ("y", Value::F64(f64::NAN))],
+        };
+        let line = e.to_jsonl(0);
+        assert!(line.contains("\"x\":1.0"), "whole floats keep a decimal point: {line}");
+        assert!(line.contains("\"y\":null"), "NaN must not produce invalid JSON: {line}");
+    }
+
+    #[test]
+    fn value_conversions_cover_the_common_types() {
+        assert_eq!(Value::from(3u64), Value::U64(3));
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(1.5f64), Value::F64(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+    }
+}

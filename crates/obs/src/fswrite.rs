@@ -1,0 +1,74 @@
+//! Atomic file publication — the workspace's one blessed write path.
+//!
+//! Lives here (the bottom-of-stack crate) so every layer, including
+//! the trace sink in this crate, can use it without depending on the
+//! experiments crate; `mppm_experiments::atomic_write_bytes` re-exports
+//! this function for existing callers.
+
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: the bytes go to a uniquely named
+/// temp file in the same directory, which is then renamed over the
+/// target. A reader can observe the old contents or the new contents,
+/// never a truncated file — so a killed run can never leave a corrupt
+/// cache entry, campaign journal shard, or half-written CSV behind. Temp
+/// names embed the process id and a counter, so concurrent writers
+/// (worker threads, parallel test processes) cannot clobber each other's
+/// staging files.
+///
+/// Every result-file write in the workspace routes through this function
+/// or `mppm_experiments::atomic_write_json`; the `non-atomic-write` lint
+/// enforces it.
+///
+/// # Errors
+///
+/// Any I/O error from writing the temp file or renaming it.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
+    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp = path.with_file_name(format!(
+        "{file_name}.tmp-{}-{}",
+        std::process::id(),
+        NEXT_TMP.fetch_add(1, Ordering::Relaxed)
+    ));
+    // The staging file is private to this writer (unique name) until the
+    // rename below publishes it, so this is the one place a bare write
+    // is sound — it IS the atomic primitive.
+    // mppm-lint: allow(non-atomic-write): unique-named staging file, published only by the rename below
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrites_atomically_and_cleans_staging() {
+        let dir = std::env::temp_dir()
+            .join(format!("mppm-obs-fswrite-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        atomic_write_bytes(&path, b"first").unwrap();
+        atomic_write_bytes(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let strays: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(strays.is_empty(), "staging files linger: {strays:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_paths_without_a_file_name() {
+        let err = atomic_write_bytes(Path::new("/"), b"x").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,59 @@
+//! `mppm-obs` — structured observability for the MPPM workspace.
+//!
+//! The paper's argument rests on running thousands of mix simulations
+//! and model solves per campaign; this crate is the shared spine that
+//! makes those runs visible without perturbing them. It is deliberately
+//! **dependency-free** (std only) so every other crate can afford it.
+//!
+//! Three pieces:
+//!
+//! - **Spans** ([`Observer`], [`Span`]): a hierarchical scope tree
+//!   (campaign → shard → mix → solver iteration). Each span owns a
+//!   deterministic scope path (e.g. `campaign/shard-d0-i0003/mix-0007`)
+//!   and a per-scope event index, so the event stream has a canonical
+//!   order that does not depend on thread scheduling.
+//! - **Counters** ([`CounterRegistry`], [`Counter`]): named relaxed
+//!   atomics for hot-path tallies (cache hits/misses/evictions,
+//!   interleaver heap traffic, solver iterations). Hot loops keep their
+//!   native plain-integer counters and *publish* them at span
+//!   boundaries; the registry is never touched per-access.
+//! - **Sinks** ([`Sink`]): pluggable consumers. [`NoopSink`] swallows
+//!   everything (for measuring the enabled-but-silent path),
+//!   [`ProgressSink`] prints human progress lines to stderr, and
+//!   [`JsonlSink`] buffers events and writes a deterministic JSONL
+//!   file through [`atomic_write_bytes`].
+//!
+//! # The off switch is free
+//!
+//! A disabled [`Observer`] holds no allocation at all
+//! (`inner: Option<Arc<..>> = None`), and every [`Span`] derived from
+//! it is inert: `event()` is a branch on a `None` that the branch
+//! predictor learns immediately, no `Instant::now()` is ever read, no
+//! field values are heap-allocated (callers pass stack slices), and the
+//! simulator hot loops are not instrumented at all — they publish
+//! their existing native counters once per mix. The `speed` bin
+//! measures this claim (`BENCH_obs.json`); see DESIGN.md §11.
+//!
+//! # Determinism contract
+//!
+//! Emit into one scope from one thread at a time (concurrent workers
+//! each get their own child span). Under that contract the
+//! `(scope, index)` pair is a total, thread-count-invariant order, and
+//! [`JsonlSink`] sorts by it before writing — two runs at different
+//! `MPPM_THREADS` produce byte-identical trace files modulo the
+//! wall-clock `elapsed_us` field on span-end events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod fswrite;
+mod sink;
+mod span;
+
+pub use counters::{Counter, CounterRegistry};
+pub use event::{Event, Value};
+pub use fswrite::atomic_write_bytes;
+pub use sink::{JsonlSink, NoopSink, ProgressSink, Sink};
+pub use span::{Observer, Span};

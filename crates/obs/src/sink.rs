@@ -1,0 +1,151 @@
+//! Event sinks: where spans and counters end up.
+
+use crate::event::{Event, Value};
+use crate::fswrite::atomic_write_bytes;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// A consumer of observability events.
+///
+/// Implementations must be thread-safe: campaign workers emit from
+/// `parallel_map` threads. `record` should be cheap and non-blocking
+/// where possible; heavy work (sorting, I/O) belongs in `finish`,
+/// which the owning process calls exactly once at shutdown.
+pub trait Sink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+
+    /// Flushes buffered state (e.g. writes the trace file).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error publishing buffered events.
+    fn finish(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Swallows every event.
+///
+/// This is *not* the disabled path — a disabled observer never reaches
+/// any sink at all. `NoopSink` exists to measure the enabled-but-silent
+/// overhead (span bookkeeping, event construction) in the `speed` bin.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: Event) {}
+}
+
+/// Human progress lines on stderr.
+///
+/// Prints coarse milestones only — plan summaries, shard checkpoints,
+/// and the end of shallow spans (depth ≤ 2, i.e. campaign and shard
+/// level) — so a full-scale campaign stays readable. Everything finer
+/// (per-mix spans, solver steps) is for the JSONL sink.
+#[derive(Debug, Default)]
+pub struct ProgressSink;
+
+impl Sink for ProgressSink {
+    fn record(&self, event: Event) {
+        let depth = event.scope.matches('/').count();
+        let milestone = event.name == "plan"
+            || event.name == "checkpoint"
+            || (event.name == "span-end" && depth <= 1);
+        if !milestone {
+            return;
+        }
+        let mut line = format!("  [trace] {} {}", event.scope, event.name);
+        for (key, value) in &event.fields {
+            match value {
+                Value::U64(v) => line.push_str(&format!(" {key}={v}")),
+                Value::F64(v) => line.push_str(&format!(" {key}={v:.4}")),
+                Value::Bool(v) => line.push_str(&format!(" {key}={v}")),
+                Value::Str(v) => line.push_str(&format!(" {key}={v}")),
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Buffers events and writes them as deterministic JSONL on `finish`.
+///
+/// Events are sorted by `(scope, index)` — the canonical order, which
+/// does not depend on thread interleaving — then numbered with a
+/// monotone `seq` and published in one [`atomic_write_bytes`] call, so
+/// a killed run leaves either no trace file or a complete one.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    events: Mutex<Vec<Event>>,
+}
+
+impl JsonlSink {
+    /// A sink that will write `path` when finished.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// The trace file this sink writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: Event) {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).push(event);
+    }
+
+    fn finish(&self) -> std::io::Result<()> {
+        let mut events =
+            std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner));
+        events.sort_by(|a, b| a.scope.cmp(&b.scope).then(a.index.cmp(&b.index)));
+        let mut out = String::new();
+        for (seq, event) in events.iter().enumerate() {
+            out.push_str(&event.to_jsonl(seq as u64));
+            out.push('\n');
+        }
+        atomic_write_bytes(&self.path, out.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(scope: &str, index: u64, name: &str) -> Event {
+        Event { scope: scope.into(), index, name: name.into(), fields: vec![] }
+    }
+
+    #[test]
+    fn jsonl_sink_sorts_by_scope_then_index_and_numbers_seq() {
+        let dir = std::env::temp_dir()
+            .join(format!("mppm-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::new(&path);
+        // Arrival order scrambled, as parallel workers would produce.
+        sink.record(ev("c/shard-0001", 1, "b"));
+        sink.record(ev("c/shard-0000", 0, "a"));
+        sink.record(ev("c", 0, "span-start"));
+        sink.record(ev("c/shard-0001", 0, "a"));
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"seq\":0,\"scope\":\"c\","));
+        assert!(lines[1].contains("\"scope\":\"c/shard-0000\",\"index\":0"));
+        assert!(lines[2].contains("\"scope\":\"c/shard-0001\",\"index\":0"));
+        assert!(lines[3].contains("\"scope\":\"c/shard-0001\",\"index\":1"));
+        assert!(lines[3].starts_with("{\"seq\":3,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn noop_sink_accepts_everything() {
+        let sink = NoopSink;
+        sink.record(ev("x", 0, "anything"));
+        sink.finish().unwrap();
+    }
+}

@@ -1,0 +1,286 @@
+//! Observers and hierarchical spans.
+
+use crate::counters::{Counter, CounterRegistry};
+use crate::event::{Event, Value};
+use crate::sink::Sink;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The root handle of one observed run: a set of sinks plus the
+/// counter registry, shared by every [`Span`] derived from it.
+///
+/// A *disabled* observer (the default) holds nothing at all — no
+/// allocation, no sinks — and every operation on it or its spans is a
+/// single always-taken branch. Cloning is an `Option<Arc>` copy.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<ObserverInner>>,
+}
+
+struct ObserverInner {
+    sinks: Vec<Box<dyn Sink>>,
+    counters: CounterRegistry,
+}
+
+impl Observer {
+    /// The inert observer: observes nothing, costs nothing.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An observer feeding one sink.
+    pub fn new(sink: Box<dyn Sink>) -> Self {
+        Self::with_sinks(vec![sink])
+    }
+
+    /// An observer fanning events out to several sinks (e.g. progress
+    /// lines *and* a JSONL trace).
+    pub fn with_sinks(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Self { inner: Some(Arc::new(ObserverInner { sinks, counters: CounterRegistry::new() })) }
+    }
+
+    /// Whether events reach any sink.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The registry counter named `name` ([`Counter::inert`] when
+    /// disabled, so call sites need no guards).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.counters.counter(name),
+            None => Counter::inert(),
+        }
+    }
+
+    /// Current counter values in sorted name order (empty when
+    /// disabled).
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        self.inner.as_ref().map(|i| i.counters.snapshot()).unwrap_or_default()
+    }
+
+    /// Opens the root span of the run (emits `span-start`).
+    pub fn root(&self, name: &str) -> Span {
+        match &self.inner {
+            Some(_) => Span::open(self.clone(), name.to_string()),
+            None => Span::disabled(),
+        }
+    }
+
+    /// Publishes the final counter snapshot as events (scope
+    /// `counters`, one event per counter, sorted by name) and flushes
+    /// every sink. Call exactly once, after the root span has dropped.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error any sink reports while flushing.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        for (index, (name, value)) in inner.counters.snapshot().into_iter().enumerate() {
+            self.record(Event {
+                scope: "counters".to_string(),
+                index: index as u64,
+                name: "counter".to_string(),
+                fields: vec![("counter", Value::Str(name)), ("value", Value::U64(value))],
+            });
+        }
+        for sink in &inner.sinks {
+            sink.finish()?;
+        }
+        Ok(())
+    }
+
+    fn record(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.record(event.clone());
+            }
+        }
+    }
+}
+
+/// Host-clock read for span timing. Wall-clock never feeds simulated
+/// time or results: `elapsed_us` appears only on span-end telemetry
+/// events, and determinism tests strip it before comparing traces.
+fn now() -> Instant {
+    // mppm-lint: allow(wallclock-in-sim): span-end telemetry only; never feeds simulated time or results
+    Instant::now()
+}
+
+struct ScopeState {
+    path: String,
+    next: AtomicU64,
+}
+
+/// One scope in the span tree (campaign → shard → mix → …).
+///
+/// Emits `span-start` when opened and `span-end` (with `elapsed_us`)
+/// when dropped. Events carry the scope's full path and a per-scope
+/// index; under the crate's single-writer-per-scope contract that pair
+/// orders the whole stream deterministically.
+///
+/// Spans are deliberately not `Clone` — exactly one owner emits the
+/// `span-end`. Share by reference; concurrent workers get their own
+/// [`Span::child`] scopes.
+pub struct Span {
+    observer: Observer,
+    scope: Option<Arc<ScopeState>>,
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// A span that records nothing (from a disabled observer).
+    pub fn disabled() -> Self {
+        Self { observer: Observer::disabled(), scope: None, started: None }
+    }
+
+    fn open(observer: Observer, path: String) -> Self {
+        let span = Self {
+            observer,
+            scope: Some(Arc::new(ScopeState { path, next: AtomicU64::new(0) })),
+            started: Some(now()),
+        };
+        span.event("span-start", &[]);
+        span
+    }
+
+    /// Whether events from this span reach any sink.
+    pub fn is_enabled(&self) -> bool {
+        self.scope.is_some()
+    }
+
+    /// The full scope path (empty when disabled).
+    pub fn path(&self) -> &str {
+        self.scope.as_ref().map_or("", |s| s.path.as_str())
+    }
+
+    /// Opens a child scope named `name` under this span's path.
+    ///
+    /// Child names must be unique within a parent (use deterministic
+    /// labels like `shard-d0-i0003`) so `(scope, index)` stays a total
+    /// order.
+    pub fn child(&self, name: &str) -> Span {
+        match &self.scope {
+            Some(scope) => {
+                Span::open(self.observer.clone(), format!("{}/{name}", scope.path))
+            }
+            None => Span::disabled(),
+        }
+    }
+
+    /// Emits one event in this scope. A no-op (one branch) when
+    /// disabled; guard expensive field construction with
+    /// [`Span::is_enabled`] at hot call sites.
+    pub fn event(&self, name: &str, fields: &[(&'static str, Value)]) {
+        let Some(scope) = &self.scope else { return };
+        let index = scope.next.fetch_add(1, Ordering::Relaxed);
+        self.observer.record(Event {
+            scope: scope.path.clone(),
+            index,
+            name: name.to_string(),
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// The registry counter named `name` (inert when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.observer.counter(name)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.scope.is_some() {
+            let elapsed = self
+                .started
+                .map_or(0, |t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+            self.event("span-end", &[("elapsed_us", Value::U64(elapsed))]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Clone, Default)]
+    struct CaptureSink(Arc<Mutex<Vec<Event>>>);
+
+    impl Sink for CaptureSink {
+        fn record(&self, event: Event) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    #[test]
+    fn disabled_span_tree_emits_nothing_and_reads_no_clock() {
+        let span = Span::disabled();
+        assert!(!span.is_enabled());
+        assert_eq!(span.path(), "");
+        let child = span.child("mix-0000");
+        assert!(!child.is_enabled());
+        child.event("anything", &[("x", Value::U64(1))]);
+        let counter = child.counter("sim.llc.hits");
+        counter.add(5);
+        assert!(!counter.is_live());
+        assert!(span.started.is_none(), "disabled spans never touch Instant::now");
+    }
+
+    #[test]
+    fn span_tree_paths_and_indices_are_deterministic() {
+        let capture = CaptureSink::default();
+        let observer = Observer::new(Box::new(capture.clone()));
+        {
+            let root = observer.root("campaign");
+            assert_eq!(root.path(), "campaign");
+            root.event("plan", &[("shards", Value::U64(3))]);
+            let shard = root.child("shard-d0-i0000");
+            assert_eq!(shard.path(), "campaign/shard-d0-i0000");
+            shard.event("checkpoint", &[]);
+        }
+        let events = capture.0.lock().unwrap().clone();
+        let tags: Vec<(String, u64, String)> =
+            events.iter().map(|e| (e.scope.clone(), e.index, e.name.clone())).collect();
+        assert_eq!(
+            tags,
+            vec![
+                ("campaign".into(), 0, "span-start".into()),
+                ("campaign".into(), 1, "plan".into()),
+                ("campaign/shard-d0-i0000".into(), 0, "span-start".into()),
+                ("campaign/shard-d0-i0000".into(), 1, "checkpoint".into()),
+                ("campaign/shard-d0-i0000".into(), 2, "span-end".into()),
+                ("campaign".into(), 2, "span-end".into()),
+            ]
+        );
+        let end = events.last().unwrap();
+        assert_eq!(end.fields.len(), 1);
+        assert_eq!(end.fields[0].0, "elapsed_us");
+    }
+
+    #[test]
+    fn finish_publishes_counters_in_sorted_order() {
+        let capture = CaptureSink::default();
+        let observer = Observer::new(Box::new(capture.clone()));
+        observer.counter("zeta").add(2);
+        observer.counter("alpha").incr();
+        observer.finish().unwrap();
+        let events = capture.0.lock().unwrap().clone();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].scope, "counters");
+        assert_eq!(events[0].fields[0], ("counter", Value::Str("alpha".into())));
+        assert_eq!(events[0].fields[1], ("value", Value::U64(1)));
+        assert_eq!(events[1].fields[0], ("counter", Value::Str("zeta".into())));
+    }
+
+    #[test]
+    fn multiple_sinks_all_see_every_event() {
+        let a = CaptureSink::default();
+        let b = CaptureSink::default();
+        let observer = Observer::with_sinks(vec![Box::new(a.clone()), Box::new(b.clone())]);
+        observer.root("run").event("tick", &[]);
+        assert_eq!(a.0.lock().unwrap().len(), b.0.lock().unwrap().len());
+        assert!(a.0.lock().unwrap().len() >= 2, "span-start + tick at least");
+    }
+}

@@ -7,8 +7,8 @@
 //! cargo run --release -p mppm-examples --example bandwidth
 //! ```
 
-use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
-use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm::prelude::*;
+use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 use mppm_trace::{suite, TraceGeometry};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         let profiles: Vec<SingleCoreProfile> =
             specs.iter().map(|s| profile_single_core(s, &machine, geometry)).collect();
         let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
-        let measured = simulate_mix(&specs, &machine, geometry);
+        let measured = MixSim::new(&specs, &machine, geometry).run();
 
         let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
         let model_bw = if machine.mem_bandwidth.is_some() { Some(bandwidth) } else { None };

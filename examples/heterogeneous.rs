@@ -8,8 +8,8 @@
 //! cargo run --release -p mppm-examples --example heterogeneous
 //! ```
 
-use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
-use mppm_sim::{profile_single_core, simulate_mix_heterogeneous, MachineConfig};
+use mppm::prelude::*;
+use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 use mppm_trace::{suite, TraceGeometry};
 
 fn main() {
@@ -45,7 +45,8 @@ fn main() {
     let pred = model.predict(&refs).expect("compatible profiles");
 
     println!("\ndetailed heterogeneous simulation for ground truth...");
-    let measured = simulate_mix_heterogeneous(&specs, &machine, geometry, &factors);
+    let measured =
+        MixSim::new(&specs, &machine, geometry).core_factors(&factors).run();
     println!("{:<10} {:>8} {:>18} {:>18}", "program", "core", "measured slowdown", "predicted");
     for (i, name) in names.iter().enumerate() {
         let kind = if factors[i] == 1.0 { "big" } else { "little" };

@@ -7,8 +7,9 @@
 //! cargo run --release -p mppm-examples --example quickstart
 //! ```
 
-use mppm::{metrics, FoaModel, Mppm, MppmConfig};
-use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm::metrics;
+use mppm::prelude::*;
+use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 use mppm_trace::{suite, TraceGeometry};
 
 fn main() {
@@ -57,7 +58,7 @@ fn main() {
 
     // Step 3 — ground truth from the detailed multi-core simulator.
     println!("\ndetailed simulation of the same mix...");
-    let measured = simulate_mix(&[gamess, lbm], &machine, geometry);
+    let measured = MixSim::new(&[gamess, lbm], &machine, geometry).run();
     let cpi_sc = [profile_a.cpi_sc(), profile_b.cpi_sc()];
     println!(
         "  measured STP {:.3}   ANTT {:.3}",

@@ -8,8 +8,8 @@
 //! ```
 
 use mppm::mix::{enumerate_mixes, Mix};
-use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
-use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm::prelude::*;
+use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 use mppm_trace::{suite, TraceGeometry};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -86,7 +86,7 @@ fn main() {
         .map(|&i| suite::benchmark(suite::spec_suite()[i].name()).expect("in suite"))
         .collect();
     println!("\nverifying the worst workload with detailed simulation...");
-    let measured = simulate_mix(&specs, &machine, geometry);
+    let measured = MixSim::new(&specs, &machine, geometry).run();
     let cpi_sc: Vec<f64> = worst.members().iter().map(|&i| profiles[i].cpi_sc()).collect();
     let refs: Vec<&SingleCoreProfile> = worst.resolve(&profiles);
     let pred = model.predict(&refs).expect("valid profiles");

@@ -4,7 +4,7 @@
 
 use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
 use mppm_experiments::{fig3, fig4, worker_threads, Context, Scale, Store};
-use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 use mppm_trace::{suite, TraceGeometry, TraceStream};
 
 fn geometry() -> TraceGeometry {
@@ -36,8 +36,8 @@ fn simulations_are_bit_identical() {
     let machine = MachineConfig::baseline();
     let specs: Vec<_> =
         ["milc", "astar", "wrf"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
-    let a = simulate_mix(&specs, &machine, geometry());
-    let b = simulate_mix(&specs, &machine, geometry());
+    let a = MixSim::new(&specs, &machine, geometry()).run();
+    let b = MixSim::new(&specs, &machine, geometry()).run();
     assert_eq!(a, b);
 }
 

@@ -13,9 +13,7 @@
 //! MPPM_REGEN_GOLDEN=1 cargo test -p mppm-integration --test differential
 //! ```
 
-use mppm_sim::{
-    simulate_mix, simulate_mix_partitioned, MachineConfig, MixResult,
-};
+use mppm_sim::{MachineConfig, MixResult, MixSim};
 use mppm_trace::{suite, TraceGeometry};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -46,12 +44,12 @@ fn compute_snapshot() -> GoldenSnapshot {
         .iter()
         .map(|n| suite::benchmark(n).expect("suite benchmark"))
         .collect();
-    let unified = simulate_mix(&mix, &machine, g);
+    let unified = MixSim::new(&mix, &machine, g).run();
     let pair: Vec<_> = ["gamess", "lbm"]
         .iter()
         .map(|n| suite::benchmark(n).expect("suite benchmark"))
         .collect();
-    let partitioned = simulate_mix_partitioned(&pair, &machine, g, &[6, 2]);
+    let partitioned = MixSim::new(&pair, &machine, g).partitioned(&[6, 2]).run();
     GoldenSnapshot { unified, partitioned }
 }
 

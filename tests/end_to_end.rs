@@ -3,7 +3,7 @@
 
 use mppm::mix::{count_mixes, enumerate_mixes, Mix};
 use mppm::{FoaModel, Mppm, MppmConfig, SingleCoreProfile};
-use mppm_sim::{profile_single_core, simulate_mix, MachineConfig};
+use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 use mppm_trace::{suite, TraceGeometry};
 
 fn geometry() -> TraceGeometry {
@@ -30,7 +30,7 @@ fn full_pipeline_runs_for_a_four_program_mix() {
     let pred = model.predict(&refs).unwrap();
     assert!(pred.converged());
 
-    let measured = simulate_mix(&specs, &machine, g);
+    let measured = MixSim::new(&specs, &machine, g).run();
     let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
 
     // Metrics are in sane ranges on both sides.
@@ -112,7 +112,7 @@ fn paper_worst_mix_ranks_among_worst() {
         let profiles: Vec<SingleCoreProfile> =
             specs.iter().map(|s| profile_single_core(s, &machine, g)).collect();
         let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
-        let measured = simulate_mix(&specs, &machine, g).stp(&cpi_sc);
+        let measured = MixSim::new(&specs, &machine, g).run().stp(&cpi_sc);
         let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
         let predicted =
             Mppm::new(MppmConfig::default(), FoaModel).predict(&refs).unwrap().stp();

@@ -8,7 +8,7 @@ use mppm::{
     ContentionModel, FoaModel, Mppm, MppmConfig, PartitionModel, SingleCoreProfile,
     SlowdownUpdate,
 };
-use mppm_sim::{profile_single_core, simulate_mix, simulate_mix_partitioned, MachineConfig};
+use mppm_sim::{profile_single_core, MachineConfig, MixSim};
 use mppm_trace::{suite, TraceGeometry};
 
 fn geometry() -> TraceGeometry {
@@ -44,7 +44,7 @@ fn victim_ordering_matches_simulator() {
     let profiles = profiles_for(&names, &machine);
     let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
 
-    let measured = simulate_mix(&specs, &machine, geometry());
+    let measured = MixSim::new(&specs, &machine, geometry()).run();
     let meas_slow: Vec<f64> =
         measured.cpi_mc.iter().zip(&cpi_sc).map(|(mc, sc)| mc / sc).collect();
     let pred = predict_with(&profiles, MppmConfig::default(), FoaModel);
@@ -70,7 +70,7 @@ fn heavier_sharing_hurts_in_both_worlds() {
 
     let stp_per_core_sim = |n: usize| {
         let specs = vec![gamess; n];
-        let measured = simulate_mix(&specs, &machine, geometry());
+        let measured = MixSim::new(&specs, &machine, geometry()).run();
         measured.stp(&vec![cpi; n]) / n as f64
     };
     let stp_per_core_model = |n: usize| {
@@ -90,7 +90,7 @@ fn corrected_update_beats_literal_figure2_for_heavy_slowdowns() {
     let names = ["gamess", "lbm"];
     let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
     let profiles = profiles_for(&names, &machine);
-    let measured = simulate_mix(&specs, &machine, geometry());
+    let measured = MixSim::new(&specs, &machine, geometry()).run();
     let meas_slow = measured.cpi_mc[0] / profiles[0].cpi_sc();
 
     let corrected = predict_with(&profiles, MppmConfig::default(), FoaModel);
@@ -129,7 +129,7 @@ fn heterogeneous_extension_tracks_simulator() {
         .map(|(p, &f)| p.scaled_core(f))
         .collect();
     let measured =
-        mppm_sim::simulate_mix_heterogeneous(&specs, &machine, g, &factors);
+        MixSim::new(&specs, &machine, g).core_factors(&factors).run();
     let pred = predict_with(&scaled, MppmConfig::default(), FoaModel);
     for i in 0..names.len() {
         let meas_slow = measured.cpi_mc[i] / scaled[i].cpi_sc();
@@ -157,7 +157,7 @@ fn partition_model_tracks_partitioned_simulator() {
     let profiles = profiles_for(&names, &machine);
     let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
     for ways in [[7u32, 1], [4, 4], [2, 6]] {
-        let measured = simulate_mix_partitioned(&specs, &machine, g, &ways);
+        let measured = MixSim::new(&specs, &machine, g).partitioned(&ways).run();
         let pred = predict_with(
             &profiles,
             MppmConfig::default(),
@@ -189,7 +189,7 @@ fn bandwidth_extension_tracks_simulator() {
     let specs: Vec<_> = names.iter().map(|n| suite::benchmark(n).unwrap()).collect();
     let profiles: Vec<SingleCoreProfile> =
         specs.iter().map(|s| profile_single_core(s, &machine, g)).collect();
-    let measured = simulate_mix(&specs, &machine, g);
+    let measured = MixSim::new(&specs, &machine, g).run();
     let meas_slow = measured.cpi_mc[0] / profiles[0].cpi_sc();
     assert!(meas_slow > 1.1, "the channel must be contended: {meas_slow}");
 
@@ -233,7 +233,7 @@ fn model_agrees_with_simulator_on_llc_config_preference() {
             let machine = MachineConfig::baseline().with_llc(mppm_sim::llc_configs()[cfg]);
             let profiles = profiles_for(&names, &machine);
             let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
-            let measured = simulate_mix(&specs, &machine, g).stp(&cpi_sc);
+            let measured = MixSim::new(&specs, &machine, g).run().stp(&cpi_sc);
             let predicted = predict_with(&profiles, MppmConfig::default(), FoaModel).stp();
             stp.push((measured, predicted));
         }
