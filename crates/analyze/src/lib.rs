@@ -17,6 +17,7 @@
 //! | `unwrap-in-lib`        | undocumented panics in library code |
 //! | `lossy-counter-cast`   | silent truncation of 64-bit counters |
 //! | `deprecated-sim-entrypoint` | retired `simulate_mix*` free functions instead of `MixSim` |
+//! | `uncompiled-hot-loop`  | per-item trace iteration outside the `reference_*` substrate |
 //!
 //! The environment has no `clippy`/`syn`, so the pass is hand-rolled: a
 //! small lexer ([`lexer`]) strips comments and literals, then

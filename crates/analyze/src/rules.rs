@@ -57,6 +57,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnwrapInLib),
         Box::new(LossyCounterCast),
         Box::new(DeprecatedSimEntrypoint),
+        Box::new(UncompiledHotLoop),
     ]
 }
 
@@ -362,6 +363,98 @@ impl Rule for DeprecatedSimEntrypoint {
     }
 }
 
+/// `uncompiled-hot-loop` — direct per-item `TraceStream` driving
+/// (`.next_item()` calls) in simulation code. Since the phase compiler
+/// landed, hot simulation loops execute precompiled [`CompiledTrace`]
+/// blocks; per-item generation survives only as the differential
+/// reference substrate, and such loops must live in functions named
+/// `reference_*` so the differential harness can find them — anywhere
+/// else, a per-item loop is either a perf regression or an unchecked
+/// fork of the execution semantics. The generator/compiler crate
+/// (`crates/trace/src/`) is exempt: it *defines* `next_item` and the
+/// compiler is its one blessed bulk consumer.
+pub struct UncompiledHotLoop;
+
+impl Rule for UncompiledHotLoop {
+    fn name(&self) -> &'static str {
+        "uncompiled-hot-loop"
+    }
+    fn description(&self) -> &'static str {
+        "per-item `.next_item()` loop outside `reference_*` functions; execute compiled blocks"
+    }
+    fn scope(&self) -> Scope {
+        Scope::NonTest
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        !path.starts_with("crates/trace/src/")
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let in_reference = mark_reference_fns(toks);
+        let mut out = Vec::new();
+        for i in 1..toks.len() {
+            if ident_at(toks, i) == Some("next_item")
+                && punct_at(toks, i - 1, '.')
+                && punct_at(toks, i + 1, '(')
+                && !in_reference[i]
+            {
+                out.push(Finding {
+                    tok: i,
+                    message: "per-item `.next_item()` drive in simulation code: execute \
+                              `CompiledTrace` blocks, or name the enclosing fn `reference_*` \
+                              if this loop *is* the differential reference"
+                        .into(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Marks tokens inside the bodies of functions named `reference_*` —
+/// the blessed per-item differential substrate. Brace-matched from each
+/// `fn reference_…` keyword through its body's closing `}`.
+fn mark_reference_fns(toks: &[Tok]) -> Vec<bool> {
+    let mut inside = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        let is_ref_fn = ident_at(toks, i) == Some("fn")
+            && ident_at(toks, i + 1).is_some_and(|n| n.starts_with("reference_"));
+        if !is_ref_fn {
+            i += 1;
+            continue;
+        }
+        // Find the body's opening `{` (a `;` means a trait-method
+        // signature with no body — nothing to mark).
+        let mut k = i + 2;
+        while k < toks.len() && !punct_at(toks, k, '{') && !punct_at(toks, k, ';') {
+            k += 1;
+        }
+        if !punct_at(toks, k, '{') {
+            i = k + 1;
+            continue;
+        }
+        let mut braces = 0usize;
+        let mut m = k;
+        while m < toks.len() {
+            if punct_at(toks, m, '{') {
+                braces += 1;
+            } else if punct_at(toks, m, '}') {
+                braces -= 1;
+                if braces == 0 {
+                    break;
+                }
+            }
+            m += 1;
+        }
+        for flag in inside.iter_mut().take(m.min(toks.len() - 1) + 1).skip(i) {
+            *flag = true;
+        }
+        i = m + 1;
+    }
+    inside
+}
+
 /// Marks which tokens sit inside test-only code: any item annotated
 /// `#[test]` or `#[cfg(test)]` (including `cfg(all(test, ...))`, but not
 /// `cfg(not(test))`), plus whole files carrying an inner `#![cfg(test)]`.
@@ -478,6 +571,23 @@ mod tests {
         let (flags, whole) = mark_test_regions(&l.toks);
         assert!(whole);
         assert!(flags.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn reference_fn_bodies_are_marked_exactly() {
+        let src = "fn hot() { s.next_item(); } \
+                   fn reference_drive(s: &mut S) { loop { s.next_item(); } } \
+                   fn hot2() { s.next_item(); }";
+        let l = lex(src);
+        let flags = mark_reference_fns(&l.toks);
+        let calls: Vec<bool> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("next_item"))
+            .map(|(i, _)| flags[i])
+            .collect();
+        assert_eq!(calls, [false, true, false]);
     }
 
     #[test]

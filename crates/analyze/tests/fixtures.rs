@@ -318,6 +318,37 @@ fn f() {
 }
 
 #[test]
+fn uncompiled_hot_loop() {
+    fires_and_fixes(
+        "uncompiled-hot-loop",
+        r#"
+fn drive(stream: &mut TraceStream) -> u64 {
+    let mut insns = 0;
+    while insns < 1000 { insns += stream.next_item().insns(); }
+    insns
+}
+"#,
+        r#"
+fn reference_drive(stream: &mut TraceStream) -> u64 {
+    let mut insns = 0;
+    while insns < 1000 { insns += stream.next_item().insns(); }
+    insns
+}
+"#,
+    );
+}
+
+#[test]
+fn uncompiled_hot_loop_exempts_the_trace_crate_and_tests() {
+    // The generator crate defines `next_item` (and the compiler is its
+    // blessed bulk consumer); tests drive items deliberately.
+    let src = "fn f(s: &mut TraceStream) { let _ = s.next_item(); }\n";
+    assert!(analyze_one("crates/trace/src/compile.rs", src).is_clean());
+    assert!(analyze_one("tests/determinism.rs", src).is_clean());
+    assert!(!analyze_one("crates/cmpsim/src/engine.rs", src).is_clean());
+}
+
+#[test]
 fn unknown_rule_in_allow_is_a_violation() {
     let src = "fn f() {} // mppm-lint: allow(no-such-rule): because\n";
     let fired = rules_fired(&analyze_one(LIB, src));

@@ -22,6 +22,7 @@ fn bench_trace_generation(c: &mut Criterion) {
         b.iter(|| {
             let start = stream.position();
             while stream.position() - start < 100_000 {
+                // mppm-lint: allow(uncompiled-hot-loop): this bench measures raw per-item generator throughput itself
                 std::hint::black_box(stream.next_item());
             }
         });

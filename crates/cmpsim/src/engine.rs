@@ -3,7 +3,9 @@
 //! cycles.
 
 use mppm_cache::{Replacement, SetAssocCache};
-use mppm_trace::{BenchmarkSpec, TraceGeometry, TraceItem, TraceStream};
+use mppm_trace::{
+    BenchmarkSpec, CompiledTrace, TraceGeometry, TraceItem, TraceStream, FLAG_ACCESS, FLAG_STORE,
+};
 use std::sync::Arc;
 
 use crate::{MachineConfig, MemoryChannel};
@@ -168,15 +170,103 @@ impl BurstStop {
     }
 }
 
+/// Where a core's trace items come from.
+///
+/// The live generator is the *reference* path — the original per-item
+/// implementation every faster substrate is differential-tested against
+/// (the PR 1/PR 3 playbook). The compiled path replays pre-generated
+/// [`CompiledTrace`] blocks and must be bit-identical; the oracle in
+/// `crates/cmpsim/tests/differential.rs` proves it.
+#[derive(Debug, Clone)]
+enum TraceSource {
+    /// Per-item generation from the live [`TraceStream`].
+    Reference(TraceStream),
+    /// Batched replay of a pre-compiled trace.
+    Compiled(CompiledCursor),
+}
+
+/// Replay position within a shared [`CompiledTrace`].
+///
+/// Mirrors [`TraceStream`]'s position semantics exactly: `insn` may sit
+/// at the pre-rewind sentinel (`== trace_insns`) after the last op of a
+/// pass, and the rewind to block 0 happens lazily on the next item.
+/// Within a pass the block index is advanced eagerly, so
+/// `current_phase` always reflects the op about to execute.
+#[derive(Debug, Clone)]
+struct CompiledCursor {
+    trace: Arc<CompiledTrace>,
+    /// Current block index (always valid; op may equal the block's len
+    /// only at the end-of-pass sentinel).
+    block: usize,
+    /// Next op within the current block.
+    op: usize,
+    /// Position within the current pass, in instructions.
+    insn: u64,
+    /// Completed trace passes.
+    wraps: u64,
+}
+
+impl CompiledCursor {
+    fn new(trace: Arc<CompiledTrace>) -> Self {
+        assert!(!trace.blocks().is_empty(), "compiled traces have at least one block");
+        Self { trace, block: 0, op: 0, insn: 0, wraps: 0 }
+    }
+
+    /// Total instructions replayed (monotonic across wraps).
+    fn position(&self) -> u64 {
+        self.wraps * self.trace.geometry().trace_insns() + self.insn
+    }
+
+    /// Phase index at the current position; at the pre-rewind sentinel
+    /// the phase wraps to block 0, exactly as [`TraceStream`] does.
+    fn current_phase(&self) -> usize {
+        let blocks = self.trace.blocks();
+        if self.insn >= self.trace.geometry().trace_insns() {
+            blocks[0].phase()
+        } else {
+            blocks[self.block].phase()
+        }
+    }
+
+    /// Resets to the start of the trace, bumping the wrap count.
+    fn rewind(&mut self) {
+        self.block = 0;
+        self.op = 0;
+        self.insn = 0;
+        self.wraps += 1;
+    }
+
+    /// Materializes the next item, advancing the cursor — the
+    /// item-at-a-time view of the compiled trace used by
+    /// [`CoreEngine::step`]; the burst path walks the columns directly.
+    fn replay_item(&mut self) -> TraceItem {
+        if self.insn == self.trace.geometry().trace_insns() {
+            self.rewind();
+        }
+        let blocks = self.trace.blocks();
+        let blk = &blocks[self.block];
+        let item = blk.item(self.op);
+        self.insn += u64::from(blk.insn_counts()[self.op]);
+        self.op += 1;
+        if self.op == blk.len() && self.block + 1 < blocks.len() {
+            self.block += 1;
+            self.op = 0;
+        }
+        item
+    }
+}
+
 /// One core executing one program.
 ///
-/// The engine owns the program's deterministic [`TraceStream`] and its
-/// private L1D and L2; the LLC is passed into [`CoreEngine::step`] so
-/// several engines can share it. Block addresses are tagged with the
-/// engine's id because co-scheduled programs share no data.
+/// The engine owns the program's deterministic trace source — the live
+/// [`TraceStream`] generator or a pre-compiled [`CompiledTrace`] replay —
+/// and its private L1D and L2; the LLC is passed into
+/// [`CoreEngine::step`] so several engines can share it. Block addresses
+/// are tagged with the engine's id because co-scheduled programs share no
+/// data.
 #[derive(Debug, Clone)]
 pub struct CoreEngine {
-    stream: TraceStream,
+    source: TraceSource,
     machine: MachineConfig,
     l1d: SetAssocCache,
     l2: SetAssocCache,
@@ -229,9 +319,45 @@ impl CoreEngine {
         core_idx: usize,
         core_factor: f64,
     ) -> Self {
+        Self::from_source(
+            TraceSource::Reference(TraceStream::new(spec, geometry)),
+            machine,
+            core_idx,
+            core_factor,
+        )
+    }
+
+    /// Creates an engine that replays a pre-compiled trace instead of
+    /// running the live generator — the batched production path (the
+    /// geometry comes from the compiled trace). Bit-identical to the
+    /// reference-stream constructors by the differential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_factor` is not positive and finite.
+    pub fn with_compiled_trace(
+        trace: Arc<CompiledTrace>,
+        machine: &MachineConfig,
+        core_idx: usize,
+        core_factor: f64,
+    ) -> Self {
+        Self::from_source(
+            TraceSource::Compiled(CompiledCursor::new(trace)),
+            machine,
+            core_idx,
+            core_factor,
+        )
+    }
+
+    fn from_source(
+        source: TraceSource,
+        machine: &MachineConfig,
+        core_idx: usize,
+        core_factor: f64,
+    ) -> Self {
         assert!(core_factor.is_finite() && core_factor > 0.0, "core factor must be positive");
         Self {
-            stream: TraceStream::new(spec, geometry),
+            source,
             machine: *machine,
             l1d: SetAssocCache::new(machine.l1d, Replacement::Lru),
             l2: SetAssocCache::new(machine.l2, Replacement::Lru),
@@ -254,7 +380,19 @@ impl CoreEngine {
 
     /// Instructions retired so far (monotonic across trace wraps).
     pub fn insns(&self) -> u64 {
-        self.stream.position()
+        match &self.source {
+            TraceSource::Reference(stream) => stream.position(),
+            TraceSource::Compiled(cursor) => cursor.position(),
+        }
+    }
+
+    /// Completed trace passes (warmup plus measurement plus FAME
+    /// re-iteration).
+    pub fn trace_passes(&self) -> u64 {
+        match &self.source {
+            TraceSource::Reference(stream) => stream.wraps(),
+            TraceSource::Compiled(cursor) => cursor.wraps,
+        }
     }
 
     /// Accumulated memory-component stall cycles (the cycles a perfect LLC
@@ -271,12 +409,37 @@ impl CoreEngine {
 
     /// Memory-level parallelism of the phase at the current position.
     pub fn current_mlp(&self) -> f64 {
-        self.stream.spec().phases()[self.stream.current_phase()].mlp
+        self.spec().phases()[self.source_current_phase()].mlp
     }
 
     /// The benchmark this engine runs.
     pub fn spec(&self) -> &BenchmarkSpec {
-        self.stream.spec()
+        match &self.source {
+            TraceSource::Reference(stream) => stream.spec(),
+            TraceSource::Compiled(cursor) => cursor.trace.spec(),
+        }
+    }
+
+    /// Phase index at the current trace position, whichever the source.
+    fn source_current_phase(&self) -> usize {
+        match &self.source {
+            TraceSource::Reference(stream) => stream.current_phase(),
+            TraceSource::Compiled(cursor) => cursor.current_phase(),
+        }
+    }
+
+    /// The next trace item, whichever the source.
+    fn source_next_item(&mut self) -> TraceItem {
+        match &mut self.source {
+            TraceSource::Reference(stream) => Self::reference_item(stream),
+            TraceSource::Compiled(cursor) => cursor.replay_item(),
+        }
+    }
+
+    /// The reference path's per-item generation — the live generator the
+    /// compiled replay is differential-tested against.
+    fn reference_item(stream: &mut TraceStream) -> TraceItem {
+        stream.next_item()
     }
 
     /// Re-reads the phase parameters after a phase change. Out of the
@@ -284,9 +447,12 @@ impl CoreEngine {
     /// interval (thousands of items).
     #[cold]
     fn refresh_phase(&mut self, phase_idx: usize) {
-        let phase = &self.stream.spec().phases()[phase_idx];
-        self.cached_base_cpi = phase.base_cpi * self.core_factor;
-        self.cached_mlp = phase.mlp;
+        let (base_cpi, mlp) = {
+            let phase = &self.spec().phases()[phase_idx];
+            (phase.base_cpi, phase.mlp)
+        };
+        self.cached_base_cpi = base_cpi * self.core_factor;
+        self.cached_mlp = mlp;
         self.cached_phase = phase_idx;
     }
 
@@ -294,12 +460,12 @@ impl CoreEngine {
     /// accessing the memory hierarchy as needed.
     pub fn step(&mut self, uncore: &mut Uncore, mode: LlcMode) -> StepOutcome {
         debug_assert!(self.pending.is_none(), "commit the pending LLC access before stepping");
-        let phase_idx = self.stream.current_phase();
+        let phase_idx = self.source_current_phase();
         if phase_idx != self.cached_phase {
             self.refresh_phase(phase_idx);
         }
         let (base_cpi, mlp) = (self.cached_base_cpi, self.cached_mlp);
-        match self.stream.next_item() {
+        match self.source_next_item() {
             TraceItem::Compute { insns } => {
                 let cost = f64::from(insns) * base_cpi;
                 self.cycles += cost;
@@ -365,13 +531,23 @@ impl CoreEngine {
     /// Panics if an LLC access is pending from a previous burst.
     pub fn run_until_llc(&mut self, limit: u64) -> BurstStop {
         assert!(self.pending.is_none(), "commit the pending LLC access before bursting");
+        match self.source {
+            TraceSource::Reference(_) => self.reference_run_until_llc(limit),
+            TraceSource::Compiled(_) => self.compiled_run_until_llc(limit),
+        }
+    }
+
+    /// The per-item burst loop over the live generator — the reference
+    /// implementation [`Self::compiled_run_until_llc`] is
+    /// differential-tested against.
+    fn reference_run_until_llc(&mut self, limit: u64) -> BurstStop {
         loop {
             let stamp = self.cycles;
-            let phase_idx = self.stream.current_phase();
+            let phase_idx = self.source_current_phase();
             if phase_idx != self.cached_phase {
                 self.refresh_phase(phase_idx);
             }
-            match self.stream.next_item() {
+            match self.source_next_item() {
                 TraceItem::Compute { insns } => {
                     let cost = f64::from(insns) * self.cached_base_cpi;
                     self.cycles += cost;
@@ -398,8 +574,102 @@ impl CoreEngine {
                     }
                 }
             }
-            if self.stream.position() >= limit {
+            if self.insns() >= limit {
                 return BurstStop::Limit { stamp };
+            }
+        }
+    }
+
+    /// The batched burst loop over a compiled trace: executes whole
+    /// blocks against the flat structure-of-arrays columns. Address
+    /// generation and classification were paid once at compile time;
+    /// phase parameters and the L2 stall are loaded once per *block*; the
+    /// inner loop walks three contiguous arrays and the private caches.
+    ///
+    /// Charges the exact same f64 operations in the exact same order as
+    /// [`Self::reference_run_until_llc`] — compute batches stay clipped
+    /// at interval boundaries as the generator emitted them, because
+    /// f64 accumulation is not associative and merging adjacent batches
+    /// would change low-order bits.
+    fn compiled_run_until_llc(&mut self, limit: u64) -> BurstStop {
+        let trace = match &self.source {
+            TraceSource::Compiled(cursor) => Arc::clone(&cursor.trace),
+            TraceSource::Reference(_) => unreachable!("dispatched on the compiled source"),
+        };
+        let trace_len = trace.geometry().trace_insns();
+        let n_blocks = trace.blocks().len();
+        loop {
+            // Per-block header: lazy rewind at the pass sentinel, then
+            // one phase refresh for the whole block.
+            let block_idx = {
+                let TraceSource::Compiled(c) = &mut self.source else { unreachable!() };
+                if c.insn == trace_len {
+                    c.rewind();
+                }
+                c.block
+            };
+            let blk = &trace.blocks()[block_idx];
+            if blk.phase() != self.cached_phase {
+                self.refresh_phase(blk.phase());
+            }
+            let base_cpi = self.cached_base_cpi;
+            let mlp = self.cached_mlp;
+            let l2_stall = self.machine.stall_cycles(self.machine.l2.latency, mlp);
+            let counts = blk.insn_counts();
+            let ids = blk.block_ids();
+            let flags = blk.flags();
+            let n_ops = counts.len();
+
+            // `c` borrows only the `source` field, so the cycle/stack/
+            // cache fields stay independently mutable in the hot loop.
+            let TraceSource::Compiled(c) = &mut self.source else { unreachable!() };
+            let wraps_off = c.wraps * trace_len;
+            while c.op < n_ops {
+                let i = c.op;
+                let stamp = self.cycles;
+                if flags[i] & FLAG_ACCESS == 0 {
+                    let cost = f64::from(counts[i]) * base_cpi;
+                    self.cycles += cost;
+                    self.stack.base += cost;
+                    c.op = i + 1;
+                    c.insn += u64::from(counts[i]);
+                } else {
+                    self.cycles += base_cpi;
+                    self.stack.base += base_cpi;
+                    c.op = i + 1;
+                    c.insn += 1;
+                    let block = self.tag | ids[i];
+                    if !self.l1d.access(block).hit {
+                        if self.l2.access(block).hit {
+                            self.cycles += l2_stall;
+                            self.stack.l2_hit += l2_stall;
+                        } else {
+                            self.pending = Some(PendingLlc {
+                                block,
+                                store: flags[i] & FLAG_STORE != 0,
+                                mlp,
+                            });
+                            if c.op == n_ops && block_idx + 1 < n_blocks {
+                                c.block = block_idx + 1;
+                                c.op = 0;
+                            }
+                            return BurstStop::Llc { stamp };
+                        }
+                    }
+                }
+                if wraps_off + c.insn >= limit {
+                    if c.op == n_ops && block_idx + 1 < n_blocks {
+                        c.block = block_idx + 1;
+                        c.op = 0;
+                    }
+                    return BurstStop::Limit { stamp };
+                }
+            }
+            // Block exhausted without stopping: step to the next block,
+            // or leave the sentinel for the lazy rewind above.
+            if block_idx + 1 < n_blocks {
+                c.block = block_idx + 1;
+                c.op = 0;
             }
         }
     }

@@ -60,8 +60,8 @@ pub use engine::{BurstStop, CoreEngine, LlcMode, Uncore};
 pub use memory::MemoryChannel;
 pub use machine::{llc_configs, CoreConfig, MachineConfig, LLC_CONFIG_COUNT};
 pub use multi::{
-    event_interleave, reference_interleave, InterleaveOutcome, MixOptions, MixResult, MixSim,
-    SchedKey, Scheduler,
+    event_interleave, reference_interleave, Execution, InterleaveOutcome, MixOptions, MixResult,
+    MixSim, SchedKey, Scheduler,
 };
 // The deprecated free-function entry points stay re-exported so existing
 // downstream code keeps compiling (with a deprecation warning at *their*

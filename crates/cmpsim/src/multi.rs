@@ -20,10 +20,11 @@
 //! `(pre-step clock, core index)` — see DESIGN.md §9 for the argument.
 
 use mppm_obs::{Span, Value};
-use mppm_trace::{BenchmarkSpec, TraceGeometry};
+use mppm_trace::{BenchmarkSpec, CompiledTrace, TraceGeometry};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::{BurstStop, CoreEngine, LlcMode, MachineConfig, Uncore};
 
@@ -107,6 +108,7 @@ pub struct MixSim<'a> {
     ways: Option<&'a [u32]>,
     core_factors: Option<&'a [f64]>,
     scheduler: Scheduler,
+    execution: Execution,
     observer: Option<&'a Span>,
 }
 
@@ -125,6 +127,7 @@ impl<'a> MixSim<'a> {
             ways: None,
             core_factors: None,
             scheduler: Scheduler::default(),
+            execution: Execution::default(),
             observer: None,
         }
     }
@@ -155,6 +158,13 @@ impl<'a> MixSim<'a> {
     /// [`Scheduler::EventDriven`]).
     pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Selects how trace items are produced (default
+    /// [`Execution::Compiled`]).
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
         self
     }
 
@@ -214,6 +224,7 @@ impl<'a> MixSim<'a> {
             uncore,
             factors,
             self.scheduler,
+            self.execution,
             span,
         )
     }
@@ -294,6 +305,28 @@ pub fn simulate_mix_heterogeneous(
     core_factors: &[f64],
 ) -> MixResult {
     MixSim::new(specs, machine, geometry).core_factors(core_factors).run()
+}
+
+/// How trace items are produced during a mix simulation.
+///
+/// Both modes are bit-identical — proven by the compiled-vs-reference
+/// property of the differential oracle
+/// (`crates/cmpsim/tests/differential.rs`) and the pinned golden
+/// snapshot — so the choice is purely a speed/memory trade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Compile each distinct spec's phases into flat
+    /// [`CompiledTrace`] blocks once, then replay them on every pass
+    /// (warmup, measurement, FAME re-iteration) and on every core
+    /// running the same spec. The production default: amortizes address
+    /// generation, classification, and gap sampling across passes.
+    #[default]
+    Compiled,
+    /// Generate every item live from the per-core
+    /// [`mppm_trace::TraceStream`] — the original per-item path, kept
+    /// as the reference the compiled substrate is tested against and
+    /// for before/after benchmarking.
+    ReferenceStream,
 }
 
 /// Which interleaving scheduler drives a mix simulation.
@@ -610,6 +643,64 @@ pub fn event_interleave(
     unreachable!("the heap always holds one event per core until completion");
 }
 
+/// Batch-compilation bookkeeping published as `sim.batch.*`.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchStats {
+    /// Distinct specs compiled (zero under reference-stream execution).
+    compiles: u64,
+    /// Compiled blocks across those compilations.
+    blocks: u64,
+    /// Compiled ops (trace items) across those compilations.
+    ops: u64,
+    /// Engines that reused a compilation instead of running their own.
+    reused: u64,
+    /// Trace passes executed across all engines (all of them replayed
+    /// from compiled blocks under compiled execution).
+    passes: u64,
+}
+
+/// Builds one engine per spec. Under compiled execution every *distinct*
+/// spec (by reference identity — mixes repeat specs by repeating the same
+/// `&BenchmarkSpec`) is compiled once and shared by all cores running it.
+fn build_engines(
+    specs: &[&BenchmarkSpec],
+    machine: &MachineConfig,
+    geometry: TraceGeometry,
+    core_factors: &[f64],
+    execution: Execution,
+    stats: &mut BatchStats,
+) -> Vec<CoreEngine> {
+    let mut compiled: Vec<(*const BenchmarkSpec, Arc<CompiledTrace>)> = Vec::new();
+    specs
+        .iter()
+        .zip(core_factors)
+        .enumerate()
+        .map(|(idx, (spec, &factor))| match execution {
+            Execution::ReferenceStream => {
+                CoreEngine::with_core_factor((*spec).clone(), machine, geometry, idx, factor)
+            }
+            Execution::Compiled => {
+                let key: *const BenchmarkSpec = *spec;
+                let trace = match compiled.iter().find(|(k, _)| std::ptr::eq(*k, key)) {
+                    Some((_, t)) => {
+                        stats.reused += 1;
+                        Arc::clone(t)
+                    }
+                    None => {
+                        let t = Arc::new(CompiledTrace::compile((*spec).clone(), geometry));
+                        stats.compiles += 1;
+                        stats.blocks += t.blocks().len() as u64;
+                        stats.ops += t.ops();
+                        compiled.push((key, Arc::clone(&t)));
+                        t
+                    }
+                };
+                CoreEngine::with_compiled_trace(trace, machine, idx, factor)
+            }
+        })
+        .collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_mix_with_factors(
     specs: &[&BenchmarkSpec],
@@ -619,17 +710,13 @@ fn run_mix_with_factors(
     mut uncore: Uncore,
     core_factors: &[f64],
     scheduler: Scheduler,
+    execution: Execution,
     span: &Span,
 ) -> MixResult {
     assert!(!specs.is_empty(), "a mix needs at least one program");
-    let mut engines: Vec<CoreEngine> = specs
-        .iter()
-        .zip(core_factors)
-        .enumerate()
-        .map(|(idx, (spec, &factor))| {
-            CoreEngine::with_core_factor((*spec).clone(), machine, geometry, idx, factor)
-        })
-        .collect();
+    let mut batch = BatchStats::default();
+    let mut engines =
+        build_engines(specs, machine, geometry, core_factors, execution, &mut batch);
     let trace_insns = geometry.trace_insns();
     let warmup_insns = trace_insns * u64::from(warmup_passes);
     let outcome = match scheduler {
@@ -667,7 +754,8 @@ fn run_mix_with_factors(
         llc_misses_per_core: outcome.llc_misses.clone(),
     };
     if span.is_enabled() {
-        publish_mix(span, &uncore, &outcome, &result, warmup_passes, scheduler);
+        batch.passes = engines.iter().map(CoreEngine::trace_passes).sum();
+        publish_mix(span, &uncore, &outcome, &result, warmup_passes, scheduler, execution, batch);
     }
     result
 }
@@ -677,6 +765,7 @@ fn run_mix_with_factors(
 /// counters, scheduler heap traffic). Called once per simulation — the
 /// interleaving loops themselves are never instrumented, which is what
 /// keeps the disabled-observer overhead unmeasurable.
+#[allow(clippy::too_many_arguments)]
 fn publish_mix(
     span: &Span,
     uncore: &Uncore,
@@ -684,10 +773,16 @@ fn publish_mix(
     result: &MixResult,
     warmup_passes: u32,
     scheduler: Scheduler,
+    execution: Execution,
+    batch: BatchStats,
 ) {
     let sched_name = match scheduler {
         Scheduler::EventDriven => "event-driven",
         Scheduler::Reference => "reference",
+    };
+    let exec_name = match execution {
+        Execution::Compiled => "compiled",
+        Execution::ReferenceStream => "reference-stream",
     };
     span.event(
         "mix-config",
@@ -696,6 +791,7 @@ fn publish_mix(
             ("trace_insns", Value::from(result.trace_insns)),
             ("warmup_passes", Value::from(warmup_passes)),
             ("scheduler", Value::from(sched_name)),
+            ("execution", Value::from(exec_name)),
             ("partitioned", Value::from(uncore.is_partitioned())),
         ],
     );
@@ -729,6 +825,17 @@ fn publish_mix(
             ("llc_commits", Value::from(result.llc_accesses)),
         ],
     );
+    span.event(
+        "batch",
+        &[
+            ("execution", Value::from(exec_name)),
+            ("compiles", Value::from(batch.compiles)),
+            ("blocks", Value::from(batch.blocks)),
+            ("ops", Value::from(batch.ops)),
+            ("reused", Value::from(batch.reused)),
+            ("passes", Value::from(batch.passes)),
+        ],
+    );
     span.counter("sim.mixes").incr();
     span.counter("sim.llc.hits").add(hits);
     span.counter("sim.llc.misses").add(misses);
@@ -736,6 +843,11 @@ fn publish_mix(
     span.counter("sim.llc.commits").add(result.llc_accesses);
     span.counter("sim.sched.heap_pushes").add(outcome.heap_pushes);
     span.counter("sim.sched.heap_pops").add(outcome.heap_pops);
+    span.counter("sim.batch.compiles").add(batch.compiles);
+    span.counter("sim.batch.blocks").add(batch.blocks);
+    span.counter("sim.batch.ops").add(batch.ops);
+    span.counter("sim.batch.reused").add(batch.reused);
+    span.counter("sim.batch.passes").add(batch.passes);
 }
 
 #[cfg(test)]
@@ -1021,7 +1133,16 @@ mod tests {
         let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["span-start", "mix-config", "core", "core", "llc", "scheduler", "span-end"]
+            vec![
+                "span-start",
+                "mix-config",
+                "core",
+                "core",
+                "llc",
+                "scheduler",
+                "batch",
+                "span-end"
+            ]
         );
         let sched = &events[5];
         let pushes = sched.fields.iter().find(|(k, _)| *k == "heap_pushes").unwrap();
@@ -1039,6 +1160,65 @@ mod tests {
         // exceed the measured-window commits.
         assert!(get("sim.llc.hits") + get("sim.llc.misses") >= observed.llc_accesses);
         assert!(get("sim.sched.heap_pops") > 0);
+        // Two distinct specs under the default compiled execution: two
+        // compilations, no reuse, and at least warmup+measurement passes
+        // replayed per engine.
+        assert_eq!(get("sim.batch.compiles"), 2);
+        assert_eq!(get("sim.batch.reused"), 0);
+        assert!(get("sim.batch.blocks") >= 2);
+        assert!(get("sim.batch.ops") > 0);
+        assert!(get("sim.batch.passes") >= 2, "passes {}", get("sim.batch.passes"));
+    }
+
+    #[test]
+    fn repeated_specs_share_one_compilation() {
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let lbm = suite::benchmark("lbm").unwrap();
+        let capture = CaptureSink::default();
+        let observer = mppm_obs::Observer::new(Box::new(capture.clone()));
+        {
+            let root = observer.root("mix-0001");
+            MixSim::new(&[lbm, lbm, lbm], &m, g).observer(&root).run();
+        }
+        let snapshot = observer.counter_snapshot();
+        let get = |name: &str| {
+            snapshot.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert_eq!(get("sim.batch.compiles"), 1, "one spec, one compilation");
+        assert_eq!(get("sim.batch.reused"), 2, "two cores reuse the shared trace");
+    }
+
+    #[test]
+    fn compiled_execution_matches_reference_stream() {
+        // The quick in-crate check (the full axis sweep lives in the
+        // proptest oracle): both schedulers, heterogeneous cores, and a
+        // partitioned variant must be bit-identical across executions.
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let specs: Vec<_> =
+            ["gamess", "lbm", "mcf"].iter().map(|n| suite::benchmark(n).unwrap()).collect();
+        for scheduler in [Scheduler::EventDriven, Scheduler::Reference] {
+            let run = |execution| {
+                MixSim::new(&specs, &m, g)
+                    .core_factors(&[1.0, 2.0, 1.25])
+                    .scheduler(scheduler)
+                    .execution(execution)
+                    .run()
+            };
+            assert_eq!(
+                run(Execution::Compiled),
+                run(Execution::ReferenceStream),
+                "{scheduler:?}"
+            );
+        }
+        let part = |execution| {
+            MixSim::new(&specs[..2], &m, g)
+                .partitioned(&[6, 2])
+                .execution(execution)
+                .run()
+        };
+        assert_eq!(part(Execution::Compiled), part(Execution::ReferenceStream));
     }
 
     #[test]

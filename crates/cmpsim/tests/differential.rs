@@ -1,11 +1,14 @@
 //! Differential oracle: the event-driven interleaver against the
-//! smallest-clock-first reference scheduler it replaced.
+//! smallest-clock-first reference scheduler it replaced, and the
+//! compiled-trace execution substrate against the live per-item
+//! generator it replaced.
 //!
-//! Both schedulers must be **bit-identical** observationally: per-core
-//! CPI, completion cycles, and per-core LLC access/miss counts agree to
-//! the last bit across random mixes, geometries, LLC configurations,
-//! heterogeneous core factors, way-partitioned LLCs, zero-warmup runs,
-//! and bandwidth-limited memory channels. The finite-bandwidth channel is
+//! Both schedulers — and both execution substrates — must be
+//! **bit-identical** observationally: per-core CPI, completion cycles,
+//! and per-core LLC access/miss counts agree to the last bit across
+//! random mixes, geometries, LLC configurations, heterogeneous core
+//! factors, way-partitioned LLCs, zero-warmup runs, and
+//! bandwidth-limited memory channels. The finite-bandwidth channel is
 //! the strictest case: `MemoryChannel::request` is stateful and
 //! order-sensitive, so a single shared event committed out of order skews
 //! every queueing delay after it.
@@ -17,7 +20,7 @@
 //! MPPM_ORACLE_CASES=100 cargo test -p mppm-sim --test differential
 //! ```
 
-use mppm_sim::{llc_configs, MachineConfig, MixOptions, MixResult, MixSim, Scheduler};
+use mppm_sim::{llc_configs, Execution, MachineConfig, MixOptions, MixResult, MixSim, Scheduler};
 use mppm_trace::{BenchmarkSpec, Phase, Region, TraceGeometry};
 use proptest::prelude::*;
 
@@ -311,6 +314,68 @@ proptest! {
                 .scheduler(Scheduler::Reference)
                 .run()
         );
+    }
+
+    /// The compiled-execution oracle (property 8): replaying compiled
+    /// phase blocks must be bit-identical to generating every item live
+    /// from the reference stream — across phase-boundary splits (the
+    /// generated schedules put phase changes at varying interval
+    /// boundaries, so blocks split differently case to case), warmup
+    /// passes 0–2, heterogeneous core factors, all six LLC
+    /// configurations, and *both* schedulers. Multi-core shared-LLC
+    /// mixes preempt bursts mid-block constantly (every shared event
+    /// suspends a burst inside a compiled block and resumes it after
+    /// `commit_llc`), which is exactly the cursor state the batched loop
+    /// must keep exact.
+    #[test]
+    fn compiled_blocks_match_reference_stream(
+        raw in mix_strategy(1..5),
+        factors in collection::vec(0.5f64..2.5, 4),
+        warmup in 0u32..3,
+        llc_sel in 0usize..6,
+        interval_insns in 1_000u64..5_000,
+        intervals in 2u32..7,
+    ) {
+        let specs = build_specs(&raw);
+        let refs: Vec<&BenchmarkSpec> = specs.iter().collect();
+        let machine = MachineConfig::baseline().with_llc(llc_configs()[llc_sel]);
+        let geometry = build_geometry(interval_insns, intervals);
+        for scheduler in [Scheduler::EventDriven, Scheduler::Reference] {
+            let build = |execution: Execution| {
+                MixSim::new(&refs, &machine, geometry)
+                    .warmup_passes(warmup)
+                    .core_factors(&factors[..refs.len()])
+                    .scheduler(scheduler)
+                    .execution(execution)
+                    .run()
+            };
+            let compiled = build(Execution::Compiled);
+            let reference = build(Execution::ReferenceStream);
+            for core in 0..refs.len() {
+                prop_assert_eq!(
+                    compiled.cpi_mc[core].to_bits(),
+                    reference.cpi_mc[core].to_bits(),
+                    "{:?}: core {} CPI diverged: {} vs {}",
+                    scheduler,
+                    core,
+                    compiled.cpi_mc[core],
+                    reference.cpi_mc[core]
+                );
+                prop_assert_eq!(
+                    compiled.completion_cycles[core].to_bits(),
+                    reference.completion_cycles[core].to_bits(),
+                    "{:?}: core {} completion cycles diverged",
+                    scheduler,
+                    core
+                );
+            }
+            prop_assert_eq!(
+                &compiled,
+                &reference,
+                "{:?}: full MixResult must be bit-identical",
+                scheduler
+            );
+        }
     }
 
     /// Everything at once: heterogeneous factors, finite bandwidth, and a

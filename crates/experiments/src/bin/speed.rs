@@ -34,6 +34,18 @@ fn main() {
         Err(e) => eprintln!("warning: could not write BENCH_interleave.json: {e}"),
     }
 
+    // Execution-substrate before/after: the same mixes through the
+    // per-item reference stream and the phase-compiled block executor
+    // (compile cost included), measured fresh in this build.
+    let compile = speed::compile_comparison(&ctx, &[2, 4, 8, 16], bench_mixes);
+    let ctable = speed::report_compile(&compile);
+    println!("\n§4.3 — detailed-simulator execution: reference stream vs compiled blocks");
+    println!("{}", ctable.render());
+    match speed::write_compile_json(&compile) {
+        Ok(path) => println!("(machine-readable copy: {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_compile.json: {e}"),
+    }
+
     // Observability overhead: the zero-cost claim, measured. The same
     // mixes run bare, with a disabled observer span, and with an enabled
     // no-op sink; results are asserted identical inside obs_overhead.

@@ -11,7 +11,7 @@
 
 use mppm::mix::Mix;
 use mppm_obs::{NoopSink, Observer};
-use mppm_sim::{MixSim, Scheduler};
+use mppm_sim::{Execution, MixSim, Scheduler};
 use mppm_trace::suite;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -169,6 +169,113 @@ pub fn write_interleave_json(points: &[InterleavePoint]) -> std::io::Result<Path
         &BenchFile {
             description: "Detailed-simulator s/mix: reference smallest-clock-first \
                           interleaver vs event-driven scheduler, same build"
+                .to_string(),
+            unit: "seconds per mix".to_string(),
+            points: points.to_vec(),
+        },
+    )?;
+    Ok(path)
+}
+
+/// Before/after timing of the two execution substrates at one core
+/// count, measured fresh (never from the store cache) in the same build.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CompilePoint {
+    /// Programs per mix.
+    pub cores: usize,
+    /// Average s/mix under per-item reference-stream execution.
+    pub reference_seconds: f64,
+    /// Average s/mix under compiled-block execution (including the
+    /// per-run compilation cost — this is end-to-end `MixSim::run`).
+    pub compiled_seconds: f64,
+}
+
+impl CompilePoint {
+    /// Reference time over compiled time.
+    pub fn speedup(&self) -> f64 {
+        self.reference_seconds / self.compiled_seconds
+    }
+}
+
+/// Times the same mixes through both execution substrates: the per-item
+/// reference stream and the phase-compiled block executor.
+///
+/// Like [`interleave_comparison`] this never touches the store — both
+/// substrates simulate fresh in the same process, compilation cost
+/// included on the compiled side, and each mix's results are asserted
+/// identical so the benchmark doubles as one more differential check.
+pub fn compile_comparison(
+    ctx: &Context,
+    core_counts: &[usize],
+    mixes_per_point: usize,
+) -> Vec<CompilePoint> {
+    let machine = ctx.baseline();
+    let geometry = ctx.geometry();
+    let specs = suite::spec_suite();
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let mixes: Vec<Mix> = mixes_for(cores, mixes_per_point);
+            let mut seconds = [0.0f64; 2];
+            for mix in &mixes {
+                let members: Vec<_> =
+                    mix.members().iter().map(|&i| &specs[i]).collect();
+                let mut results = Vec::with_capacity(2);
+                for (slot, execution) in
+                    [Execution::ReferenceStream, Execution::Compiled].into_iter().enumerate()
+                {
+                    let started = Instant::now();
+                    results.push(
+                        MixSim::new(&members, &machine, geometry).execution(execution).run(),
+                    );
+                    seconds[slot] += started.elapsed().as_secs_f64();
+                }
+                assert_eq!(results[0], results[1], "substrates diverged on {mix:?}");
+            }
+            CompilePoint {
+                cores,
+                reference_seconds: seconds[0] / mixes.len() as f64,
+                compiled_seconds: seconds[1] / mixes.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the execution-substrate before/after table and writes the CSV.
+pub fn report_compile(points: &[CompilePoint]) -> Table {
+    let mut t = Table::new(&["cores", "reference s/mix", "compiled s/mix", "speedup"]);
+    for p in points {
+        t.row(vec![
+            p.cores.to_string(),
+            f3(p.reference_seconds),
+            f3(p.compiled_seconds),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+    let _ = t.save_csv("speed_compile");
+    t
+}
+
+/// Writes the machine-readable substrate comparison to
+/// `BENCH_compile.json` at the workspace root (redirected to
+/// `target/test-results/` under `cargo test`).
+pub fn write_compile_json(points: &[CompilePoint]) -> std::io::Result<PathBuf> {
+    #[derive(Serialize)]
+    struct BenchFile {
+        description: String,
+        unit: String,
+        points: Vec<CompilePoint>,
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if cfg!(test) { root.join("target/test-results") } else { root };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_compile.json");
+    atomic_write_json(
+        &path,
+        &BenchFile {
+            description: "Detailed-simulator s/mix: per-item reference-stream execution \
+                          vs phase-compiled block execution (compile cost included), \
+                          same build"
                 .to_string(),
             unit: "seconds per mix".to_string(),
             points: points.to_vec(),
@@ -356,6 +463,23 @@ mod tests {
         assert!(raw.contains("\"cores\":2"), "unexpected JSON shape: {raw}");
         assert!(raw.contains("disabled_seconds"));
         assert!(raw.contains("noop_sink_seconds"));
+    }
+
+    #[test]
+    fn compile_comparison_measures_and_serializes() {
+        let ctx = Context::new(Scale::Quick);
+        let points = compile_comparison(&ctx, &[2], 1);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.reference_seconds > 0.0);
+        assert!(p.compiled_seconds > 0.0);
+        let table = report_compile(&points);
+        assert_eq!(table.len(), 1);
+        let path = write_compile_json(&points).expect("json written");
+        let raw = std::fs::read_to_string(path).expect("json readable");
+        assert!(raw.contains("\"cores\":2"), "unexpected JSON shape: {raw}");
+        assert!(raw.contains("reference_seconds"));
+        assert!(raw.contains("compiled_seconds"));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compile;
 mod geometry;
 mod item;
 mod phase;
@@ -53,6 +54,7 @@ mod spec;
 mod stream;
 pub mod suite;
 
+pub use compile::{CompiledBlock, CompiledTrace, FLAG_ACCESS, FLAG_STORE};
 pub use geometry::TraceGeometry;
 pub use item::{MemAccess, TraceItem};
 pub use phase::Phase;

@@ -61,24 +61,46 @@ pub struct TraceStream {
     interval_end_insn: u64,
 }
 
+/// Generator state captured at a phase-run boundary within one trace
+/// pass, sufficient to regenerate the rest of the pass from that point
+/// without any state shared with earlier blocks.
+///
+/// The per-region stream offsets are *ranked into* the checkpoint (a
+/// plain sorted snapshot of the walk positions), so a restored stream
+/// never consults a cursor another replay may have advanced. The pending
+/// compute-gap remainder is deliberately **not** captured: checkpoints
+/// are only taken where the phase index changes, and [`TraceStream::
+/// next_item`] resamples a remainder carried across a phase change
+/// anyway (geometric memorylessness), so dropping it is exact — which
+/// [`crate::CompiledTrace`]'s block-regeneration test proves.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StreamCheckpoint {
+    pub(crate) rng: SmallRng,
+    /// Per-region-id stream walk positions, sorted by region id.
+    pub(crate) stream_pos: Vec<(u32, u64)>,
+}
+
+fn cum_weights_for(spec: &BenchmarkSpec) -> Vec<Vec<f64>> {
+    spec.phases()
+        .iter()
+        .map(|p| {
+            let mut acc = 0.0;
+            p.regions
+                .iter()
+                .map(|r| {
+                    acc += r.weight;
+                    acc
+                })
+                .collect()
+        })
+        .collect()
+}
+
 impl TraceStream {
     /// Creates a stream at the beginning of the trace.
     pub fn new(spec: impl Into<Arc<BenchmarkSpec>>, geometry: TraceGeometry) -> Self {
         let spec = spec.into();
-        let cum_weights = spec
-            .phases()
-            .iter()
-            .map(|p| {
-                let mut acc = 0.0;
-                p.regions
-                    .iter()
-                    .map(|r| {
-                        acc += r.weight;
-                        acc
-                    })
-                    .collect()
-            })
-            .collect();
+        let cum_weights = cum_weights_for(&spec);
         let rng = SmallRng::seed_from_u64(spec.seed());
         let cur_phase = spec.phase_for_interval(0, geometry.intervals);
         Self {
@@ -92,6 +114,50 @@ impl TraceStream {
             cum_weights,
             cur_phase,
             interval_end_insn: geometry.interval_insns,
+        }
+    }
+
+    /// Captures the generator state at the current position.
+    ///
+    /// Only meaningful at interval boundaries where the phase index
+    /// changes (or at position 0): see [`StreamCheckpoint`] for why the
+    /// pending gap remainder may be dropped there and nowhere else.
+    pub(crate) fn checkpoint(&self) -> StreamCheckpoint {
+        StreamCheckpoint {
+            rng: self.rng.clone(),
+            stream_pos: self.stream_pos.iter().map(|(&id, &pos)| (id, pos)).collect(),
+        }
+    }
+
+    /// Rebuilds a stream mid-pass from a checkpoint taken at instruction
+    /// `insn` of the first pass, as if the original stream had generated
+    /// front-to-back up to that point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insn` is not an interval boundary inside one pass.
+    pub(crate) fn restore_within_pass(
+        spec: Arc<BenchmarkSpec>,
+        geometry: TraceGeometry,
+        insn: u64,
+        checkpoint: StreamCheckpoint,
+    ) -> Self {
+        assert!(insn < geometry.trace_insns(), "checkpoint must be inside one pass");
+        assert_eq!(insn % geometry.interval_insns, 0, "checkpoint off an interval boundary");
+        let cum_weights = cum_weights_for(&spec);
+        let interval = geometry.interval_of(insn);
+        let cur_phase = spec.phase_for_interval(interval, geometry.intervals);
+        Self {
+            spec,
+            geometry,
+            rng: checkpoint.rng,
+            insn,
+            wraps: 0,
+            stream_pos: checkpoint.stream_pos.into_iter().collect(),
+            pending_gap: None,
+            cum_weights,
+            cur_phase,
+            interval_end_insn: geometry.interval_start(interval) + geometry.interval_insns,
         }
     }
 
