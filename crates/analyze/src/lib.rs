@@ -18,6 +18,7 @@
 //! | `lossy-counter-cast`   | silent truncation of 64-bit counters |
 //! | `deprecated-sim-entrypoint` | retired `simulate_mix*` free functions instead of `MixSim` |
 //! | `uncompiled-hot-loop`  | per-item trace iteration outside the `reference_*` substrate |
+//! | `blocking-in-handler`  | unbounded socket reads in the `mppmd` server crate |
 //!
 //! The environment has no `clippy`/`syn`, so the pass is hand-rolled: a
 //! small lexer ([`lexer`]) strips comments and literals, then

@@ -58,6 +58,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LossyCounterCast),
         Box::new(DeprecatedSimEntrypoint),
         Box::new(UncompiledHotLoop),
+        Box::new(BlockingInHandler),
     ]
 }
 
@@ -201,7 +202,9 @@ impl Rule for WallclockInSim {
         Scope::Everywhere
     }
     fn applies_to(&self, path: &str) -> bool {
-        !path.starts_with("crates/bench/") && path != "crates/experiments/src/speed.rs"
+        !path.starts_with("crates/bench/")
+            && path != "crates/experiments/src/speed.rs"
+            && path != "crates/experiments/src/loadgen.rs"
     }
     fn check(&self, file: &SourceFile) -> Vec<Finding> {
         let toks = &file.lexed.toks;
@@ -405,6 +408,49 @@ impl Rule for UncompiledHotLoop {
                               if this loop *is* the differential reference"
                         .into(),
                 });
+            }
+        }
+        out
+    }
+}
+
+/// `blocking-in-handler` — unbounded reads (`.read_to_end(...)`,
+/// `.read_to_string(...)`) in the server crate. A connection handler
+/// that waits for EOF before parsing can be stalled indefinitely by one
+/// slow or malicious client, and sidesteps the `MAX_LINE` bound the
+/// line-framed protocol enforces; server code must drain sockets
+/// through the bounded `FrameReader`. The rule covers the whole crate
+/// (tests included): a blocked test hangs CI just as effectively.
+pub struct BlockingInHandler;
+
+impl Rule for BlockingInHandler {
+    fn name(&self) -> &'static str {
+        "blocking-in-handler"
+    }
+    fn description(&self) -> &'static str {
+        "unbounded `.read_to_end`/`.read_to_string` in server code; use the bounded `FrameReader`"
+    }
+    fn scope(&self) -> Scope {
+        Scope::Everywhere
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        path.starts_with("crates/server/")
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let mut out = Vec::new();
+        for i in 1..toks.len() {
+            if let Some(name @ ("read_to_end" | "read_to_string")) = ident_at(toks, i) {
+                if punct_at(toks, i - 1, '.') && punct_at(toks, i + 1, '(') {
+                    out.push(Finding {
+                        tok: i,
+                        message: format!(
+                            "`.{name}(...)` blocks until EOF, so one stalled client wedges \
+                             the handler and the 1 MiB line bound is never enforced; read \
+                             frames through the bounded `FrameReader`"
+                        ),
+                    });
+                }
             }
         }
         out

@@ -168,6 +168,7 @@ fn wallclock_allowed_in_bench_paths() {
     let src = "fn t() { let x = std::time::Instant::now(); }";
     assert!(analyze_one("crates/bench/benches/figures.rs", src).is_clean());
     assert!(analyze_one("crates/experiments/src/speed.rs", src).is_clean());
+    assert!(analyze_one("crates/experiments/src/loadgen.rs", src).is_clean());
     assert!(!analyze_one("crates/experiments/src/fig3.rs", src).is_clean());
 }
 
@@ -346,6 +347,51 @@ fn uncompiled_hot_loop_exempts_the_trace_crate_and_tests() {
     assert!(analyze_one("crates/trace/src/compile.rs", src).is_clean());
     assert!(analyze_one("tests/determinism.rs", src).is_clean());
     assert!(!analyze_one("crates/cmpsim/src/engine.rs", src).is_clean());
+}
+
+#[test]
+fn blocking_in_handler() {
+    let bad = r#"
+fn drain(conn: &mut UnixStream) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    conn.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+"#;
+    let good = r#"
+fn drain(conn: UnixStream) -> std::io::Result<Frame> {
+    let mut reader = FrameReader::new(conn);
+    reader.next_frame()
+}
+"#;
+    let handler = "crates/server/src/daemon.rs";
+    let analysis = analyze_one(handler, bad);
+    assert_eq!(rules_fired(&analysis), vec![("blocking-in-handler".to_string(), 4)]);
+    assert!(analyze_one(handler, good).is_clean());
+}
+
+#[test]
+fn blocking_in_handler_covers_server_tests_but_not_other_crates() {
+    // `.read_to_string(` fires too, and test code in the server crate is
+    // covered (a blocked test hangs CI just as effectively)...
+    let in_test = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn drains() {
+        let mut s = String::new();
+        conn.read_to_string(&mut s).expect("reads");
+    }
+}
+"#;
+    let fired = rules_fired(&analyze_one("crates/server/tests/wire.rs", in_test));
+    assert_eq!(fired.len(), 1, "{fired:?}");
+    assert_eq!(fired[0].0, "blocking-in-handler");
+    // ...but outside `crates/server/` the same code is not this rule's
+    // business (file reads to EOF are fine in figure harnesses).
+    let src = "fn f(r: &mut impl Read) { let mut b = Vec::new(); r.read_to_end(&mut b); }";
+    assert!(analyze_one(LIB, src).is_clean());
+    assert!(analyze_one("crates/experiments/src/fig3.rs", src).is_clean());
 }
 
 #[test]

@@ -75,6 +75,20 @@ pub enum Command {
         /// Mirror campaign milestones to stderr.
         progress: bool,
     },
+    /// Run the `mppmd` daemon in the foreground.
+    Serve {
+        /// Socket path override (default `$TMPDIR/mppmd.sock`).
+        socket: Option<String>,
+        /// Store root override (default `target/mppm-store`).
+        store: Option<String>,
+    },
+    /// Send one request to a running `mppmd` daemon.
+    Client {
+        /// Socket path override (default `$TMPDIR/mppmd.sock`).
+        socket: Option<String>,
+        /// The wire request to send (kind + parameters).
+        request: mppm_server::protocol::Request,
+    },
     /// Run the determinism lint pass over the workspace sources.
     Lint {
         /// Exit non-zero on any violation (the CI gate).
@@ -113,6 +127,14 @@ USAGE:
   mppm-cli campaign [--cores N] [--configs A,B,...] [--sample N] [--seed S]
               [--shard-size N] [--trials N] [--quick]
               [--trace FILE] [--progress]
+  mppm-cli serve [--socket PATH] [--store DIR]
+  mppm-cli client ping|stats|shutdown [--socket PATH]
+  mppm-cli client predict|simulate <bench,...> [--config N] [--quick]
+              [--contention foa|sdc|prob] [--partition w1,w2,...]
+              [--bandwidth B] [--subscribe] [--socket PATH]
+  mppm-cli client campaign [--cores N] [--configs A,B,...] [--sample N]
+              [--seed S] [--shard-size N] [--trials N] [--quick]
+              [--subscribe] [--socket PATH]
   mppm-cli lint [--deny] [--json]
   mppm-cli help
 
@@ -124,7 +146,11 @@ Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
 --trace writes a deterministic JSONL event trace and --progress mirrors
 milestones to stderr.
 `lint` runs the mppm-analyze determinism rules over the workspace's own
-sources; --deny makes violations fatal (the CI gate).";
+sources; --deny makes violations fatal (the CI gate).
+`serve` runs the long-lived `mppmd` daemon (warm caches, request
+batching); `client` sends it one request — results are byte-identical
+to the one-shot commands, repeats are answered from the warm cache, and
+--subscribe streams progress events.";
 
 fn parse_config(value: &str) -> Result<usize, ParseError> {
     let n: usize = value
@@ -165,7 +191,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "quick" || name == "deny" || name == "json" || name == "progress" {
+            if name == "quick"
+                || name == "deny"
+                || name == "json"
+                || name == "progress"
+                || name == "subscribe"
+            {
                 flags.push((name, None));
                 i += 1;
             } else {
@@ -195,6 +226,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "progress",
         ],
         "lint" => &["deny", "json"],
+        "serve" => &["socket", "store"],
+        "client" => &[
+            "socket", "quick", "config", "contention", "partition", "bandwidth", "cores",
+            "configs", "sample", "seed", "shard-size", "trials", "subscribe",
+        ],
         _ => &[],
     };
     for (name, _) in &flags {
@@ -272,6 +308,68 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "lint" => {
             Ok(Command::Lint { deny: flag("deny").is_some(), json: flag("json").is_some() })
+        }
+        "serve" => Ok(Command::Serve {
+            socket: flag("socket").flatten().map(String::from),
+            store: flag("store").flatten().map(String::from),
+        }),
+        "client" => {
+            let verb = *positional
+                .first()
+                .ok_or_else(|| ParseError("client expects a request kind".into()))?;
+            let mut request = mppm_server::protocol::Request::default();
+            request.kind = verb.to_string();
+            match verb {
+                "predict" | "simulate" => {
+                    let mix = positional.get(1).ok_or_else(|| {
+                        ParseError(format!("client {verb} expects a mix"))
+                    })?;
+                    parse_mix(mix)?; // syntactic check; the daemon re-validates
+                    request.mix = (*mix).to_string();
+                }
+                "campaign" | "ping" | "stats" | "shutdown" => {}
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown client request `{other}` \
+                         (ping|stats|predict|simulate|campaign|shutdown)"
+                    )))
+                }
+            }
+            // The wire speaks 1-based configs, like the flags do.
+            request.config = (config + 1) as u64;
+            request.quick = quick;
+            request.subscribe = flag("subscribe").is_some();
+            if let Some(Some(v)) = flag("contention") {
+                request.contention = v.to_string();
+            }
+            if let Some(Some(v)) = flag("partition") {
+                request.partition = v.to_string();
+            }
+            if let Some(Some(v)) = flag("bandwidth") {
+                request.bandwidth = Some(v.parse::<f64>().map_err(|_| {
+                    ParseError(format!("--bandwidth expects a number, got `{v}`"))
+                })?);
+            }
+            if let Some(Some(v)) = flag("configs") {
+                request.configs = v.to_string();
+            }
+            let number = |name: &str| -> Result<u64, ParseError> {
+                match flag(name) {
+                    Some(Some(v)) => v.parse().map_err(|_| {
+                        ParseError(format!("--{name} expects a number, got `{v}`"))
+                    }),
+                    _ => Ok(0), // 0 = wire default
+                }
+            };
+            request.cores = number("cores")?;
+            request.sample = number("sample")?;
+            request.seed = number("seed")?;
+            request.shard_size = number("shard-size")?;
+            request.trials = number("trials")?;
+            Ok(Command::Client {
+                socket: flag("socket").flatten().map(String::from),
+                request,
+            })
         }
         "record" => {
             let benchmark = positional
@@ -465,6 +563,57 @@ mod tests {
         assert!(parse_err(&["campaign", "--configs", "0,1"]).contains("1..6"));
         assert!(parse_err(&["campaign", "--sample", "lots"]).contains("number"));
         assert!(parse_err(&["predict", "a,b", "--trace", "x"]).contains("unknown flag"));
+    }
+
+    #[test]
+    fn serve_parses_overrides() {
+        assert_eq!(parse_ok(&["serve"]), Command::Serve { socket: None, store: None });
+        assert_eq!(
+            parse_ok(&["serve", "--socket", "/tmp/d.sock", "--store", "/tmp/store"]),
+            Command::Serve {
+                socket: Some("/tmp/d.sock".into()),
+                store: Some("/tmp/store".into())
+            }
+        );
+        assert!(parse_err(&["serve", "--quick"]).contains("unknown flag"));
+    }
+
+    #[test]
+    fn client_builds_wire_requests() {
+        let Command::Client { socket, request } = parse_ok(&["client", "ping"]) else {
+            panic!("client command")
+        };
+        assert_eq!(socket, None);
+        assert_eq!(request.kind, "ping");
+        assert_eq!(request.config, 1, "wire config is 1-based");
+
+        let Command::Client { request, .. } = parse_ok(&[
+            "client", "predict", "gamess,lbm", "--config", "3", "--quick", "--subscribe",
+            "--bandwidth", "0.05",
+        ]) else {
+            panic!("client command")
+        };
+        assert_eq!(request.kind, "predict");
+        assert_eq!(request.mix, "gamess,lbm");
+        assert_eq!(request.config, 3);
+        assert!(request.quick && request.subscribe);
+        assert_eq!(request.bandwidth, Some(0.05));
+
+        let Command::Client { request, .. } = parse_ok(&[
+            "client", "campaign", "--cores", "4", "--configs", "1,6", "--sample", "100",
+            "--seed", "9", "--shard-size", "8", "--trials", "50",
+        ]) else {
+            panic!("client command")
+        };
+        assert_eq!(request.kind, "campaign");
+        assert_eq!(request.cores, 4);
+        assert_eq!(request.configs, "1,6");
+        assert_eq!((request.sample, request.seed), (100, 9));
+        assert_eq!((request.shard_size, request.trials), (8, 50));
+
+        assert!(parse_err(&["client"]).contains("request kind"));
+        assert!(parse_err(&["client", "frobnicate"]).contains("unknown client request"));
+        assert!(parse_err(&["client", "predict"]).contains("expects a mix"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | 3    | model error ([`mppm::ModelError`])               |
 //! | 4    | campaign error ([`mppm_campaign::CampaignError`])|
 //! | 5    | store / trace / CSV I/O error                    |
+//! | 6    | server error (`mppmd` / `client` transport, daemon) |
 
 use std::fmt;
 
@@ -27,6 +28,9 @@ pub enum CliError {
     Campaign(mppm_campaign::CampaignError),
     /// Filesystem I/O: the store, a recorded trace, CSVs, a JSONL trace.
     Io(std::io::Error),
+    /// The `mppmd` daemon or its client failed: bind/connect errors,
+    /// protocol violations, or daemon-reported error frames.
+    Server(mppm_server::ServerError),
 }
 
 impl CliError {
@@ -37,6 +41,7 @@ impl CliError {
             CliError::Model(_) => 3,
             CliError::Campaign(_) => 4,
             CliError::Io(_) => 5,
+            CliError::Server(_) => 6,
         }
     }
 }
@@ -48,6 +53,7 @@ impl fmt::Display for CliError {
             CliError::Model(e) => write!(f, "model error: {e}"),
             CliError::Campaign(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Server(e) => write!(f, "{e}"),
         }
     }
 }
@@ -59,6 +65,7 @@ impl std::error::Error for CliError {
             CliError::Model(e) => Some(e),
             CliError::Campaign(e) => Some(e),
             CliError::Io(e) => Some(e),
+            CliError::Server(e) => Some(e),
         }
     }
 }
@@ -72,6 +79,12 @@ impl From<mppm::ModelError> for CliError {
 impl From<mppm_campaign::CampaignError> for CliError {
     fn from(e: mppm_campaign::CampaignError) -> Self {
         CliError::Campaign(e)
+    }
+}
+
+impl From<mppm_server::ServerError> for CliError {
+    fn from(e: mppm_server::ServerError) -> Self {
+        CliError::Server(e)
     }
 }
 
@@ -109,6 +122,10 @@ mod tests {
                 4,
             ),
             (io.exit_code(), 5),
+            (
+                CliError::Server(mppm_server::ServerError::Protocol("x".into())).exit_code(),
+                6,
+            ),
         ];
         for (got, want) in cases {
             assert_eq!(got, want);
@@ -121,5 +138,10 @@ mod tests {
         assert!(e.to_string().contains("model error"));
         let e = CliError::from("unknown benchmark `nope`".to_string());
         assert_eq!(e.to_string(), "unknown benchmark `nope`");
+        let e = CliError::from(mppm_server::ServerError::Remote {
+            code: "campaign".into(),
+            message: "journal I/O".into(),
+        });
+        assert!(e.to_string().contains("campaign"), "{e}");
     }
 }

@@ -155,6 +155,45 @@ fn run(cmd: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Serve { socket, store } => {
+            let config = mppm_server::ServerConfig {
+                socket: socket
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(mppm_server::default_socket_path),
+                store_root: store.map(std::path::PathBuf::from),
+            };
+            eprintln!("mppmd: listening on {}", config.socket.display());
+            mppm_server::serve(&config).map_err(CliError::from)
+        }
+        Command::Client { socket, request } => {
+            let socket = socket
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(mppm_server::default_socket_path);
+            let mut client = mppm_server::Client::connect(&socket)?;
+            let mut request = request;
+            let response = client.request(&mut request)?;
+            for event in &response.events {
+                eprintln!("event: {}", serde_json::to_string(event).unwrap_or_default());
+            }
+            eprintln!(
+                "{}: cached={}{}",
+                response.kind,
+                response.cached,
+                response
+                    .meta
+                    .as_ref()
+                    .map(|m| format!(" meta={}", serde_json::to_string(m).unwrap_or_default()))
+                    .unwrap_or_default()
+            );
+            // Stdout carries exactly the deterministic payload, so two
+            // invocations are diffable.
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&response.result)
+                    .map_err(|e| CliError::Invalid(format!("unprintable response: {e}")))?
+            );
+            Ok(())
+        }
         Command::Count { cores } => {
             let n = suite::spec_suite().len();
             let count =

@@ -61,7 +61,7 @@ pub use memory::MemoryChannel;
 pub use machine::{llc_configs, CoreConfig, MachineConfig, LLC_CONFIG_COUNT};
 pub use multi::{
     event_interleave, reference_interleave, Execution, InterleaveOutcome, MixOptions, MixResult,
-    MixSim, SchedKey, Scheduler,
+    MixSim, SchedKey, Scheduler, TraceCache,
 };
 // The deprecated free-function entry points stay re-exported so existing
 // downstream code keeps compiling (with a deprecation warning at *their*

@@ -23,8 +23,9 @@ use mppm_obs::{Span, Value};
 use mppm_trace::{BenchmarkSpec, CompiledTrace, TraceGeometry};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::collections::{BinaryHeap, BTreeMap};
+use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::{BurstStop, CoreEngine, LlcMode, MachineConfig, Uncore};
 
@@ -110,6 +111,7 @@ pub struct MixSim<'a> {
     scheduler: Scheduler,
     execution: Execution,
     observer: Option<&'a Span>,
+    trace_cache: Option<&'a TraceCache>,
 }
 
 impl<'a> MixSim<'a> {
@@ -129,6 +131,7 @@ impl<'a> MixSim<'a> {
             scheduler: Scheduler::default(),
             execution: Execution::default(),
             observer: None,
+            trace_cache: None,
         }
     }
 
@@ -175,6 +178,16 @@ impl<'a> MixSim<'a> {
     /// nothing.
     pub fn observer(mut self, span: &'a Span) -> Self {
         self.observer = Some(span);
+        self
+    }
+
+    /// Resolves compiled traces through a shared [`TraceCache`] instead
+    /// of compiling fresh on every run. Long-lived processes (the
+    /// `mppmd` daemon, the experiment store) hand the same cache to
+    /// every run so each `(benchmark, geometry)` pair compiles once per
+    /// process. Has no effect under [`Execution::ReferenceStream`].
+    pub fn trace_cache(mut self, cache: &'a TraceCache) -> Self {
+        self.trace_cache = Some(cache);
         self
     }
 
@@ -225,8 +238,77 @@ impl<'a> MixSim<'a> {
             factors,
             self.scheduler,
             self.execution,
+            self.trace_cache,
             span,
         )
+    }
+}
+
+/// Cross-run cache of compiled traces, shared by reference between
+/// [`MixSim`] runs (see [`MixSim::trace_cache`]).
+///
+/// Keys are `(benchmark name, geometry)`: suite names uniquely identify
+/// benchmark parameters (the suite version stamp governs retuning), so
+/// callers must pass canonical suite specs. A debug assertion checks the
+/// cached trace's spec against the requested one.
+///
+/// Determinism: a [`CompiledTrace`] is a pure function of
+/// `(spec, geometry)`, so cache warmth cannot affect simulation results,
+/// and the per-mix `batch` span event counts *resolved* traces (warm or
+/// freshly compiled alike) so observed event streams stay byte-identical
+/// regardless of cache state or thread interleaving. Process-wide
+/// hit/compile totals live in [`TraceCache::stats`].
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    slots: Mutex<BTreeMap<(String, u64, u32), Arc<CompiledTrace>>>,
+    hits: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the compiled trace for `(spec, geometry)`, compiling it
+    /// on first use. Compilation happens outside the cache lock; if two
+    /// threads race on the same cold key, the first insertion wins and
+    /// the duplicate work is discarded.
+    pub fn get_or_compile(
+        &self,
+        spec: &BenchmarkSpec,
+        geometry: TraceGeometry,
+    ) -> Arc<CompiledTrace> {
+        let key = (spec.name().to_string(), geometry.interval_insns, geometry.intervals);
+        if let Some(trace) = self.lock().get(&key) {
+            debug_assert_eq!(trace.spec().name(), spec.name(), "cache key matches its spec");
+            self.hits.fetch_add(1, MemOrdering::Relaxed);
+            return Arc::clone(trace);
+        }
+        let fresh = Arc::new(CompiledTrace::compile(spec.clone(), geometry));
+        self.compiles.fetch_add(1, MemOrdering::Relaxed);
+        Arc::clone(self.lock().entry(key).or_insert(fresh))
+    }
+
+    /// `(hits, compiles)` so far. Lost races count as compiles: the
+    /// totals measure work spent, not slots filled.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(MemOrdering::Relaxed), self.compiles.load(MemOrdering::Relaxed))
+    }
+
+    /// Number of distinct `(benchmark, geometry)` pairs cached.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(String, u64, u32), Arc<CompiledTrace>>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -646,7 +728,11 @@ pub fn event_interleave(
 /// Batch-compilation bookkeeping published as `sim.batch.*`.
 #[derive(Debug, Clone, Copy, Default)]
 struct BatchStats {
-    /// Distinct specs compiled (zero under reference-stream execution).
+    /// Distinct specs resolved to compiled traces — freshly compiled or
+    /// taken warm from a [`TraceCache`] alike, so the published `batch`
+    /// event is byte-identical regardless of cache warmth (zero under
+    /// reference-stream execution). Actual compile-vs-hit accounting
+    /// lives in [`TraceCache::stats`].
     compiles: u64,
     /// Compiled blocks across those compilations.
     blocks: u64,
@@ -668,6 +754,7 @@ fn build_engines(
     geometry: TraceGeometry,
     core_factors: &[f64],
     execution: Execution,
+    cache: Option<&TraceCache>,
     stats: &mut BatchStats,
 ) -> Vec<CoreEngine> {
     let mut compiled: Vec<(*const BenchmarkSpec, Arc<CompiledTrace>)> = Vec::new();
@@ -687,7 +774,10 @@ fn build_engines(
                         Arc::clone(t)
                     }
                     None => {
-                        let t = Arc::new(CompiledTrace::compile((*spec).clone(), geometry));
+                        let t = match cache {
+                            Some(c) => c.get_or_compile(spec, geometry),
+                            None => Arc::new(CompiledTrace::compile((*spec).clone(), geometry)),
+                        };
                         stats.compiles += 1;
                         stats.blocks += t.blocks().len() as u64;
                         stats.ops += t.ops();
@@ -711,12 +801,13 @@ fn run_mix_with_factors(
     core_factors: &[f64],
     scheduler: Scheduler,
     execution: Execution,
+    trace_cache: Option<&TraceCache>,
     span: &Span,
 ) -> MixResult {
     assert!(!specs.is_empty(), "a mix needs at least one program");
     let mut batch = BatchStats::default();
     let mut engines =
-        build_engines(specs, machine, geometry, core_factors, execution, &mut batch);
+        build_engines(specs, machine, geometry, core_factors, execution, trace_cache, &mut batch);
     let trace_insns = geometry.trace_insns();
     let warmup_insns = trace_insns * u64::from(warmup_passes);
     let outcome = match scheduler {
@@ -1258,5 +1349,86 @@ mod tests {
                     .run()
             );
         }
+    }
+
+    #[test]
+    fn trace_cache_is_result_invariant_and_counts_hits() {
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let gamess = suite::benchmark("gamess").unwrap();
+        let lbm = suite::benchmark("lbm").unwrap();
+        let specs = [gamess, lbm, gamess];
+
+        let cold = MixSim::new(&specs, &m, g).run();
+        let cache = TraceCache::new();
+        let first = MixSim::new(&specs, &m, g).trace_cache(&cache).run();
+        let second = MixSim::new(&specs, &m, g).trace_cache(&cache).run();
+        assert_eq!(cold, first, "cold cache changes nothing");
+        assert_eq!(first, second, "warm cache changes nothing");
+
+        // Two distinct specs compiled once each; the repeated gamess core
+        // reuses within the run (never reaching the cache), and the second
+        // run hits for both.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (2, 2), "(hits, compiles)");
+    }
+
+    #[test]
+    fn trace_cache_keys_by_geometry() {
+        let m = MachineConfig::baseline();
+        let gamess = suite::benchmark("gamess").unwrap();
+        let specs = [gamess];
+        let cache = TraceCache::new();
+        let tiny = MixSim::new(&specs, &m, TraceGeometry::tiny()).trace_cache(&cache).run();
+        let other = MixSim::new(&specs, &m, TraceGeometry::new(2_000, 4))
+            .trace_cache(&cache)
+            .run();
+        assert_eq!(cache.len(), 2, "different geometries get different slots");
+        assert_ne!(tiny.trace_insns, other.trace_insns);
+    }
+
+    #[test]
+    fn trace_cache_keeps_observed_batch_events_identical() {
+        // The `batch` span event must not leak cache warmth: a warm run
+        // and a cacheless run publish byte-identical event streams.
+        use mppm_obs::{Event, Observer, Sink};
+
+        #[derive(Default)]
+        struct Capture(Arc<std::sync::Mutex<Vec<String>>>);
+        impl Sink for Capture {
+            fn record(&self, event: Event) {
+                if event.name == "batch" {
+                    self.0.lock().unwrap().push(event.to_jsonl(0));
+                }
+            }
+        }
+
+        let m = MachineConfig::baseline();
+        let g = TraceGeometry::tiny();
+        let gamess = suite::benchmark("gamess").unwrap();
+        let specs = [gamess, gamess];
+
+        let capture = |cache: Option<&TraceCache>| -> Vec<String> {
+            let lines = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let observer = Observer::new(Box::new(Capture(Arc::clone(&lines))));
+            {
+                let root = observer.root("mix");
+                let mut sim = MixSim::new(&specs, &m, g).observer(&root);
+                if let Some(c) = cache {
+                    sim = sim.trace_cache(c);
+                }
+                sim.run();
+            }
+            observer.finish().unwrap();
+            let captured = lines.lock().unwrap().clone();
+            captured
+        };
+
+        let cache = TraceCache::new();
+        MixSim::new(&specs, &m, g).trace_cache(&cache).run();
+        let cacheless = capture(None);
+        let warm = capture(Some(&cache));
+        assert!(!cacheless.is_empty());
+        assert_eq!(cacheless, warm, "batch events must not depend on cache warmth");
     }
 }

@@ -4,6 +4,7 @@ use mppm::{FoaModel, Mppm, MppmConfig, Prediction, SingleCoreProfile};
 use mppm::mix::Mix;
 use mppm_sim::{llc_configs, MachineConfig};
 use mppm_trace::{suite, TraceGeometry};
+use std::sync::Arc;
 
 use crate::store::{MixRecord, Store};
 
@@ -73,7 +74,7 @@ impl Scale {
 #[derive(Debug)]
 pub struct Context {
     scale: Scale,
-    store: Store,
+    store: Arc<Store>,
     geometry: TraceGeometry,
 }
 
@@ -81,19 +82,32 @@ impl Context {
     /// Opens the default store at the given scale.
     pub fn new(scale: Scale) -> Self {
         let store = Store::open_default().expect("store directory is writable");
-        Self { scale, store, geometry: scale.geometry() }
+        Self::with_store(scale, store)
     }
 
     /// A context backed by an explicit store. Tests use this to run the
     /// same experiment against separate fresh stores, so cached results
     /// from one run cannot mask nondeterminism in another.
     pub fn with_store(scale: Scale, store: Store) -> Self {
+        Self::with_shared_store(scale, Arc::new(store))
+    }
+
+    /// A context sharing an already-open store. The `mppmd` daemon uses
+    /// this to serve every request from one warm store (one profile
+    /// memo, one sim cache, one compiled-trace cache) while each request
+    /// still gets its own scale-specific context.
+    pub fn with_shared_store(scale: Scale, store: Arc<Store>) -> Self {
         Self { scale, store, geometry: scale.geometry() }
     }
 
     /// The scale this context runs at.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// A clonable handle to the underlying store.
+    pub fn shared_store(&self) -> Arc<Store> {
+        Arc::clone(&self.store)
     }
 
     /// Trace geometry in use.

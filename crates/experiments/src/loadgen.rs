@@ -1,0 +1,483 @@
+//! Load-generator harness for the `mppmd` campaign/predict server.
+//!
+//! Drives a running daemon over its Unix-domain-socket NDJSON protocol
+//! with `N >= 4` concurrent clients and measures request latency
+//! percentiles (p50/p95/p99) and throughput in three phases:
+//!
+//! 1. **cold-closed** — every client issues a disjoint set of predict
+//!    requests closed-loop (one outstanding request per connection)
+//!    against a daemon whose caches are empty: each request pays
+//!    profile loads and a model solve.
+//! 2. **warm-closed** — the same requests again on fresh connections:
+//!    every response comes out of the daemon's warm response cache.
+//! 3. **warm-open** — the same requests open-loop: each client writes
+//!    its whole batch back-to-back and then drains the responses, so
+//!    arrival times are independent of completions and the measured
+//!    latency includes server-side queueing.
+//!
+//! The harness deliberately does *not* link against `mppm-server` (the
+//! server depends on this crate); it speaks the wire protocol directly,
+//! which doubles as an independent check that the protocol is what
+//! DESIGN.md §13 says it is. Results go to `BENCH_server.json` and
+//! `results/speed_server.csv` via [`write_server_json`] and
+//! [`report_server`].
+
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::store::atomic_write_json;
+use crate::table::{f3, Table};
+
+/// Load-run shape: how many clients, how much work each.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenOptions {
+    /// Concurrent client connections (the acceptance floor is 4).
+    pub clients: usize,
+    /// Predict requests per client per phase.
+    pub requests_per_client: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self { clients: 4, requests_per_client: 16 }
+    }
+}
+
+/// Measured latency/throughput summary for one phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseStats {
+    /// Phase name: `cold-closed`, `warm-closed` or `warm-open`.
+    pub phase: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole phase.
+    pub seconds: f64,
+    /// Requests per second over the phase wall time.
+    pub throughput_rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Responses the daemon reported as served from its response cache.
+    pub cached_responses: usize,
+}
+
+/// A minimal NDJSON client for the `mppmd` wire protocol.
+///
+/// Requests never subscribe, so every received line is a response frame
+/// and closed-loop send/recv pairing needs no id matching.
+struct LoadClient {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl LoadClient {
+    fn connect(socket: &Path) -> std::io::Result<Self> {
+        let stream = UnixStream::connect(socket)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { writer, reader: BufReader::new(stream) })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads the next non-empty line (one response frame).
+    fn recv(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection mid-phase",
+                ));
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok(trimmed.to_string());
+            }
+        }
+    }
+}
+
+/// Whether a response frame reports `ok:true`, and whether it was served
+/// from the daemon's response cache.
+fn parse_response(line: &str) -> (bool, bool) {
+    let frame: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(_) => return (false, false),
+    };
+    let flag = |name: &str| matches!(frame.get(name), Some(Value::Bool(true)));
+    (flag("ok"), flag("cached"))
+}
+
+/// Deterministic pool of distinct predict request bodies: every
+/// unordered benchmark pair from the trace suite crossed with the first
+/// three machine configs, at the CLI quick geometry. Clients draw
+/// disjoint (wrapping) slices of this pool, so a cold phase with
+/// `clients * requests_per_client <= pool` repeats nothing.
+pub fn request_pool() -> Vec<String> {
+    let names = mppm_trace::suite::names();
+    let mut pool = Vec::new();
+    for config in 1..=3u64 {
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                pool.push(format!(
+                    "\"kind\":\"predict\",\"mix\":\"{},{}\",\"config\":{config},\"quick\":true",
+                    names[i], names[j]
+                ));
+            }
+        }
+    }
+    pool
+}
+
+/// The request lines for one client: `requests` entries drawn from the
+/// pool starting at `client * requests`, wrapping if the pool runs out.
+fn client_lines(pool: &[String], client: usize, requests: usize) -> Vec<String> {
+    (0..requests)
+        .map(|k| {
+            let body = &pool[(client * requests + k) % pool.len()];
+            format!("{{\"id\":{},{body}}}", k + 1)
+        })
+        .collect()
+}
+
+/// Latency percentile over a sorted (ascending) sample, nearest-rank.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn summarize(
+    phase: &str,
+    clients: usize,
+    seconds: f64,
+    mut latencies_ms: Vec<f64>,
+    cached: usize,
+) -> PhaseStats {
+    latencies_ms.sort_by(f64::total_cmp);
+    let requests = latencies_ms.len();
+    PhaseStats {
+        phase: phase.to_string(),
+        clients,
+        requests,
+        seconds,
+        throughput_rps: if seconds > 0.0 { requests as f64 / seconds } else { 0.0 },
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p95_ms: percentile(&latencies_ms, 95.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        cached_responses: cached,
+    }
+}
+
+/// Per-client measurement: latencies in milliseconds plus the number of
+/// responses the daemon reported as cache-served.
+type ClientSample = (Vec<f64>, usize);
+
+/// Runs one phase: `clients` threads connect, rendezvous on a barrier,
+/// and each executes `drive` over its request lines.
+fn run_phase<F>(
+    socket: &Path,
+    per_client: &[Vec<String>],
+    phase: &str,
+    drive: F,
+) -> std::io::Result<PhaseStats>
+where
+    F: Fn(&mut LoadClient, &[String]) -> std::io::Result<ClientSample> + Sync,
+{
+    let clients = per_client.len();
+    let barrier = Barrier::new(clients + 1);
+    let samples: Mutex<Vec<ClientSample>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = std::thread::scope(|scope| {
+        for lines in per_client {
+            scope.spawn(|| {
+                let mut client = match LoadClient::connect(socket) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        barrier.wait();
+                        failures.lock().expect("loadgen mutex").push(e.to_string());
+                        return;
+                    }
+                };
+                barrier.wait();
+                match drive(&mut client, lines) {
+                    Ok(sample) => samples.lock().expect("loadgen mutex").push(sample),
+                    Err(e) => failures.lock().expect("loadgen mutex").push(e.to_string()),
+                }
+            });
+        }
+        barrier.wait();
+        Instant::now()
+        // Scope exit joins every client thread.
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let failures = failures.into_inner().expect("loadgen mutex");
+    if let Some(first) = failures.first() {
+        return Err(std::io::Error::other(format!(
+            "{phase}: {} of {clients} clients failed; first error: {first}",
+            failures.len()
+        )));
+    }
+    let mut latencies = Vec::new();
+    let mut cached = 0usize;
+    for (lats, hit) in samples.into_inner().expect("loadgen mutex") {
+        latencies.extend(lats);
+        cached += hit;
+    }
+    Ok(summarize(phase, clients, seconds, latencies, cached))
+}
+
+/// Closed loop: one outstanding request per connection.
+fn drive_closed(client: &mut LoadClient, lines: &[String]) -> std::io::Result<ClientSample> {
+    let mut lats = Vec::with_capacity(lines.len());
+    let mut cached = 0usize;
+    for line in lines {
+        let t0 = Instant::now();
+        client.send(line)?;
+        let response = client.recv()?;
+        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+        let (ok, hit) = parse_response(&response);
+        if !ok {
+            return Err(std::io::Error::other(format!("error frame: {response}")));
+        }
+        cached += usize::from(hit);
+    }
+    Ok((lats, cached))
+}
+
+/// Open loop: the whole batch is written up front, then responses are
+/// drained in order (the daemon answers a connection's requests in
+/// arrival order), so latency includes server-side queueing.
+fn drive_open(client: &mut LoadClient, lines: &[String]) -> std::io::Result<ClientSample> {
+    let clock = Instant::now();
+    let mut sent = Vec::with_capacity(lines.len());
+    for line in lines {
+        client.send(line)?;
+        sent.push(clock.elapsed().as_secs_f64());
+    }
+    let mut lats = Vec::with_capacity(lines.len());
+    let mut cached = 0usize;
+    for &t_sent in &sent {
+        let response = client.recv()?;
+        lats.push((clock.elapsed().as_secs_f64() - t_sent) * 1e3);
+        let (ok, hit) = parse_response(&response);
+        if !ok {
+            return Err(std::io::Error::other(format!("error frame: {response}")));
+        }
+        cached += usize::from(hit);
+    }
+    Ok((lats, cached))
+}
+
+/// Runs the full three-phase load measurement against a daemon
+/// listening on `socket`.
+///
+/// Cold numbers are only meaningful if the daemon's store and response
+/// cache start empty — the `loadgen` binary spawns a fresh daemon on a
+/// fresh store to guarantee that.
+///
+/// # Errors
+///
+/// Connection failures, daemon error frames, or a mid-phase disconnect.
+pub fn run_load(socket: &Path, opts: &LoadgenOptions) -> std::io::Result<Vec<PhaseStats>> {
+    let pool = request_pool();
+    let per_client: Vec<Vec<String>> = (0..opts.clients)
+        .map(|c| client_lines(&pool, c, opts.requests_per_client))
+        .collect();
+    Ok(vec![
+        run_phase(socket, &per_client, "cold-closed", drive_closed)?,
+        run_phase(socket, &per_client, "warm-closed", drive_closed)?,
+        run_phase(socket, &per_client, "warm-open", drive_open)?,
+    ])
+}
+
+/// Polls `socket` until a connection succeeds or `timeout` elapses.
+pub fn await_socket(socket: &Path, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if UnixStream::connect(socket).is_ok() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Asks the daemon on `socket` to shut down gracefully.
+///
+/// # Errors
+///
+/// Connection or write failures; an unexpected response frame.
+pub fn request_shutdown(socket: &Path) -> std::io::Result<()> {
+    let mut client = LoadClient::connect(socket)?;
+    client.send("{\"id\":1,\"kind\":\"shutdown\"}")?;
+    let response = client.recv()?;
+    let (ok, _) = parse_response(&response);
+    if !ok {
+        return Err(std::io::Error::other(format!("shutdown refused: {response}")));
+    }
+    Ok(())
+}
+
+/// Renders the phase table and writes `results/speed_server.csv`.
+pub fn report_server(phases: &[PhaseStats]) -> Table {
+    let mut t = Table::new(&[
+        "phase",
+        "clients",
+        "requests",
+        "seconds",
+        "throughput rps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "cached",
+    ]);
+    for p in phases {
+        t.row(vec![
+            p.phase.clone(),
+            p.clients.to_string(),
+            p.requests.to_string(),
+            f3(p.seconds),
+            format!("{:.1}", p.throughput_rps),
+            f3(p.p50_ms),
+            f3(p.p95_ms),
+            f3(p.p99_ms),
+            p.cached_responses.to_string(),
+        ]);
+    }
+    let _ = t.save_csv("speed_server");
+    t
+}
+
+/// Writes the machine-readable load report to `BENCH_server.json` at the
+/// workspace root (redirected to `target/test-results/` under
+/// `cargo test`).
+///
+/// # Errors
+///
+/// Any I/O error from creating the directory or writing the file.
+pub fn write_server_json(phases: &[PhaseStats]) -> std::io::Result<PathBuf> {
+    #[derive(Serialize)]
+    struct BenchFile {
+        description: String,
+        unit: String,
+        phases: Vec<PhaseStats>,
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if cfg!(test) { root.join("target/test-results") } else { root };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_server.json");
+    atomic_write_json(
+        &path,
+        &BenchFile {
+            description: "mppmd under concurrent predict load: closed-loop latency \
+                          percentiles and open-loop throughput, cold caches vs warm"
+                .to_string(),
+            unit: "milliseconds (latency), requests/second (throughput)".to_string(),
+            phases: phases.to_vec(),
+        },
+    )?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_distinct_and_deterministic() {
+        let pool = request_pool();
+        let mut seen = std::collections::BTreeSet::new();
+        for body in &pool {
+            assert!(seen.insert(body.clone()), "duplicate request body {body}");
+        }
+        assert_eq!(pool, request_pool(), "pool must be deterministic");
+        assert!(pool.len() >= 64, "pool too small for a 4x16 cold phase: {}", pool.len());
+    }
+
+    #[test]
+    fn client_lines_are_disjoint_within_the_pool() {
+        let pool = request_pool();
+        let a = client_lines(&pool, 0, 16);
+        let b = client_lines(&pool, 1, 16);
+        for line in &a {
+            assert!(!b.contains(line), "clients 0 and 1 share {line}");
+        }
+        assert!(a[0].starts_with("{\"id\":1,"), "ids are 1-based per connection: {}", a[0]);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_on_sorted_samples() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summaries_serialize_and_tabulate() {
+        let stats = summarize("warm-closed", 4, 2.0, vec![3.0, 1.0, 2.0, 4.0], 4);
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.throughput_rps, 2.0);
+        assert_eq!(stats.p50_ms, 3.0);
+        let table = report_server(&[stats.clone()]);
+        assert_eq!(table.len(), 1);
+        let path = write_server_json(&[stats]).expect("json written");
+        let raw = std::fs::read_to_string(path).expect("json readable");
+        assert!(raw.contains("\"phase\":\"warm-closed\""), "unexpected JSON shape: {raw}");
+        assert!(raw.contains("throughput_rps"));
+    }
+
+    #[test]
+    fn load_run_against_an_in_process_daemon() {
+        let tag = format!("mppm-loadgen-{}", std::process::id());
+        let socket = std::env::temp_dir().join(format!("{tag}.sock"));
+        let store = std::env::temp_dir().join(format!("{tag}-store"));
+        let _ = std::fs::remove_dir_all(&store);
+        let _ = std::fs::remove_file(&socket);
+        let config = mppm_server::ServerConfig {
+            socket: socket.clone(),
+            store_root: Some(store.clone()),
+        };
+        let daemon = std::thread::spawn(move || {
+            mppm_server::serve(&config).expect("daemon starts");
+        });
+        assert!(await_socket(&socket, Duration::from_secs(10)), "daemon never bound");
+
+        let opts = LoadgenOptions { clients: 4, requests_per_client: 2 };
+        let phases = run_load(&socket, &opts).expect("load run succeeds");
+        assert_eq!(phases.len(), 3);
+        let (cold, warm, open) = (&phases[0], &phases[1], &phases[2]);
+        assert_eq!(cold.requests, 8);
+        assert_eq!(cold.cached_responses, 0, "fresh daemon must have no cache hits");
+        assert_eq!(warm.cached_responses, warm.requests, "repeats must all be cache hits");
+        assert_eq!(open.cached_responses, open.requests);
+        for p in &phases {
+            assert!(p.p50_ms > 0.0 && p.p95_ms >= p.p50_ms && p.p99_ms >= p.p95_ms, "{p:?}");
+            assert!(p.throughput_rps > 0.0);
+        }
+
+        request_shutdown(&socket).expect("graceful shutdown");
+        daemon.join().expect("daemon thread exits cleanly");
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}

@@ -9,7 +9,8 @@
 
 use mppm::SingleCoreProfile;
 use mppm_cache::CacheConfig;
-use mppm_sim::{MachineConfig, MixResult, MixSim};
+use mppm_obs::{Counter, Observer};
+use mppm_sim::{MachineConfig, MixResult, MixSim, TraceCache};
 use mppm_trace::{suite, BenchmarkSpec, TraceGeometry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -83,6 +84,19 @@ impl MixRecord {
     }
 }
 
+/// Warm-cache effectiveness counters, published into an attached
+/// observer's registry (inert until [`Store::attach_counters`]).
+#[derive(Debug, Default)]
+struct StoreCounters {
+    /// `store.sim_cache_hit`: simulate() served from the sim cache.
+    sim_cache_hit: Counter,
+    /// `store.sim_cache_miss`: simulate() had to run the simulator.
+    sim_cache_miss: Counter,
+    /// `store.profile_load`: profile() missed the in-memory memo and
+    /// went to disk (or recomputed). A warm process stops incrementing.
+    profile_load: Counter,
+}
+
 /// Disk-backed store of profiles and mix measurements.
 #[derive(Debug)]
 pub struct Store {
@@ -90,6 +104,13 @@ pub struct Store {
     /// Cached mix measurements per (machine, geometry) file, loaded
     /// lazily.
     mixes: Mutex<BTreeMap<String, BTreeMap<String, MixRecord>>>,
+    /// In-memory memo of loaded profiles, keyed by profile file name, so
+    /// a long-lived process (the `mppmd` daemon) parses each profile
+    /// once.
+    profiles: Mutex<BTreeMap<String, SingleCoreProfile>>,
+    /// Compiled traces shared across every simulation this store runs.
+    traces: TraceCache,
+    counters: Mutex<StoreCounters>,
 }
 
 impl Store {
@@ -98,7 +119,28 @@ impl Store {
         let root = root.into();
         std::fs::create_dir_all(root.join("profiles"))?;
         std::fs::create_dir_all(root.join("sims"))?;
-        Ok(Self { root, mixes: Mutex::new(BTreeMap::new()) })
+        Ok(Self {
+            root,
+            mixes: Mutex::new(BTreeMap::new()),
+            profiles: Mutex::new(BTreeMap::new()),
+            traces: TraceCache::new(),
+            counters: Mutex::new(StoreCounters::default()),
+        })
+    }
+
+    /// Registers the `store.*` counters with `observer` so warm-cache
+    /// effectiveness is observable (`store.sim_cache_hit`/`miss`,
+    /// `store.profile_load`). Counters stay inert until this is called.
+    pub fn attach_counters(&self, observer: &Observer) {
+        let mut counters = self.counters.lock();
+        counters.sim_cache_hit = observer.counter("store.sim_cache_hit");
+        counters.sim_cache_miss = observer.counter("store.sim_cache_miss");
+        counters.profile_load = observer.counter("store.profile_load");
+    }
+
+    /// `(hits, compiles)` of the shared compiled-trace cache.
+    pub fn trace_cache_stats(&self) -> (u64, u64) {
+        self.traces.stats()
     }
 
     /// Opens the workspace-default store under `target/mppm-store`.
@@ -134,13 +176,21 @@ impl Store {
         geometry: TraceGeometry,
     ) -> SingleCoreProfile {
         let path = self.profile_path(spec.name(), machine, geometry);
-        if let Some(profile) = read_json::<SingleCoreProfile>(&path) {
-            if profile.validate().is_ok() {
-                return profile;
-            }
+        let memo_key =
+            path.file_name().expect("profile paths have file names").to_string_lossy().into_owned();
+        if let Some(profile) = self.profiles.lock().get(&memo_key) {
+            return profile.clone();
         }
-        let profile = mppm_sim::profile_single_core(spec, machine, geometry);
-        write_json(&path, &profile);
+        self.counters.lock().profile_load.incr();
+        let profile = match read_json::<SingleCoreProfile>(&path) {
+            Some(profile) if profile.validate().is_ok() => profile,
+            _ => {
+                let profile = mppm_sim::profile_single_core(spec, machine, geometry);
+                write_json(&path, &profile);
+                profile
+            }
+        };
+        self.profiles.lock().insert(memo_key, profile.clone());
         profile
     }
 
@@ -182,9 +232,11 @@ impl Store {
                 .entry(tag.clone())
                 .or_insert_with(|| read_json(&self.sim_path(&tag)).unwrap_or_default());
             if let Some(rec) = file.get(&key.as_string()) {
+                self.counters.lock().sim_cache_hit.incr();
                 return rec.clone();
             }
         }
+        self.counters.lock().sim_cache_miss.incr();
         // Simulate outside the lock (these take seconds to minutes).
         let specs: Vec<&BenchmarkSpec> = key
             .names
@@ -193,7 +245,8 @@ impl Store {
             .collect();
         // mppm-lint: allow(wallclock-in-sim): records how long the sim took (sim_seconds telemetry), not simulated time
         let started = Instant::now();
-        let result: MixResult = MixSim::new(&specs, machine, geometry).run();
+        let result: MixResult =
+            MixSim::new(&specs, machine, geometry).trace_cache(&self.traces).run();
         // `cpi_sc` arrives in caller order; rebuild it in canonical order.
         let mut sc_by_name: BTreeMap<&str, f64> = BTreeMap::new();
         for (n, &sc) in mix_names.iter().zip(cpi_sc) {
@@ -407,6 +460,39 @@ mod tests {
         assert!(entries.is_empty(), "staging files linger: {entries:?}");
         let back: Vec<u32> = serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
         assert_eq!(back, vec![4, 5]);
+    }
+
+    #[test]
+    fn store_counters_track_cache_warmth() {
+        let (_dir, store) = tmp_store();
+        let observer = Observer::with_sinks(Vec::new());
+        store.attach_counters(&observer);
+        let machine = MachineConfig::baseline();
+        let geometry = TraceGeometry::tiny();
+        let names = ["hmmer", "povray"];
+        let sc: Vec<f64> = names
+            .iter()
+            .map(|n| store.profile(suite::benchmark(n).unwrap(), &machine, geometry).cpi_sc())
+            .collect();
+        let counter = |name: &str| {
+            observer
+                .counter_snapshot()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, v)| v)
+        };
+        assert_eq!(counter("store.profile_load"), 2, "one load per distinct profile");
+        store.simulate(&names, &sc, &machine, geometry);
+        assert_eq!(counter("store.sim_cache_miss"), 1);
+        assert_eq!(counter("store.sim_cache_hit"), 0);
+        store.simulate(&names, &sc, &machine, geometry);
+        assert_eq!(counter("store.sim_cache_hit"), 1, "repeat request hits");
+        // Profiles now come from the in-memory memo: no further loads.
+        store.profile(suite::benchmark("hmmer").unwrap(), &machine, geometry);
+        assert_eq!(counter("store.profile_load"), 2);
+        // The shared trace cache compiled each program once.
+        let (_, compiles) = store.trace_cache_stats();
+        assert_eq!(compiles, 2);
     }
 
     #[test]

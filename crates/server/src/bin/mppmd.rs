@@ -1,0 +1,58 @@
+//! `mppmd` — the long-lived MPPM campaign/predict daemon.
+//!
+//! ```text
+//! mppmd [--socket PATH] [--store DIR]
+//! ```
+//!
+//! Listens on a Unix domain socket (default `$TMPDIR/mppmd.sock`) and
+//! serves `predict`, `simulate`, and `campaign` requests from one warm
+//! store. Stop it with a `shutdown` request (`mppm-cli client shutdown`).
+
+use mppm_server::{default_socket_path, serve, ServerConfig};
+
+const USAGE: &str = "usage: mppmd [--socket PATH] [--store DIR]
+
+  --socket PATH   Unix socket to listen on (default $TMPDIR/mppmd.sock)
+  --store DIR     store root (default <workspace>/target/mppm-store)";
+
+fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::new(default_socket_path());
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let path = it.next().ok_or("--socket needs a path")?;
+                config.socket = path.into();
+            }
+            "--store" => {
+                let path = it.next().ok_or("--store needs a directory")?;
+                config.store_root = Some(path.into());
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&argv) {
+        Ok(config) => config,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("mppmd: listening on {}", config.socket.display());
+    if let Err(e) = serve(&config) {
+        eprintln!("error: {e}");
+        // Exit code 6 is the server-error code across the toolkit
+        // (mirrored by `mppm-cli`'s CliError::Server).
+        std::process::exit(6);
+    }
+}

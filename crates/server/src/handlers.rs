@@ -1,0 +1,323 @@
+//! Request handlers: each resolved request becomes frames on the wire.
+//!
+//! Predict and simulate run inline on the connection thread (deduped
+//! against identical in-flight requests); campaigns are queued for the
+//! batching executor. Every deterministic payload is cached by its
+//! canonical request key, so a repeat request is answered from memory
+//! with `cached:true`.
+
+use mppm::{
+    ContentionModel, FoaModel, Mppm, MppmConfig, PartitionModel, Prediction, ProbModel,
+    SdcCompetitionModel, SingleCoreProfile,
+};
+use mppm_obs::{Observer, Sink, Span};
+use mppm_sim::{llc_configs, MachineConfig};
+use mppm_trace::{suite, BenchmarkSpec};
+use serde::Value;
+use std::sync::Arc;
+
+use crate::protocol::{
+    codes, err_frame, ok_frame, resolve, Contention, MixRequest, Request, Resolved,
+};
+use crate::state::{CampaignJob, ConnWriter, ServerState, SocketSink, Waiter};
+
+type Payload = (Value, Option<Value>);
+type HandlerError = (&'static str, String);
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn floats(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&f| Value::Float(f)).collect())
+}
+
+fn strings<S: AsRef<str>>(xs: &[S]) -> Value {
+    Value::Array(xs.iter().map(|s| Value::String(s.as_ref().to_string())).collect())
+}
+
+/// Handles one parsed request on a connection thread.
+pub(crate) fn handle(state: &Arc<ServerState>, conn: u64, writer: &ConnWriter, req: Request) {
+    state.counters.requests.incr();
+    let resolved = match resolve(&req) {
+        Ok(r) => r,
+        Err(e) => {
+            writer.send_line(&err_frame(req.id, e.code, &e.message));
+            return;
+        }
+    };
+    if state.is_shutdown() && !matches!(resolved, Resolved::Ping | Resolved::Stats) {
+        writer.send_line(&err_frame(req.id, codes::SHUTDOWN, "daemon is shutting down"));
+        return;
+    }
+    match resolved {
+        Resolved::Ping => {
+            writer.send_line(&ok_frame(req.id, "ping", false, obj(vec![("pong", Value::Bool(true))]), None));
+        }
+        Resolved::Stats => {
+            writer.send_line(&ok_frame(req.id, "stats", false, stats_value(state), None));
+        }
+        Resolved::Shutdown => {
+            writer.send_line(&ok_frame(
+                req.id,
+                "shutdown",
+                false,
+                obj(vec![("stopping", Value::Bool(true))]),
+                None,
+            ));
+            state.begin_shutdown();
+        }
+        Resolved::Cancel(target) => {
+            let found = state.cancel_queued(conn, target);
+            writer.send_line(&ok_frame(
+                req.id,
+                "cancel",
+                false,
+                obj(vec![("canceled", Value::Bool(found))]),
+                None,
+            ));
+        }
+        Resolved::Predict(m) => {
+            let key = m.cache_key("predict");
+            let outcome = state.serve_deduped(&key, "predict", || {
+                observed(writer, req.id, req.subscribe, "predict", |span| {
+                    compute_predict(state, &m, span)
+                })
+            });
+            respond(writer, req.id, "predict", outcome);
+        }
+        Resolved::Simulate(m) => {
+            let key = m.cache_key("simulate");
+            let outcome = state.serve_deduped(&key, "simulate", || {
+                observed(writer, req.id, req.subscribe, "simulate", |span| {
+                    compute_simulate(state, &m, span)
+                })
+            });
+            respond(writer, req.id, "simulate", outcome);
+        }
+        Resolved::Campaign(c) => {
+            state.counters.campaign_jobs.incr();
+            let key = c.cache_key();
+            if let Some(hit) = state.cached(&key) {
+                state.counters.cache_hits.incr();
+                writer.send_line(&ok_frame(req.id, hit.kind, true, hit.result, None));
+                return;
+            }
+            let job = CampaignJob {
+                key,
+                req: c,
+                waiters: vec![Waiter {
+                    conn,
+                    id: req.id,
+                    subscribe: req.subscribe,
+                    writer: writer.clone(),
+                }],
+            };
+            if state.enqueue_campaign(job).is_err() {
+                writer.send_line(&err_frame(req.id, codes::SHUTDOWN, "daemon is shutting down"));
+            }
+            // The executor answers this request when the job completes.
+        }
+    }
+}
+
+fn respond(
+    writer: &ConnWriter,
+    id: u64,
+    kind: &str,
+    outcome: Result<(Value, Option<Value>, bool), HandlerError>,
+) {
+    match outcome {
+        Ok((result, meta, cached)) => {
+            writer.send_line(&ok_frame(id, kind, cached, result, meta));
+        }
+        Err((code, message)) => writer.send_line(&err_frame(id, code, &message)),
+    }
+}
+
+/// Runs `compute` under a per-request span: subscribed requests stream
+/// every event (solver residuals and span ends) as event frames before
+/// their response; unsubscribed ones run with observability disabled.
+fn observed<F>(
+    writer: &ConnWriter,
+    id: u64,
+    subscribe: bool,
+    name: &str,
+    compute: F,
+) -> Result<Payload, HandlerError>
+where
+    F: FnOnce(&Span) -> Result<Payload, HandlerError>,
+{
+    if !subscribe {
+        return compute(&Span::disabled());
+    }
+    let sinks: Vec<Box<dyn Sink>> = vec![Box::new(SocketSink::all(writer.clone(), id))];
+    let observer = Observer::with_sinks(sinks);
+    let outcome = {
+        let root = observer.root(name);
+        compute(&root)
+        // Dropping the root emits its span-end before the response frame.
+    };
+    let _ = observer.finish();
+    outcome
+}
+
+fn stats_value(state: &Arc<ServerState>) -> Value {
+    let counters: Vec<(String, Value)> = state
+        .observer()
+        .counter_snapshot()
+        .into_iter()
+        .map(|(name, v)| (name, Value::UInt(v)))
+        .collect();
+    let (hits, compiles) = state.store().trace_cache_stats();
+    let (responses, inflight, queued) = state.cache_sizes();
+    obj(vec![
+        ("counters", Value::Object(counters)),
+        (
+            "trace_cache",
+            obj(vec![("hits", Value::UInt(hits)), ("compiles", Value::UInt(compiles))]),
+        ),
+        ("response_cache", Value::UInt(responses as u64)),
+        ("inflight", Value::UInt(inflight as u64)),
+        ("queued_campaigns", Value::UInt(queued as u64)),
+    ])
+}
+
+fn resolve_specs(names: &[String]) -> Result<Vec<&'static BenchmarkSpec>, HandlerError> {
+    names
+        .iter()
+        .map(|n| {
+            suite::benchmark(n).ok_or_else(|| {
+                (codes::BAD_REQUEST, format!("unknown benchmark `{n}`; see `mppm-cli list`"))
+            })
+        })
+        .collect()
+}
+
+/// Builds the machine for a mix request, mirroring the one-shot CLI:
+/// Table 2 LLC config plus the optional bandwidth cap, with the same
+/// partition validation `mppm-cli predict --partition` performs.
+fn machine_for(m: &MixRequest) -> Result<MachineConfig, HandlerError> {
+    let mut machine = MachineConfig::baseline().with_llc(llc_configs()[m.config]);
+    if let Some(bw) = m.bandwidth {
+        if !(bw.is_finite() && bw > 0.0) {
+            return Err((codes::BAD_REQUEST, format!("`bandwidth` must be positive, got {bw}")));
+        }
+        machine = machine.with_mem_bandwidth(bw);
+    }
+    if let Contention::Partition(ways) = &m.contention {
+        if ways.contains(&0) {
+            return Err((codes::BAD_REQUEST, "every program needs at least one way".to_string()));
+        }
+        let total: u32 = ways.iter().sum();
+        if total != machine.llc.assoc {
+            return Err((
+                codes::BAD_REQUEST,
+                format!(
+                    "partition ways sum to {total} but LLC config #{} has {} ways",
+                    m.config + 1,
+                    machine.llc.assoc
+                ),
+            ));
+        }
+    }
+    Ok(machine)
+}
+
+fn predict_for(
+    profiles: &[SingleCoreProfile],
+    contention: &Contention,
+    bandwidth: Option<f64>,
+    span: &Span,
+) -> Result<Prediction, HandlerError> {
+    let refs: Vec<&SingleCoreProfile> = profiles.iter().collect();
+    let config = MppmConfig { bandwidth, ..MppmConfig::default() };
+    fn go<M: ContentionModel>(
+        cfg: MppmConfig,
+        m: M,
+        refs: &[&SingleCoreProfile],
+        span: &Span,
+    ) -> Result<Prediction, HandlerError> {
+        Mppm::new(cfg, m)
+            .predict_observed(refs, span)
+            .map_err(|e| (codes::MODEL, e.to_string()))
+    }
+    match contention {
+        Contention::Foa => go(config, FoaModel, &refs, span),
+        Contention::Sdc => go(config, SdcCompetitionModel, &refs, span),
+        Contention::Prob => go(config, ProbModel, &refs, span),
+        Contention::Partition(ways) => go(config, PartitionModel::new(ways.clone()), &refs, span),
+    }
+}
+
+fn compute_predict(
+    state: &Arc<ServerState>,
+    m: &MixRequest,
+    span: &Span,
+) -> Result<Payload, HandlerError> {
+    let specs = resolve_specs(&m.names)?;
+    let machine = machine_for(m)?;
+    let store = state.store();
+    let profiles: Vec<SingleCoreProfile> =
+        specs.iter().map(|s| store.profile(s, &machine, m.geometry)).collect();
+    let pred = predict_for(&profiles, &m.contention, m.bandwidth, span)?;
+    let result = obj(vec![
+        ("names", strings(pred.names())),
+        ("cpi_sc", floats(pred.cpi_sc())),
+        ("cpi_mc", floats(pred.cpi_mc())),
+        ("slowdowns", floats(&pred.slowdowns())),
+        ("stp", Value::Float(pred.stp())),
+        ("antt", Value::Float(pred.antt())),
+        ("steps", Value::UInt(pred.steps() as u64)),
+        ("converged", Value::Bool(pred.converged())),
+    ]);
+    Ok((result, None))
+}
+
+fn compute_simulate(
+    state: &Arc<ServerState>,
+    m: &MixRequest,
+    span: &Span,
+) -> Result<Payload, HandlerError> {
+    let specs = resolve_specs(&m.names)?;
+    let machine = machine_for(m)?;
+    let store = state.store();
+    let profiles: Vec<SingleCoreProfile> =
+        specs.iter().map(|s| store.profile(s, &machine, m.geometry)).collect();
+    let cpi_sc: Vec<f64> = profiles.iter().map(SingleCoreProfile::cpi_sc).collect();
+    let names: Vec<&str> = m.names.iter().map(String::as_str).collect();
+    span.event("simulate-start", &[("programs", mppm_obs::Value::from(names.len()))]);
+    let record = store.simulate(&names, &cpi_sc, &machine, m.geometry);
+    // `sim_seconds` is wall-clock telemetry: it rides in `meta`, outside
+    // the byte-identical `result` contract (and is 0-cost on cache hits).
+    let result = obj(vec![
+        ("names", strings(&record.names)),
+        ("cpi_sc", floats(&record.cpi_sc)),
+        ("cpi_mc", floats(&record.cpi_mc)),
+        ("slowdowns", floats(&record.slowdowns())),
+        ("stp", Value::Float(record.stp())),
+        ("antt", Value::Float(record.antt())),
+    ]);
+    let meta = obj(vec![("sim_seconds", Value::Float(record.sim_seconds))]);
+    Ok((result, Some(meta)))
+}
+
+/// Builds the deterministic campaign payload plus its telemetry `meta`.
+pub(crate) fn campaign_value(result: &mppm_campaign::CampaignResult) -> Payload {
+    let value = obj(vec![
+        ("plan_id", Value::String(result.plan_id.clone())),
+        ("cores", Value::UInt(result.cores as u64)),
+        ("mixes", Value::UInt(result.mixes as u64)),
+        ("designs_csv", Value::String(mppm_campaign::design_table(result).to_csv())),
+        ("histogram_csv", Value::String(mppm_campaign::histogram_table(result).to_csv())),
+        ("stability_csv", Value::String(mppm_campaign::stability_table(result).to_csv())),
+    ]);
+    let meta = obj(vec![
+        ("total_shards", Value::UInt(result.stats.total_shards as u64)),
+        ("resumed_shards", Value::UInt(result.stats.resumed_shards as u64)),
+        ("computed_shards", Value::UInt(result.stats.computed_shards as u64)),
+        ("evaluated_mixes", Value::UInt(result.stats.evaluated_mixes as u64)),
+        ("compute_seconds", Value::Float(result.stats.compute_seconds)),
+    ]);
+    (value, Some(meta))
+}

@@ -1,0 +1,566 @@
+//! Wire protocol: newline-delimited JSON frames.
+//!
+//! Every frame is one line of JSON (the `JsonlSink` house style). The
+//! grammar is documented in DESIGN.md §13; in short:
+//!
+//! * **Request** — a flat object; `kind` selects the verb and the other
+//!   fields default so clients send only what they mean. Numeric
+//!   knobs mirror the one-shot CLI exactly (`config`/`configs` are
+//!   1-based like `--config`, `quick` selects the same short geometry).
+//! * **Response** — `{"id","ok":true,"kind","cached","result",...}`.
+//!   The `result` member is the *deterministic* payload: byte-identical
+//!   for identical resolved requests at any worker count and any cache
+//!   temperature. Telemetry (wall-clock, shard resume counts) rides in
+//!   the optional `meta` member, outside the determinism contract.
+//! * **Error** — `{"id","ok":false,"error":{"code","message"}}`.
+//! * **Event** — `{"id","kind":"event","event":{...}}`, streamed for
+//!   requests sent with `subscribe:true` before their response frame.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Longest accepted request line, in bytes. Longer lines are discarded
+/// to the next newline and answered with an [`codes::OVERSIZED`] error
+/// frame, keeping one misbehaving client from ballooning the daemon.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Stable error codes carried by error frames.
+pub mod codes {
+    /// The line was not valid JSON.
+    pub const PARSE: &str = "parse";
+    /// The request parsed but is malformed or references unknown
+    /// entities (benchmark names, config indices, unknown `kind`).
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// The request line exceeded [`super::MAX_LINE`].
+    pub const OVERSIZED: &str = "oversized";
+    /// The analytical model rejected the workload.
+    pub const MODEL: &str = "model";
+    /// Campaign planning/execution failed.
+    pub const CAMPAIGN: &str = "campaign";
+    /// Daemon-side I/O failure.
+    pub const IO: &str = "io";
+    /// The request was canceled before it ran.
+    pub const CANCELED: &str = "canceled";
+    /// The daemon is shutting down and no longer accepts work.
+    pub const SHUTDOWN: &str = "shutdown";
+}
+
+/// One request frame. Unknown fields are ignored; missing fields take
+/// the defaults below, chosen so a resolved request matches what the
+/// one-shot CLI would do with the same flags.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on every frame this request
+    /// produces.
+    #[serde(default)]
+    pub id: u64,
+    /// Verb: `ping`, `stats`, `predict`, `simulate`, `campaign`,
+    /// `cancel`, `shutdown`.
+    #[serde(default)]
+    pub kind: String,
+    /// Comma-separated benchmark names (predict/simulate).
+    #[serde(default)]
+    pub mix: String,
+    /// Table 2 LLC config, 1-based like `--config`; 0 means 1.
+    #[serde(default)]
+    pub config: u64,
+    /// Short traces, same geometry as the CLI's `--quick`.
+    #[serde(default)]
+    pub quick: bool,
+    /// Explicit geometry override (both fields nonzero): instructions
+    /// per interval. Predict/simulate only.
+    #[serde(default)]
+    pub interval_insns: u64,
+    /// Explicit geometry override: interval count.
+    #[serde(default)]
+    pub intervals: u64,
+    /// Contention model: `foa` (default), `sdc`, `prob`.
+    #[serde(default)]
+    pub contention: String,
+    /// Way partition, comma-separated counts (mutually exclusive with
+    /// `contention`).
+    #[serde(default)]
+    pub partition: String,
+    /// Shared memory bandwidth (accesses/cycle), if limited.
+    #[serde(default)]
+    pub bandwidth: Option<f64>,
+    /// Campaign: programs per mix; 0 means 2.
+    #[serde(default)]
+    pub cores: u64,
+    /// Campaign: comma-separated 1-based LLC configs; empty means
+    /// `1,2`.
+    #[serde(default)]
+    pub configs: String,
+    /// Campaign: stratified sample size; 0 enumerates exhaustively.
+    #[serde(default)]
+    pub sample: u64,
+    /// Campaign: sample seed; 0 means 1.
+    #[serde(default)]
+    pub seed: u64,
+    /// Campaign: mixes per checkpoint shard; 0 means 64.
+    #[serde(default)]
+    pub shard_size: u64,
+    /// Campaign: ranking-stability trials; 0 means 200.
+    #[serde(default)]
+    pub trials: u64,
+    /// Stream observability events for this request before its
+    /// response.
+    #[serde(default)]
+    pub subscribe: bool,
+    /// `cancel`: the id of the queued request to cancel.
+    #[serde(default)]
+    pub target: u64,
+}
+
+/// Contention-model selection (mirrors the CLI's `--contention` /
+/// `--partition`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Contention {
+    /// Frequency-of-access (the paper's choice, the default).
+    Foa,
+    /// Stack-distance competition.
+    Sdc,
+    /// Simplified inductive probability.
+    Prob,
+    /// Static way partition with the given allocation.
+    Partition(Vec<u32>),
+}
+
+impl Contention {
+    fn tag(&self) -> String {
+        match self {
+            Contention::Foa => "foa".to_string(),
+            Contention::Sdc => "sdc".to_string(),
+            Contention::Prob => "prob".to_string(),
+            Contention::Partition(ways) => {
+                format!("part{}", join_u32(ways))
+            }
+        }
+    }
+}
+
+fn join_u32(xs: &[u32]) -> String {
+    xs.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// A resolved `predict` or `simulate` request: defaults applied, lists
+/// parsed, indices 0-based.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixRequest {
+    /// Benchmark names in request order.
+    pub names: Vec<String>,
+    /// 0-based Table 2 LLC config.
+    pub config: usize,
+    /// Trace geometry (from `quick` or the explicit override).
+    pub geometry: mppm_trace::TraceGeometry,
+    /// Contention model (predict only; simulate ignores it).
+    pub contention: Contention,
+    /// Bandwidth cap, if any.
+    pub bandwidth: Option<f64>,
+}
+
+/// A resolved `campaign` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRequest {
+    /// Programs per mix.
+    pub cores: usize,
+    /// 0-based design configs.
+    pub designs: Vec<usize>,
+    /// Stratified sample size (`None` = exhaustive).
+    pub sample: Option<usize>,
+    /// Sample seed.
+    pub seed: u64,
+    /// Mixes per shard.
+    pub shard_size: usize,
+    /// Stability trials.
+    pub trials: usize,
+    /// Quick scale.
+    pub quick: bool,
+}
+
+/// A request after defaulting and syntactic validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolved {
+    /// Liveness probe.
+    Ping,
+    /// Counter/cache snapshot (not part of the determinism contract).
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+    /// Cancel the queued request with id `target` on this connection.
+    Cancel(u64),
+    /// Analytical prediction.
+    Predict(MixRequest),
+    /// Detailed simulation (cached in the store).
+    Simulate(MixRequest),
+    /// Design-space campaign on the sharded executor.
+    Campaign(CampaignRequest),
+}
+
+/// A syntactic protocol error: `(code, message)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// One of [`codes`].
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A [`codes::BAD_REQUEST`] error.
+    pub fn bad(message: impl Into<String>) -> Self {
+        Self { code: codes::BAD_REQUEST, message: message.into() }
+    }
+}
+
+fn parse_config_1based(value: u64, what: &str) -> Result<usize, ProtoError> {
+    match value {
+        0 => Ok(0),
+        1..=6 => Ok(value as usize - 1),
+        n => Err(ProtoError::bad(format!("{what} must be 1..6, got {n}"))),
+    }
+}
+
+/// The CLI's geometry mapping: `--quick` short traces or the paper's
+/// full default (`mppm-cli` `geometry()` must stay in lockstep; an
+/// integration test pins the equivalence).
+pub fn cli_geometry(quick: bool) -> mppm_trace::TraceGeometry {
+    if quick {
+        mppm_trace::TraceGeometry::new(50_000, 20)
+    } else {
+        mppm_trace::TraceGeometry::default()
+    }
+}
+
+fn resolve_mix_request(req: &Request) -> Result<MixRequest, ProtoError> {
+    let names: Vec<String> = req
+        .mix
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if names.is_empty() {
+        return Err(ProtoError::bad("`mix` must list at least one benchmark"));
+    }
+    let config = parse_config_1based(req.config, "`config`")?;
+    let geometry = match (req.interval_insns, req.intervals) {
+        (0, 0) => cli_geometry(req.quick),
+        (ii, iv) if ii > 0 && iv > 0 && iv <= u64::from(u32::MAX) => {
+            let intervals = u32::try_from(iv).expect("guard bounds `intervals` to u32::MAX");
+            mppm_trace::TraceGeometry::new(ii, intervals)
+        }
+        _ => {
+            return Err(ProtoError::bad(
+                "geometry override needs both `interval_insns` and `intervals` nonzero",
+            ))
+        }
+    };
+    let contention = match (req.contention.as_str(), req.partition.as_str()) {
+        (_, p) if !p.is_empty() && !req.contention.is_empty() => {
+            return Err(ProtoError::bad("`contention` and `partition` are mutually exclusive"))
+        }
+        ("", "") | ("foa", _) => Contention::Foa,
+        ("sdc", _) => Contention::Sdc,
+        ("prob", _) => Contention::Prob,
+        ("", p) => {
+            let ways: Result<Vec<u32>, _> =
+                p.split(',').map(|w| w.trim().parse::<u32>()).collect();
+            let ways = ways
+                .map_err(|_| ProtoError::bad(format!("`partition` expects way counts, got `{p}`")))?;
+            if ways.len() != names.len() {
+                return Err(ProtoError::bad(format!(
+                    "`partition` needs one way count per program ({} vs {})",
+                    ways.len(),
+                    names.len()
+                )));
+            }
+            Contention::Partition(ways)
+        }
+        (other, _) => {
+            return Err(ProtoError::bad(format!(
+                "unknown contention model `{other}` (foa|sdc|prob)"
+            )))
+        }
+    };
+    Ok(MixRequest { names, config, geometry, contention, bandwidth: req.bandwidth })
+}
+
+fn resolve_campaign_request(req: &Request) -> Result<CampaignRequest, ProtoError> {
+    let cores = if req.cores == 0 { 2 } else { req.cores as usize };
+    let designs = if req.configs.trim().is_empty() {
+        vec![0, 1]
+    } else {
+        req.configs
+            .split(',')
+            .map(|s| {
+                let n: u64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| ProtoError::bad(format!("`configs` expects numbers, got `{s}`")))?;
+                if n == 0 {
+                    return Err(ProtoError::bad("`configs` entries are 1-based"));
+                }
+                parse_config_1based(n, "`configs` entry")
+            })
+            .collect::<Result<Vec<usize>, _>>()?
+    };
+    Ok(CampaignRequest {
+        cores,
+        designs,
+        sample: (req.sample > 0).then_some(req.sample as usize),
+        seed: if req.seed == 0 { 1 } else { req.seed },
+        shard_size: if req.shard_size == 0 { 64 } else { req.shard_size as usize },
+        trials: if req.trials == 0 { 200 } else { req.trials as usize },
+        quick: req.quick,
+    })
+}
+
+/// Applies defaults and parses lists; semantic checks that need the
+/// machine (partition sums, benchmark existence) happen in the
+/// handlers.
+///
+/// # Errors
+///
+/// [`ProtoError`] with [`codes::BAD_REQUEST`] on malformed fields or an
+/// unknown `kind`.
+pub fn resolve(req: &Request) -> Result<Resolved, ProtoError> {
+    match req.kind.as_str() {
+        "ping" => Ok(Resolved::Ping),
+        "stats" => Ok(Resolved::Stats),
+        "shutdown" => Ok(Resolved::Shutdown),
+        "cancel" => Ok(Resolved::Cancel(req.target)),
+        "predict" => Ok(Resolved::Predict(resolve_mix_request(req)?)),
+        "simulate" => Ok(Resolved::Simulate(resolve_mix_request(req)?)),
+        "campaign" => Ok(Resolved::Campaign(resolve_campaign_request(req)?)),
+        "" => Err(ProtoError::bad("missing `kind`")),
+        other => Err(ProtoError::bad(format!(
+            "unknown request kind `{other}` \
+             (ping|stats|predict|simulate|campaign|cancel|shutdown)"
+        ))),
+    }
+}
+
+impl MixRequest {
+    /// Canonical cache key: every result-affecting parameter, nothing
+    /// else. Identical resolved requests — regardless of frame ids or
+    /// field spelling — share one key.
+    pub fn cache_key(&self, verb: &str) -> String {
+        let mut key = format!(
+            "{verb}|{}|c{}|g{}x{}|{}",
+            self.names.join(","),
+            self.config,
+            self.geometry.interval_insns,
+            self.geometry.intervals,
+            self.contention.tag(),
+        );
+        if let Some(bw) = self.bandwidth {
+            let _ = write!(key, "|bw{bw:?}");
+        }
+        key
+    }
+}
+
+impl CampaignRequest {
+    /// Canonical cache key (see [`MixRequest::cache_key`]).
+    pub fn cache_key(&self) -> String {
+        let designs: Vec<String> = self.designs.iter().map(|d| d.to_string()).collect();
+        let source = match self.sample {
+            Some(n) => format!("s{}x{}", n, self.seed),
+            None => "full".to_string(),
+        };
+        format!(
+            "campaign|k{}|d{}|{}|sh{}|t{}|{}",
+            self.cores,
+            designs.join(","),
+            source,
+            self.shard_size,
+            self.trials,
+            if self.quick { "quick" } else { "full" },
+        )
+    }
+}
+
+/// Serializes one ok-response frame (no trailing newline).
+pub fn ok_frame(id: u64, kind: &str, cached: bool, result: Value, meta: Option<Value>) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Value::UInt(id)),
+        ("ok".to_string(), Value::Bool(true)),
+        ("kind".to_string(), Value::String(kind.to_string())),
+        ("cached".to_string(), Value::Bool(cached)),
+        ("result".to_string(), result),
+    ];
+    if let Some(meta) = meta {
+        fields.push(("meta".to_string(), meta));
+    }
+    serde_json::to_string(&Value::Object(fields)).expect("frame serialization cannot fail")
+}
+
+/// Serializes one error frame (no trailing newline).
+pub fn err_frame(id: u64, code: &str, message: &str) -> String {
+    let error = Value::Object(vec![
+        ("code".to_string(), Value::String(code.to_string())),
+        ("message".to_string(), Value::String(message.to_string())),
+    ]);
+    let frame = Value::Object(vec![
+        ("id".to_string(), Value::UInt(id)),
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), error),
+    ]);
+    serde_json::to_string(&frame).expect("frame serialization cannot fail")
+}
+
+/// Serializes one event frame for a subscribed request (no trailing
+/// newline).
+pub fn event_frame(id: u64, event: &mppm_obs::Event) -> String {
+    let fields: Vec<(String, Value)> = event
+        .fields
+        .iter()
+        .map(|(k, v)| {
+            let value = match v {
+                mppm_obs::Value::U64(n) => Value::UInt(*n),
+                mppm_obs::Value::F64(f) => Value::Float(*f),
+                mppm_obs::Value::Bool(b) => Value::Bool(*b),
+                mppm_obs::Value::Str(s) => Value::String(s.clone()),
+            };
+            ((*k).to_string(), value)
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("scope".to_string(), Value::String(event.scope.clone())),
+        ("index".to_string(), Value::UInt(event.index)),
+        ("name".to_string(), Value::String(event.name.clone())),
+        ("fields".to_string(), Value::Object(fields)),
+    ]);
+    let frame = Value::Object(vec![
+        ("id".to_string(), Value::UInt(id)),
+        ("kind".to_string(), Value::String("event".to_string())),
+        ("event".to_string(), body),
+    ]);
+    serde_json::to_string(&frame).expect("frame serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(kind: &str) -> Request {
+        Request { kind: kind.to_string(), ..Request::default() }
+    }
+
+    #[test]
+    fn defaults_mirror_the_cli() {
+        let mut r = req("predict");
+        r.mix = "gamess,lbm".to_string();
+        let Resolved::Predict(m) = resolve(&r).unwrap() else { panic!("predict") };
+        assert_eq!(m.names, vec!["gamess", "lbm"]);
+        assert_eq!(m.config, 0);
+        assert_eq!(m.geometry, mppm_trace::TraceGeometry::default());
+        assert_eq!(m.contention, Contention::Foa);
+        assert_eq!(m.bandwidth, None);
+
+        let mut r = req("campaign");
+        r.quick = true;
+        let Resolved::Campaign(c) = resolve(&r).unwrap() else { panic!("campaign") };
+        assert_eq!(
+            c,
+            CampaignRequest {
+                cores: 2,
+                designs: vec![0, 1],
+                sample: None,
+                seed: 1,
+                shard_size: 64,
+                trials: 200,
+                quick: true,
+            }
+        );
+    }
+
+    #[test]
+    fn quick_geometry_matches_cli_flag() {
+        let mut r = req("simulate");
+        r.mix = "lbm".to_string();
+        r.quick = true;
+        let Resolved::Simulate(m) = resolve(&r).unwrap() else { panic!("simulate") };
+        assert_eq!(m.geometry, mppm_trace::TraceGeometry::new(50_000, 20));
+    }
+
+    #[test]
+    fn geometry_override_needs_both_fields() {
+        let mut r = req("simulate");
+        r.mix = "lbm".to_string();
+        r.interval_insns = 20_000;
+        assert_eq!(resolve(&r).unwrap_err().code, codes::BAD_REQUEST);
+        r.intervals = 10;
+        let Resolved::Simulate(m) = resolve(&r).unwrap() else { panic!("simulate") };
+        assert_eq!(m.geometry, mppm_trace::TraceGeometry::new(20_000, 10));
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_fields_are_typed_errors() {
+        assert_eq!(resolve(&req("frobnicate")).unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(resolve(&req("")).unwrap_err().code, codes::BAD_REQUEST);
+        let mut r = req("predict");
+        r.mix = "gamess".to_string();
+        r.config = 9;
+        assert!(resolve(&r).unwrap_err().message.contains("1..6"));
+        let mut r = req("predict");
+        r.mix = "a,b".to_string();
+        r.contention = "foa".to_string();
+        r.partition = "6,2".to_string();
+        assert!(resolve(&r).unwrap_err().message.contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn cache_keys_canonicalize_equivalent_requests() {
+        let mut a = req("predict");
+        a.mix = "gamess,lbm".to_string();
+        a.id = 7;
+        let mut b = req("predict");
+        b.mix = " gamess , lbm ".to_string();
+        b.id = 99;
+        b.config = 1; // explicit default
+        let (Resolved::Predict(ra), Resolved::Predict(rb)) =
+            (resolve(&a).unwrap(), resolve(&b).unwrap())
+        else {
+            panic!("predict")
+        };
+        assert_eq!(ra.cache_key("predict"), rb.cache_key("predict"));
+        // Different geometry, different key.
+        b.quick = true;
+        let Resolved::Predict(rq) = resolve(&b).unwrap() else { panic!("predict") };
+        assert_ne!(ra.cache_key("predict"), rq.cache_key("predict"));
+    }
+
+    #[test]
+    fn frames_have_stable_shapes() {
+        let ok = ok_frame(3, "ping", false, Value::Object(vec![]), None);
+        assert_eq!(ok, "{\"id\":3,\"ok\":true,\"kind\":\"ping\",\"cached\":false,\"result\":{}}");
+        let err = err_frame(0, codes::PARSE, "bad json");
+        assert_eq!(
+            err,
+            "{\"id\":0,\"ok\":false,\"error\":{\"code\":\"parse\",\"message\":\"bad json\"}}"
+        );
+        let ev = mppm_obs::Event {
+            scope: "campaign".to_string(),
+            index: 1,
+            name: "plan".to_string(),
+            fields: vec![("shards", mppm_obs::Value::U64(4))],
+        };
+        assert_eq!(
+            event_frame(5, &ev),
+            "{\"id\":5,\"kind\":\"event\",\"event\":{\"scope\":\"campaign\",\"index\":1,\
+             \"name\":\"plan\",\"fields\":{\"shards\":4}}}"
+        );
+    }
+
+    #[test]
+    fn request_round_trips_and_tolerates_missing_fields() {
+        let parsed: Request = serde_json::from_str("{\"kind\":\"ping\",\"id\":42}").unwrap();
+        assert_eq!(parsed.id, 42);
+        assert_eq!(parsed.kind, "ping");
+        assert!(!parsed.quick);
+        assert_eq!(parsed.bandwidth, None);
+        assert!(matches!(resolve(&parsed).unwrap(), Resolved::Ping));
+    }
+}
