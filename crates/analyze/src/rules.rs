@@ -59,6 +59,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(DeprecatedSimEntrypoint),
         Box::new(UncompiledHotLoop),
         Box::new(BlockingInHandler),
+        Box::new(AllocInSteadyLoop),
     ]
 }
 
@@ -457,15 +458,82 @@ impl Rule for BlockingInHandler {
     }
 }
 
+/// `alloc-in-steady-loop` — heap allocation (`Vec::new()`, `vec![...]`,
+/// `Box::new(...)`) inside the simulator's steady-state loops: the
+/// compiled burst loop and the scheduler interleave loops. Since the
+/// `SimArena` landed, warm mixes are allocation-free end to end (proven
+/// by the counting-allocator test); an allocation introduced into these
+/// bodies silently regresses that guarantee long before the bench
+/// notices. `reference_*` functions (the differential substrate) and
+/// test code are exempt.
+pub struct AllocInSteadyLoop;
+
+/// Function bodies that constitute the allocation-free steady state:
+/// the compiled burst loop and its LLC commit, the per-engine drive
+/// dispatcher, and the scheduler interleave loops.
+const STEADY_LOOP_FNS: &[&str] =
+    &["compiled_run_until_llc", "commit_llc", "run_until_llc", "event_interleave_into"];
+
+impl Rule for AllocInSteadyLoop {
+    fn name(&self) -> &'static str {
+        "alloc-in-steady-loop"
+    }
+    fn description(&self) -> &'static str {
+        "`Vec::new`/`vec![]`/`Box::new` inside the compiled burst or scheduler event loop"
+    }
+    fn scope(&self) -> Scope {
+        Scope::NonTest
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.lexed.toks;
+        let in_steady = mark_fn_bodies(toks, |name| STEADY_LOOP_FNS.contains(&name));
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            if !in_steady[i] {
+                continue;
+            }
+            let what = if path_pair(toks, i, "Vec", "new") || path_pair(toks, i, "Box", "new") {
+                // Avoid double-reporting `Vec::new` at the `new` token.
+                Some(format!(
+                    "`{}::new`",
+                    ident_at(toks, i).expect("path_pair matched an ident")
+                ))
+            } else if ident_at(toks, i) == Some("vec") && punct_at(toks, i + 1, '!') {
+                Some("`vec![...]`".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(Finding {
+                    tok: i,
+                    message: format!(
+                        "{what} allocates inside a steady-state simulation loop; warm-arena \
+                         mixes must stay allocation-free — reuse a `SimArena` pool (sized \
+                         outside the loop) instead"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
 /// Marks tokens inside the bodies of functions named `reference_*` —
 /// the blessed per-item differential substrate. Brace-matched from each
 /// `fn reference_…` keyword through its body's closing `}`.
 fn mark_reference_fns(toks: &[Tok]) -> Vec<bool> {
+    mark_fn_bodies(toks, |name| name.starts_with("reference_"))
+}
+
+/// Marks tokens inside the bodies of functions whose name satisfies
+/// `matches`. Brace-matched from each `fn` keyword through its body's
+/// closing `}`.
+fn mark_fn_bodies(toks: &[Tok], matches: impl Fn(&str) -> bool) -> Vec<bool> {
     let mut inside = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
         let is_ref_fn = ident_at(toks, i) == Some("fn")
-            && ident_at(toks, i + 1).is_some_and(|n| n.starts_with("reference_"));
+            && ident_at(toks, i + 1).is_some_and(|n| matches(n));
         if !is_ref_fn {
             i += 1;
             continue;

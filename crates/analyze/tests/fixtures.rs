@@ -395,6 +395,55 @@ mod tests {
 }
 
 #[test]
+fn alloc_in_steady_loop() {
+    fires_and_fixes(
+        "alloc-in-steady-loop",
+        r#"
+fn event_interleave_into(engines: &mut [Engine]) {
+    let mut pending = Vec::new();
+    for e in engines { pending.push(e.next()); }
+}
+"#,
+        r#"
+fn event_interleave_into(engines: &mut [Engine], pending: &mut Vec<Event>) {
+    pending.clear();
+    for e in engines { pending.push(e.next()); }
+}
+"#,
+    );
+}
+
+#[test]
+fn alloc_in_steady_loop_covers_every_pattern_and_exempts_reference_fns() {
+    // All three allocation forms fire inside a steady-loop body...
+    let hot = r#"
+fn compiled_run_until_llc(x: u64) -> u64 {
+    let a = Vec::new();
+    let b = vec![0u64; 4];
+    let c = Box::new(x);
+    a.len() as u64 + b[0] + *c
+}
+"#;
+    let fired = rules_fired(&analyze_one(LIB, hot));
+    let allocs: Vec<_> =
+        fired.iter().filter(|(r, _)| r == "alloc-in-steady-loop").collect();
+    assert_eq!(allocs.len(), 3, "{fired:?}");
+    // ...but the same code outside the steady loops, in `reference_*`
+    // substrates, or in tests is not this rule's business.
+    let cold = "fn setup() { let v = vec![1, 2, 3]; }";
+    let reference = "fn reference_interleave_into() { let v = Vec::new(); }";
+    let in_test =
+        "#[cfg(test)] mod tests { fn commit_llc() { let v = Vec::new(); } }";
+    for src in [cold, reference, in_test] {
+        let fired = rules_fired(&analyze_one(LIB, src));
+        assert!(
+            !fired.iter().any(|(r, _)| r == "alloc-in-steady-loop"),
+            "{src}: {fired:?}"
+        );
+    }
+}
+
+#[test]
 fn unknown_rule_in_allow_is_a_violation() {
     let src = "fn f() {} // mppm-lint: allow(no-such-rule): because\n";
     let fired = rules_fired(&analyze_one(LIB, src));

@@ -47,6 +47,21 @@ impl Sdc {
         Self { counters: vec![0.0; assoc as usize + 1] }
     }
 
+    /// Zeroes the counters in place for an `assoc`-way cache — the state
+    /// of a fresh [`Sdc::new`], but reusing the existing allocation when
+    /// the associativity is unchanged. The solver's per-window scratch
+    /// (`mppm::SolverScratch`) resets windows this way instead of
+    /// allocating a new `Sdc` every model step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    pub fn reset(&mut self, assoc: u32) {
+        assert!(assoc > 0, "associativity must be positive");
+        self.counters.clear();
+        self.counters.resize(assoc as usize + 1, 0.0);
+    }
+
     /// The associativity these counters were measured at.
     pub fn assoc(&self) -> u32 {
         u32::try_from(self.counters.len() - 1).expect("constructed from a u32 assoc")
@@ -229,6 +244,16 @@ mod tests {
         assert_eq!(sdc.accesses(), 200.0);
         assert_eq!(sdc.hits(), 170.0);
         assert_eq!(sdc.misses(), 30.0);
+    }
+
+    #[test]
+    fn reset_matches_fresh() {
+        let mut sdc = sample();
+        sdc.reset(8);
+        assert_eq!(sdc, Sdc::new(8), "same-assoc reset zeroes in place");
+        sdc.record(Some(2));
+        sdc.reset(4);
+        assert_eq!(sdc, Sdc::new(4), "reset may change the associativity");
     }
 
     #[test]

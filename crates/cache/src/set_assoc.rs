@@ -222,6 +222,38 @@ impl SetAssocCache {
             self.rng = Some(SmallRng::seed_from_u64(seed));
         }
     }
+
+    /// Reconfigures the cache in place, equivalent in every observable
+    /// way to `*self = Self::new(config, replacement)` but reusing the
+    /// existing `ways`/`lens` slabs when the `sets × assoc` shape is
+    /// unchanged — the object-pool path `mppm_sim`'s `SimArena` resets
+    /// between mixes. Stale slots past a set's resident length are never
+    /// read, so slab reuse cannot leak state across mixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's set count is not a power of two
+    /// (only reachable on the reallocation path; a matching shape was
+    /// already validated when the slab was first built).
+    pub fn reinit(&mut self, config: CacheConfig, replacement: Replacement) {
+        let sets = config.sets();
+        if sets as usize != self.lens.len() || config.assoc as usize != self.assoc {
+            *self = Self::new(config, replacement);
+            return;
+        }
+        self.config = config;
+        self.set_mask = sets - 1;
+        self.replacement = replacement;
+        self.rng = match replacement {
+            Replacement::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        self.lens.fill(0);
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +367,46 @@ mod tests {
         assert_eq!(c.misses(), 0);
         assert_eq!(c.evictions(), 0);
         assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn reinit_with_matching_shape_behaves_like_fresh() {
+        // Warm a cache, then reinit it to the same shape but a different
+        // latency/policy: every subsequent access must match a fresh
+        // cache bit for bit (the SimArena pool path).
+        let cfg = CacheConfig::new(4 * 4 * 64, 4, 64, 1);
+        let recfg = CacheConfig::new(4 * 4 * 64, 4, 64, 9);
+        for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random { seed: 3 }] {
+            let mut pooled = SetAssocCache::new(cfg, Replacement::Lru);
+            for b in 0..200u64 {
+                pooled.access(b * 3);
+            }
+            pooled.reinit(recfg, policy);
+            let mut fresh = SetAssocCache::new(recfg, policy);
+            assert_eq!(pooled.config(), fresh.config());
+            for b in 0..400u64 {
+                assert_eq!(pooled.access(b % 37), fresh.access(b % 37), "{policy:?}");
+            }
+            assert_eq!(pooled.hits(), fresh.hits());
+            assert_eq!(pooled.misses(), fresh.misses());
+            assert_eq!(pooled.evictions(), fresh.evictions());
+        }
+    }
+
+    #[test]
+    fn reinit_with_new_shape_reallocates_correctly() {
+        let mut c = tiny(2);
+        c.access(1);
+        // 8 sets of 4 ways: a different slab shape entirely.
+        let cfg = CacheConfig::new(8 * 4 * 64, 4, 64, 2);
+        c.reinit(cfg, Replacement::Lru);
+        assert_eq!(c.config(), cfg);
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.contains(1));
+        let mut fresh = SetAssocCache::new(cfg, Replacement::Lru);
+        for b in 0..300u64 {
+            assert_eq!(c.access(b % 61), fresh.access(b % 61));
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Parallel shard execution with journal-backed resume.
 //!
-//! The executor fans pending shards out over [`parallel_map`] workers.
-//! Each worker solves the MPPM fixed point for every mix in its shard
-//! (from cached single-core profiles) and persists the shard atomically
-//! before moving on. Completed shards found in the journal are skipped,
+//! The executor fans pending shards out over [`parallel_map_with`]
+//! workers, each owning a warm [`SolverScratch`] for the duration of the
+//! run. Each worker solves the MPPM fixed point for every mix in its
+//! shard (from cached single-core profiles) and persists the shard
+//! atomically before moving on. Completed shards found in the journal are skipped,
 //! which is the whole resume story — no in-band state beyond the files.
 //!
 //! Aggregation input is *always re-read from the journal*, in plan order,
@@ -11,8 +12,8 @@
 //! campaign therefore aggregate exactly the same parsed bytes, which is
 //! what makes their outputs bit-identical rather than merely close.
 
-use mppm::SingleCoreProfile;
-use mppm_experiments::{parallel_map, Context};
+use mppm::{SingleCoreProfile, SolverScratch};
+use mppm_experiments::{parallel_map_with, Context};
 use mppm_obs::{Span, Value};
 use std::time::Instant;
 
@@ -55,13 +56,14 @@ fn compute_shard(
     profiles: &[SingleCoreProfile],
     shard: &Shard,
     span: &Span,
+    scratch: &mut SolverScratch,
 ) -> ShardRecord {
     let outcomes = plan.mixes[shard.start..shard.end]
         .iter()
         .enumerate()
         .map(|(offset, mix)| {
             let mix_span = span.child(&format!("mix-{:04}", shard.start + offset));
-            let pred = ctx.predict_observed(mix, profiles, &mix_span);
+            let pred = ctx.predict_observed_with(mix, profiles, &mix_span, scratch);
             span.counter("campaign.mixes").incr();
             MixOutcome {
                 members: mix.members().to_vec(),
@@ -133,12 +135,15 @@ pub fn execute_observed(
     // mppm-lint: allow(wallclock-in-sim): progress telemetry only; never feeds simulated time or results
     let started = Instant::now();
     let evaluated: usize = pending.iter().map(|s| s.end - s.start).sum();
+    // One solver scratch per worker: its pools stay warm across every
+    // shard (and mix) the worker processes, and results stay bit-exact
+    // at any worker count because scratch never crosses threads.
     let results: Vec<Result<(), String>> =
-        parallel_map("campaign", &pending, |shard| {
+        parallel_map_with("campaign", &pending, SolverScratch::new, |scratch, shard| {
             let shard_span =
                 span.child(&format!("shard-d{}-i{:04}", shard.id.design, shard.id.index));
             let record =
-                compute_shard(ctx, plan, &profiles[shard.id.design], shard, &shard_span);
+                compute_shard(ctx, plan, &profiles[shard.id.design], shard, &shard_span, scratch);
             let stored = journal.store(&record).map_err(|e| {
                 format!("persisting shard d{}-{}: {e}", shard.id.design, shard.id.index)
             });

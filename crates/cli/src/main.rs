@@ -157,10 +157,12 @@ fn run(cmd: Command) -> Result<(), CliError> {
         }
         Command::Serve { socket, store } => {
             let config = mppm_server::ServerConfig {
-                socket: socket
-                    .map(std::path::PathBuf::from)
-                    .unwrap_or_else(mppm_server::default_socket_path),
                 store_root: store.map(std::path::PathBuf::from),
+                ..mppm_server::ServerConfig::new(
+                    socket
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(mppm_server::default_socket_path),
+                )
             };
             eprintln!("mppmd: listening on {}", config.socket.display());
             mppm_server::serve(&config).map_err(CliError::from)

@@ -68,6 +68,53 @@ impl Uncore {
         Self { llcs, memory: MemoryChannel::new(machine.mem_bandwidth), partitioned: true }
     }
 
+    /// Rebuilds the uncore in place for a new mix, reusing the LLC
+    /// slabs (via [`SetAssocCache::reinit`]) when their shape is
+    /// unchanged — the `SimArena` reset path. Observationally equivalent
+    /// to `Uncore::new` / `Uncore::partitioned` with the same arguments.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Uncore::partitioned`] when `ways` is given.
+    pub(crate) fn reinit(&mut self, machine: &MachineConfig, ways: Option<&[u32]>) {
+        match ways {
+            None => {
+                self.llcs.truncate(1);
+                match self.llcs.first_mut() {
+                    Some(llc) => llc.reinit(machine.llc, Replacement::Lru),
+                    None => self.llcs.push(SetAssocCache::new(machine.llc, Replacement::Lru)),
+                }
+                self.partitioned = false;
+            }
+            Some(ways) => {
+                assert!(!ways.is_empty(), "need at least one partition");
+                assert!(ways.iter().all(|&w| w > 0), "every core needs at least one way");
+                assert_eq!(
+                    ways.iter().sum::<u32>(),
+                    machine.llc.assoc,
+                    "partition ways must sum to the LLC associativity"
+                );
+                let sets = machine.llc.sets();
+                self.llcs.truncate(ways.len());
+                for (i, &w) in ways.iter().enumerate() {
+                    let size = sets * u64::from(w) * u64::from(machine.llc.line_bytes);
+                    let cfg = mppm_cache::CacheConfig::new(
+                        size,
+                        w,
+                        machine.llc.line_bytes,
+                        machine.llc.latency,
+                    );
+                    match self.llcs.get_mut(i) {
+                        Some(llc) => llc.reinit(cfg, Replacement::Lru),
+                        None => self.llcs.push(SetAssocCache::new(cfg, Replacement::Lru)),
+                    }
+                }
+                self.partitioned = true;
+            }
+        }
+        self.memory = MemoryChannel::new(machine.mem_bandwidth);
+    }
+
     /// The LLC (slice) core `core_idx` accesses.
     pub fn llc_for(&mut self, core_idx: usize) -> &mut SetAssocCache {
         if self.partitioned {
@@ -371,6 +418,76 @@ impl CoreEngine {
             cached_mlp: 1.0,
             pending: None,
         }
+    }
+
+    /// Rebuilds this engine in place for a new mix — the `SimArena` pool
+    /// path. Observationally equivalent to [`Self::from_source`] with the
+    /// same arguments, but the private L1D/L2 slabs are reused (via
+    /// [`SetAssocCache::reinit`]) when the machine's cache shapes match.
+    fn reinit_from_source(
+        &mut self,
+        source: TraceSource,
+        machine: &MachineConfig,
+        core_idx: usize,
+        core_factor: f64,
+    ) {
+        assert!(core_factor.is_finite() && core_factor > 0.0, "core factor must be positive");
+        self.source = source;
+        self.machine = *machine;
+        self.l1d.reinit(machine.l1d, Replacement::Lru);
+        self.l2.reinit(machine.l2, Replacement::Lru);
+        self.core_idx = core_idx;
+        self.tag = (core_idx as u64 + 1) << 44;
+        self.core_factor = core_factor;
+        self.cycles = 0.0;
+        self.stack = mppm::CpiStack::default();
+        self.cached_phase = usize::MAX;
+        self.cached_base_cpi = 0.0;
+        self.cached_mlp = 1.0;
+        self.pending = None;
+    }
+
+    /// In-place counterpart of [`Self::with_core_factor`] (pool path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_factor` is not positive and finite.
+    pub(crate) fn reinit_with_core_factor(
+        &mut self,
+        spec: impl Into<Arc<BenchmarkSpec>>,
+        machine: &MachineConfig,
+        geometry: TraceGeometry,
+        core_idx: usize,
+        core_factor: f64,
+    ) {
+        self.reinit_from_source(
+            TraceSource::Reference(TraceStream::new(spec, geometry)),
+            machine,
+            core_idx,
+            core_factor,
+        );
+    }
+
+    /// In-place counterpart of [`Self::with_compiled_trace`] (pool path):
+    /// allocation-free apart from the caches' own reallocation when the
+    /// machine's cache shapes change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_factor` is not positive and finite.
+    pub(crate) fn reinit_with_compiled_trace(
+        &mut self,
+        trace: Arc<CompiledTrace>,
+        machine: &MachineConfig,
+        core_idx: usize,
+        core_factor: f64,
+    ) {
+        self.reinit_from_source(
+            TraceSource::Compiled(CompiledCursor::new(trace)),
+            machine,
+            core_idx,
+            core_factor,
+        );
     }
 
     /// Local clock, in cycles.

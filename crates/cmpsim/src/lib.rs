@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod engine;
 mod machine;
 mod memory;
 mod multi;
 mod single;
 
+pub use arena::SimArena;
 pub use engine::{BurstStop, CoreEngine, LlcMode, Uncore};
 pub use memory::MemoryChannel;
 pub use machine::{llc_configs, CoreConfig, MachineConfig, LLC_CONFIG_COUNT};

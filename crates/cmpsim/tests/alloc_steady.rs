@@ -1,0 +1,120 @@
+//! Counting-allocator proof of the allocation-free steady state.
+//!
+//! This binary installs a `#[global_allocator]` that reports every heap
+//! allocation to `mppm_obs::alloc` (the library side is `forbid(unsafe)`,
+//! so the unsafe `GlobalAlloc` shim lives here), then drives warm
+//! [`SimArena`] runs and asserts the per-mix allocation delta is exactly
+//! zero. Combined with the bit-exactness oracle this rules out cross-mix
+//! state leaks: a run that allocates nothing and matches a fresh run
+//! byte-for-byte cannot have been influenced by stale arena state.
+//!
+//! Kept to a single `#[test]` so no concurrent test's allocations can
+//! pollute the measured windows.
+
+use mppm_sim::{MachineConfig, MixResult, MixSim, SimArena};
+use mppm_trace::{suite, TraceGeometry};
+use std::alloc::{GlobalAlloc, Layout, System};
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the added
+// tally is a pair of relaxed atomic adds, which never allocate and so
+// cannot re-enter the allocator.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        mppm_obs::alloc::note_alloc(layout.size() as u64);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        mppm_obs::alloc::note_alloc(layout.size() as u64);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        mppm_obs::alloc::note_alloc(new_size as u64);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Runs `mixes` through the warm arena and returns the allocation count
+/// observed across them.
+fn allocs_for<F: FnMut()>(mut mixes: F) -> u64 {
+    let before = mppm_obs::alloc::snapshot();
+    mixes();
+    mppm_obs::alloc::snapshot().since(before).allocs
+}
+
+#[test]
+fn warm_arena_mixes_allocate_nothing() {
+    let m = MachineConfig::baseline();
+    let g = TraceGeometry::tiny();
+    let gamess = suite::benchmark("gamess").unwrap();
+    let lbm = suite::benchmark("lbm").unwrap();
+    let mcf = suite::benchmark("mcf").unwrap();
+    let specs = [gamess, lbm, mcf];
+
+    let fresh = MixSim::new(&specs, &m, g).run();
+
+    let mut arena = SimArena::new();
+    let mut out = MixResult::default();
+    // Mix 1 of the "shard" warms the arena (compiles traces, sizes every
+    // pool); it is expected — and measured — to allocate.
+    let warmup_allocs =
+        allocs_for(|| MixSim::new(&specs, &m, g).arena(&mut arena).run_into(&mut out));
+    assert!(warmup_allocs > 0, "the cold first mix must size the pools");
+    assert_eq!(fresh, out, "arena warm-up run must match the fresh run");
+
+    // Every later same-shape mix must be allocation-free, end to end.
+    for i in 0..4 {
+        let steady =
+            allocs_for(|| MixSim::new(&specs, &m, g).arena(&mut arena).run_into(&mut out));
+        assert_eq!(steady, 0, "steady-state mix {i} allocated {steady} times");
+        assert_eq!(fresh, out, "steady-state mix {i} diverged");
+    }
+
+    // A partitioned shard re-shapes the LLC into per-core slices: one
+    // warm-up, then allocation-free again.
+    let pair = [gamess, lbm];
+    let fresh_part = MixSim::new(&pair, &m, g).partitioned(&[6, 2]).run();
+    let reshape = allocs_for(|| {
+        MixSim::new(&pair, &m, g).partitioned(&[6, 2]).arena(&mut arena).run_into(&mut out)
+    });
+    assert!(reshape > 0, "re-shaping to partitioned slices sizes new slabs");
+    assert_eq!(fresh_part, out);
+    for i in 0..3 {
+        let steady = allocs_for(|| {
+            MixSim::new(&pair, &m, g).partitioned(&[6, 2]).arena(&mut arena).run_into(&mut out)
+        });
+        assert_eq!(steady, 0, "steady-state partitioned mix {i} allocated {steady} times");
+        assert_eq!(fresh_part, out, "steady-state partitioned mix {i} diverged");
+    }
+
+    // The `sim.alloc.*` counters publish the same proof through the
+    // observability layer: warm-arena mixes add zero. (The span's own
+    // end-of-run event publishing allocates, but that happens after the
+    // per-mix delta is captured, so the counter stays exact.)
+    let observer = mppm_obs::Observer::new(Box::new(mppm_obs::NoopSink));
+    {
+        let root = observer.root("alloc-steady");
+        for _ in 0..2 {
+            MixSim::new(&pair, &m, g)
+                .partitioned(&[6, 2])
+                .observer(&root)
+                .arena(&mut arena)
+                .run_into(&mut out);
+        }
+    }
+    let snapshot = observer.counter_snapshot();
+    let get = |name: &str| snapshot.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    assert_eq!(get("sim.alloc.count"), Some(0), "warm mixes publish a zero alloc count");
+    assert_eq!(get("sim.alloc.bytes"), Some(0));
+    assert_eq!(get("sim.mixes"), Some(2));
+}

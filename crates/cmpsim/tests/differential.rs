@@ -378,6 +378,44 @@ proptest! {
         }
     }
 
+    /// Arena reset semantics: a *sequence* of mixes with different core
+    /// counts, LLC configurations, and trace geometries, all threaded
+    /// through **one** `SimArena`, must reproduce the fresh-allocation
+    /// result of every mix bit-for-bit. Each step re-shapes the pooled
+    /// engines, cache slabs, and bookkeeping vectors, so any reset
+    /// invariant a pooled structure violated would leak the previous
+    /// mix's state into this one and diverge.
+    #[test]
+    fn arena_reuse_matches_fresh_allocation(
+        mixes in collection::vec(
+            (mix_strategy(1..5), 0usize..6, 1_000u64..4_000, 2u32..6),
+            2..5,
+        ),
+    ) {
+        let mut arena = mppm_sim::SimArena::new();
+        let mut out = MixResult::default();
+        for (step, (raw, llc_sel, interval_insns, intervals)) in mixes.iter().enumerate() {
+            let specs = build_specs(raw);
+            let refs: Vec<&BenchmarkSpec> = specs.iter().collect();
+            let machine = MachineConfig::baseline().with_llc(llc_configs()[*llc_sel]);
+            let geometry = build_geometry(*interval_insns, *intervals);
+            let fresh = MixSim::new(&refs, &machine, geometry).run();
+            MixSim::new(&refs, &machine, geometry).arena(&mut arena).run_into(&mut out);
+            for core in 0..refs.len() {
+                prop_assert_eq!(
+                    fresh.cpi_mc[core].to_bits(),
+                    out.cpi_mc[core].to_bits(),
+                    "step {}: core {} CPI diverged through the arena: {} vs {}",
+                    step,
+                    core,
+                    fresh.cpi_mc[core],
+                    out.cpi_mc[core]
+                );
+            }
+            prop_assert_eq!(&fresh, &out, "step {}: arena run diverged", step);
+        }
+    }
+
     /// Everything at once: heterogeneous factors, finite bandwidth, and a
     /// variable warmup, through both schedulers.
     #[test]

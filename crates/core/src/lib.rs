@@ -62,7 +62,7 @@ pub use contention::{
 };
 pub use cpi_stack::CpiStack;
 pub use error::ModelError;
-pub use model::{Mppm, MppmConfig, Prediction, SlowdownUpdate};
+pub use model::{Mppm, MppmConfig, Prediction, SlowdownUpdate, SolverScratch};
 pub use profile::{IntervalProfile, MachineSummary, SingleCoreProfile};
 
 /// The curated import surface for typical MPPM workflows.

@@ -113,6 +113,41 @@ impl MppmConfig {
     }
 }
 
+/// Reusable per-worker scratch for [`Mppm::predict_observed_with`].
+///
+/// Holds the solver's per-program working vectors — slowdown estimates,
+/// trace positions, window SDCs, queueing terms — so a worker that
+/// evaluates many mixes back to back (a campaign shard, the `mppmd`
+/// request loop) resets them in place instead of reallocating each call.
+/// Mixes of different core counts or LLC associativities can share one
+/// scratch: every field is sized to the current mix on entry, and the
+/// bit-exactness oracle pins reuse to fresh-allocation results.
+///
+/// Not everything is pooled: the contention model's
+/// [`ContentionModel::extra_misses`] returns a fresh `Vec` per step, the
+/// convergence `history` grows with the step count, and the returned
+/// [`Prediction`] owns its vectors — those allocations are part of the
+/// output, not the steady state.
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    slowdown: Vec<f64>,
+    position: Vec<f64>,
+    executed: Vec<f64>,
+    targets: Vec<f64>,
+    advance: Vec<f64>,
+    windows: Vec<mppm_cache::Sdc>,
+    queue_cycles: Vec<f64>,
+    traffic: Vec<f64>,
+}
+
+impl SolverScratch {
+    /// An empty scratch; pools are sized by the first prediction.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The Multi-Program Performance Model: predicts multi-core performance of
 /// a mix of programs from their single-core profiles.
 ///
@@ -180,6 +215,29 @@ impl<M: ContentionModel> Mppm<M> {
         profiles: &[&SingleCoreProfile],
         span: &Span,
     ) -> Result<Prediction, ModelError> {
+        self.predict_observed_with(profiles, span, &mut SolverScratch::new())
+    }
+
+    /// [`Mppm::predict_observed`] over caller-owned [`SolverScratch`]:
+    /// the per-step working vectors (slowdowns, positions, window SDCs,
+    /// queueing terms) are reset in place instead of reallocated, so a
+    /// worker evaluating many mixes (a campaign shard, the `mppmd`
+    /// request loop) pays the solver's transient allocations once per
+    /// worker rather than once per step. Bit-identical to
+    /// `predict_observed` — which delegates here with a fresh scratch —
+    /// including the window-SDC reuse in the miss-penalty estimate
+    /// ([`SingleCoreProfile::miss_penalty_with`] receives exactly the
+    /// SDC `miss_penalty_in` would recompute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] exactly as [`Mppm::predict`] does.
+    pub fn predict_observed_with(
+        &self,
+        profiles: &[&SingleCoreProfile],
+        span: &Span,
+        scratch: &mut SolverScratch,
+    ) -> Result<Prediction, ModelError> {
         self.config.validate()?;
         if profiles.is_empty() {
             return Err(ModelError::EmptyWorkload);
@@ -204,17 +262,26 @@ impl<M: ContentionModel> Mppm<M> {
             .unwrap_or_else(|| 10 * profiles.iter().map(|p| p.interval_insns()).min().expect("non-empty"));
         let step = step as f64;
 
-        let mut slowdown = vec![1.0_f64; n];
-        let mut position = vec![0.0_f64; n];
-        let mut executed = vec![0.0_f64; n];
-        let targets: Vec<f64> =
-            profiles.iter().map(|p| self.config.target_passes * p.trace_insns() as f64).collect();
+        let SolverScratch { slowdown, position, executed, targets, advance, windows, queue_cycles, traffic } =
+            scratch;
+        slowdown.clear();
+        slowdown.resize(n, 1.0);
+        position.clear();
+        position.resize(n, 0.0);
+        executed.clear();
+        executed.resize(n, 0.0);
+        targets.clear();
+        targets.extend(
+            profiles.iter().map(|p| self.config.target_passes * p.trace_insns() as f64),
+        );
+        windows.truncate(n);
+        windows.resize_with(n, || mppm_cache::Sdc::new(assoc));
         let mut history: Vec<Vec<f64>> = vec![slowdown.clone()];
         let mut steps = 0;
         let mut converged = false;
 
         while steps < self.config.max_steps {
-            if executed.iter().zip(&targets).all(|(e, t)| e >= t) {
+            if executed.iter().zip(&*targets).all(|(e, t)| e >= t) {
                 converged = true;
                 break;
             }
@@ -223,33 +290,34 @@ impl<M: ContentionModel> Mppm<M> {
             // Cycles for the slowest program to execute the next L insns.
             let c = profiles
                 .iter()
-                .zip(&position)
-                .zip(&slowdown)
+                .zip(&*position)
+                .zip(&*slowdown)
                 .map(|((p, &pos), &r)| p.cycles_in(pos, step) * r)
                 .fold(0.0_f64, f64::max);
             debug_assert!(c > 0.0, "interval cycles must be positive");
 
             // Progress each program makes in those C cycles.
-            let advance: Vec<f64> = profiles
-                .iter()
-                .zip(&position)
-                .zip(&slowdown)
-                .map(|((p, &pos), &r)| p.insns_for_cycles(pos, c / r))
-                .collect();
+            advance.clear();
+            advance.extend(
+                profiles
+                    .iter()
+                    .zip(&*position)
+                    .zip(&*slowdown)
+                    .map(|((p, &pos), &r)| p.insns_for_cycles(pos, c / r)),
+            );
 
-            // Window SDCs feed the cache contention model.
-            let windows: Vec<_> = profiles
-                .iter()
-                .zip(&position)
-                .zip(&advance)
-                .map(|((p, &pos), &n_insns)| p.sdc_in(pos, n_insns))
-                .collect();
-            let extra = self.contention.extra_misses(&windows, assoc);
+            // Window SDCs feed the cache contention model; the pooled
+            // SDCs are reset and refilled in place.
+            for p in 0..n {
+                profiles[p].sdc_in_into(position[p], advance[p], &mut windows[p]);
+            }
+            let extra = self.contention.extra_misses(windows, assoc);
 
             // Optional shared-bandwidth queueing (§8 extension): charge the
             // delta between shared and isolated channel utilization.
-            let queue_cycles: Vec<f64> = match self.config.bandwidth {
-                None => vec![0.0; n],
+            queue_cycles.clear();
+            match self.config.bandwidth {
+                None => queue_cycles.resize(n, 0.0),
                 Some(bw) => {
                     // Mean M/D/1 queueing wait at utilization rho, with
                     // service time 1/bw.
@@ -257,28 +325,31 @@ impl<M: ContentionModel> Mppm<M> {
                         let rho = rho.clamp(0.0, 0.98);
                         0.5 * rho / (bw * (1.0 - rho))
                     };
-                    let traffic: Vec<f64> = windows
-                        .iter()
-                        .zip(&extra)
-                        .map(|(w, &e)| w.misses() + e)
-                        .collect();
+                    traffic.clear();
+                    traffic.extend(
+                        windows.iter().zip(&extra).map(|(w, &e)| w.misses() + e),
+                    );
                     let rho_total = traffic.iter().sum::<f64>() / c / bw;
-                    (0..n)
-                        .map(|p| {
-                            // The baseline already inside the profile is the
-                            // *isolated* run: only the profile's own misses
-                            // (not contention extras) at isolated speed.
-                            let rho_solo =
-                                windows[p].misses() / (c / slowdown[p]) / bw;
-                            (wait(rho_total) - wait(rho_solo)).max(0.0) * traffic[p]
-                        })
-                        .collect()
+                    queue_cycles.extend((0..n).map(|p| {
+                        // The baseline already inside the profile is the
+                        // *isolated* run: only the profile's own misses
+                        // (not contention extras) at isolated speed.
+                        let rho_solo = windows[p].misses() / (c / slowdown[p]) / bw;
+                        (wait(rho_total) - wait(rho_solo)).max(0.0) * traffic[p]
+                    }));
                 }
-            };
+            }
 
             for p in 0..n {
-                let penalty =
-                    profiles[p].miss_penalty_in(position[p], advance[p], self.config.min_misses);
+                // The window SDC is exactly `sdc_in(position, advance)`,
+                // so reusing it here skips one full window fold per
+                // program-step with bit-identical results.
+                let penalty = profiles[p].miss_penalty_with(
+                    &windows[p],
+                    position[p],
+                    advance[p],
+                    self.config.min_misses,
+                );
                 // Queueing delay overlaps with other misses the same way
                 // the base latency does; penalty/mem_latency ≈ 1/MLP.
                 let overlap = penalty / f64::from(machine.mem_latency).max(1.0);
@@ -324,7 +395,164 @@ impl<M: ContentionModel> Mppm<M> {
 
         let cpi_sc: Vec<f64> = profiles.iter().map(|p| p.cpi_sc()).collect();
         let cpi_mc: Vec<f64> =
-            cpi_sc.iter().zip(&slowdown).map(|(&sc, &r)| sc * r).collect();
+            cpi_sc.iter().zip(slowdown.iter()).map(|(&sc, &r)| sc * r).collect();
+        Ok(Prediction {
+            names: profiles.iter().map(|p| p.name.clone()).collect(),
+            slowdowns: slowdown.clone(),
+            cpi_sc,
+            cpi_mc,
+            steps,
+            converged,
+            history,
+        })
+    }
+
+    /// The allocate-per-step solver retained as the differential
+    /// baseline for [`Mppm::predict_observed_with`]: every fixed-point
+    /// iteration collects fresh window SDCs and working vectors, and the
+    /// miss-penalty estimate refolds its window via
+    /// [`SingleCoreProfile::miss_penalty_in`] instead of reusing the
+    /// contention model's SDC. This is the cost profile the scratch-reuse
+    /// fast path replaced; the speed harness (`speed::arena_comparison`)
+    /// measures against it and asserts bit-identical predictions, and
+    /// `scratch_reuse_is_bit_exact_across_differing_mixes` pins the
+    /// equality in unit tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] exactly as [`Mppm::predict`] does.
+    pub fn reference_predict_observed(
+        &self,
+        profiles: &[&SingleCoreProfile],
+        span: &Span,
+    ) -> Result<Prediction, ModelError> {
+        self.config.validate()?;
+        if profiles.is_empty() {
+            return Err(ModelError::EmptyWorkload);
+        }
+        for p in profiles {
+            p.validate()?;
+        }
+        let machine = profiles[0].machine;
+        for p in &profiles[1..] {
+            if p.machine != machine {
+                return Err(ModelError::MismatchedProfiles {
+                    names: (profiles[0].name.clone(), p.name.clone()),
+                    detail: "profiles measured on different machine configurations".into(),
+                });
+            }
+        }
+        let n = profiles.len();
+        let assoc = machine.llc.assoc;
+        let step = self
+            .config
+            .step_insns
+            .unwrap_or_else(|| 10 * profiles.iter().map(|p| p.interval_insns()).min().expect("non-empty"));
+        let step = step as f64;
+
+        let mut slowdown = vec![1.0_f64; n];
+        let mut position = vec![0.0_f64; n];
+        let mut executed = vec![0.0_f64; n];
+        let targets: Vec<f64> =
+            profiles.iter().map(|p| self.config.target_passes * p.trace_insns() as f64).collect();
+        let mut history: Vec<Vec<f64>> = vec![slowdown.clone()];
+        let mut steps = 0;
+        let mut converged = false;
+
+        while steps < self.config.max_steps {
+            if executed.iter().zip(&targets).all(|(e, t)| e >= t) {
+                converged = true;
+                break;
+            }
+            steps += 1;
+
+            let c = profiles
+                .iter()
+                .zip(&position)
+                .zip(&slowdown)
+                .map(|((p, &pos), &r)| p.cycles_in(pos, step) * r)
+                .fold(0.0_f64, f64::max);
+            debug_assert!(c > 0.0, "interval cycles must be positive");
+
+            let advance: Vec<f64> = profiles
+                .iter()
+                .zip(&position)
+                .zip(&slowdown)
+                .map(|((p, &pos), &r)| p.insns_for_cycles(pos, c / r))
+                .collect();
+
+            let windows: Vec<mppm_cache::Sdc> = profiles
+                .iter()
+                .zip(&position)
+                .zip(&advance)
+                .map(|((p, &pos), &len)| p.sdc_in(pos, len))
+                .collect();
+            let extra = self.contention.extra_misses(&windows, assoc);
+
+            let queue_cycles: Vec<f64> = match self.config.bandwidth {
+                None => vec![0.0; n],
+                Some(bw) => {
+                    let wait = |rho: f64| {
+                        let rho = rho.clamp(0.0, 0.98);
+                        0.5 * rho / (bw * (1.0 - rho))
+                    };
+                    let traffic: Vec<f64> =
+                        windows.iter().zip(&extra).map(|(w, &e)| w.misses() + e).collect();
+                    let rho_total = traffic.iter().sum::<f64>() / c / bw;
+                    (0..n)
+                        .map(|p| {
+                            let rho_solo = windows[p].misses() / (c / slowdown[p]) / bw;
+                            (wait(rho_total) - wait(rho_solo)).max(0.0) * traffic[p]
+                        })
+                        .collect()
+                }
+            };
+
+            for p in 0..n {
+                let penalty =
+                    profiles[p].miss_penalty_in(position[p], advance[p], self.config.min_misses);
+                let overlap = penalty / f64::from(machine.mem_latency).max(1.0);
+                let miss_cycles = extra[p] * penalty + queue_cycles[p] * overlap;
+                let denom = match self.config.update {
+                    SlowdownUpdate::IsolatedCycles => c / slowdown[p],
+                    SlowdownUpdate::WindowCycles => c,
+                };
+                let current = 1.0 + miss_cycles / denom;
+                slowdown[p] = self.config.ema * slowdown[p] + (1.0 - self.config.ema) * current;
+                position[p] = (position[p] + advance[p]) % profiles[p].trace_insns() as f64;
+                executed[p] += advance[p];
+            }
+            history.push(slowdown.clone());
+            if span.is_enabled() {
+                let prev = &history[history.len() - 2];
+                let residual = slowdown
+                    .iter()
+                    .zip(prev)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0_f64, f64::max);
+                span.event(
+                    "solver-step",
+                    &[("step", Value::from(steps)), ("residual", Value::from(residual))],
+                );
+            }
+        }
+
+        if span.is_enabled() {
+            span.event(
+                "solver",
+                &[
+                    ("programs", Value::from(n)),
+                    ("steps", Value::from(steps)),
+                    ("converged", Value::from(converged)),
+                ],
+            );
+            span.counter("model.predictions").incr();
+            span.counter("model.steps").add(steps as u64);
+        }
+
+        let cpi_sc: Vec<f64> = profiles.iter().map(|p| p.cpi_sc()).collect();
+        let cpi_mc: Vec<f64> =
+            cpi_sc.iter().zip(slowdown.iter()).map(|(&sc, &r)| sc * r).collect();
         Ok(Prediction {
             names: profiles.iter().map(|p| p.name.clone()).collect(),
             slowdowns: slowdown,
@@ -469,6 +697,37 @@ mod tests {
             pred4.stp() / 4.0 < pred2.stp() / 2.0,
             "per-core throughput drops with sharing"
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_exact_across_differing_mixes() {
+        // One SolverScratch threaded through mixes of different core
+        // counts (and a bandwidth-limited config, which exercises the
+        // queueing pools) must reproduce predict() bit-for-bit.
+        let (a, b, c) = (friendly(), streamer(), compute());
+        let mixes: Vec<Vec<&SingleCoreProfile>> =
+            vec![vec![&a, &b, &c], vec![&b], vec![&a, &b], vec![&a, &b, &c, &a]];
+        let span = Span::disabled();
+        let mut scratch = SolverScratch::new();
+        for (m, cfg) in [(model(), MppmConfig::default()), {
+            let cfg = MppmConfig { bandwidth: Some(0.05), ..MppmConfig::default() };
+            (Mppm::new(cfg.clone(), FoaModel), cfg)
+        }] {
+            for mix in &mixes {
+                let fresh = m.predict(mix).unwrap();
+                let warm = m.predict_observed_with(mix, &span, &mut scratch).unwrap();
+                assert_eq!(fresh, warm, "scratch reuse diverged (bandwidth {:?})", cfg.bandwidth);
+                let reference = m.reference_predict_observed(mix, &span).unwrap();
+                assert_eq!(
+                    fresh, reference,
+                    "allocate-per-step baseline diverged (bandwidth {:?})",
+                    cfg.bandwidth
+                );
+                for (x, y) in fresh.slowdowns().iter().zip(warm.slowdowns()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

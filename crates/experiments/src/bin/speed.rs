@@ -1,49 +1,76 @@
 //! Regenerates §4.3: MPPM speed versus detailed simulation.
 //!
-//! Usage: `cargo run --release -p mppm-experiments --bin speed [--quick]`
+//! Usage: `cargo run --release -p mppm-experiments --bin speed [--quick] [--arena-only]`
+//!
+//! `--arena-only` skips the detailed-simulator benches and runs just the
+//! model-solver allocation comparison (regenerating `BENCH_arena.json`
+//! takes seconds; the simulator sections take minutes at full scale).
 
 use mppm_experiments::{speed, Context, Scale};
 
 fn main() {
     let ctx = Context::new(Scale::from_args());
-    let mixes = match ctx.scale() {
-        Scale::Full => 10,
-        Scale::Quick => 2,
-    };
-    let points = speed::run(&ctx, &[2, 4, 8, 16], mixes);
-    let table = speed::report(&points);
-    println!("\n§4.3 — speed: analytic model vs detailed simulation");
-    println!("{}", table.render());
-    println!(
-        "(the paper reports up to five orders of magnitude against CMP$im;\n our ground-truth simulator is itself ~10^4x faster than CMP$im, so\n the measured gap compresses accordingly — see EXPERIMENTS.md)"
-    );
-
-    // Scheduler before/after: the same mixes through the retired
-    // smallest-clock-first loop and the event-driven scheduler, measured
-    // fresh in this build (the store cache is bypassed).
+    let arena_only = std::env::args().any(|a| a == "--arena-only");
     let bench_mixes = match ctx.scale() {
         Scale::Full => 3,
         Scale::Quick => 2,
     };
-    let interleave = speed::interleave_comparison(&ctx, &[2, 4, 8, 16], bench_mixes);
-    let itable = speed::report_interleave(&interleave);
-    println!("\n§4.3 — detailed-simulator scheduler: reference vs event-driven");
-    println!("{}", itable.render());
-    match speed::write_interleave_json(&interleave) {
-        Ok(path) => println!("(machine-readable copy: {})", path.display()),
-        Err(e) => eprintln!("warning: could not write BENCH_interleave.json: {e}"),
+    if !arena_only {
+        let mixes = match ctx.scale() {
+            Scale::Full => 10,
+            Scale::Quick => 2,
+        };
+        let points = speed::run(&ctx, &[2, 4, 8, 16], mixes);
+        let table = speed::report(&points);
+        println!("\n§4.3 — speed: analytic model vs detailed simulation");
+        println!("{}", table.render());
+        println!(
+            "(the paper reports up to five orders of magnitude against CMP$im;\n our ground-truth simulator is itself ~10^4x faster than CMP$im, so\n the measured gap compresses accordingly — see EXPERIMENTS.md)"
+        );
+
+        // Scheduler before/after: the same mixes through the retired
+        // smallest-clock-first loop and the event-driven scheduler, measured
+        // fresh in this build (the store cache is bypassed).
+        let interleave = speed::interleave_comparison(&ctx, &[2, 4, 8, 16], bench_mixes);
+        let itable = speed::report_interleave(&interleave);
+        println!("\n§4.3 — detailed-simulator scheduler: reference vs event-driven");
+        println!("{}", itable.render());
+        match speed::write_interleave_json(&interleave) {
+            Ok(path) => println!("(machine-readable copy: {})", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_interleave.json: {e}"),
+        }
+
+        // Execution-substrate before/after: the same mixes through the
+        // per-item reference stream and the phase-compiled block executor
+        // (compile cost included), measured fresh in this build.
+        let compile = speed::compile_comparison(&ctx, &[2, 4, 8, 16], bench_mixes);
+        let ctable = speed::report_compile(&compile);
+        println!("\n§4.3 — detailed-simulator execution: reference stream vs compiled blocks");
+        println!("{}", ctable.render());
+        match speed::write_compile_json(&compile) {
+            Ok(path) => println!("(machine-readable copy: {})", path.display()),
+            Err(e) => eprintln!("warning: could not write BENCH_compile.json: {e}"),
+        }
     }
 
-    // Execution-substrate before/after: the same mixes through the
-    // per-item reference stream and the phase-compiled block executor
-    // (compile cost included), measured fresh in this build.
-    let compile = speed::compile_comparison(&ctx, &[2, 4, 8, 16], bench_mixes);
-    let ctable = speed::report_compile(&compile);
-    println!("\n§4.3 — detailed-simulator execution: reference stream vs compiled blocks");
-    println!("{}", ctable.render());
-    match speed::write_compile_json(&compile) {
+    // Solver allocation before/after: campaign-shard batches of 8-core
+    // mixes through the allocate-per-step reference solver and the warm
+    // per-worker SolverScratch path, at 1-16 worker threads. Predictions
+    // from both sides are asserted identical inside arena_comparison.
+    let arena_mixes = match ctx.scale() {
+        Scale::Full => 400,
+        Scale::Quick => 8,
+    };
+    let arena = speed::arena_comparison(&ctx, &[1, 2, 4, 8, 16], arena_mixes);
+    let atable = speed::report_arena(&arena);
+    println!("\nModel solver: allocate-per-step reference vs warm per-worker scratch");
+    println!("{}", atable.render());
+    match speed::write_arena_json(&arena) {
         Ok(path) => println!("(machine-readable copy: {})", path.display()),
-        Err(e) => eprintln!("warning: could not write BENCH_compile.json: {e}"),
+        Err(e) => eprintln!("warning: could not write BENCH_arena.json: {e}"),
+    }
+    if arena_only {
+        return;
     }
 
     // Observability overhead: the zero-cost claim, measured. The same

@@ -153,9 +153,24 @@ impl Context {
         profiles: &[SingleCoreProfile],
         span: &mppm_obs::Span,
     ) -> Prediction {
+        self.predict_observed_with(mix, profiles, span, &mut mppm::SolverScratch::new())
+    }
+
+    /// [`Context::predict_observed`] over a caller-owned solver scratch:
+    /// campaign-shard workers thread one [`mppm::SolverScratch`] per
+    /// worker through every mix they evaluate, keeping the solver's
+    /// working vectors warm across calls. Bit-identical to
+    /// [`Context::predict`].
+    pub fn predict_observed_with(
+        &self,
+        mix: &Mix,
+        profiles: &[SingleCoreProfile],
+        span: &mppm_obs::Span,
+        scratch: &mut mppm::SolverScratch,
+    ) -> Prediction {
         let refs: Vec<&SingleCoreProfile> = mix.resolve(profiles);
         self.model()
-            .predict_observed(&refs, span)
+            .predict_observed_with(&refs, span, scratch)
             .expect("suite profiles are valid and compatible")
     }
 

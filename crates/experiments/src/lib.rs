@@ -39,5 +39,5 @@ mod store;
 pub mod table;
 
 pub use context::{Context, Scale};
-pub use runner::{parallel_map, worker_threads};
+pub use runner::{parallel_map, parallel_map_with, worker_threads};
 pub use store::{atomic_write_bytes, atomic_write_json, MixKey, MixRecord, Store, SUITE_VERSION};

@@ -455,8 +455,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&store);
         let _ = std::fs::remove_file(&socket);
         let config = mppm_server::ServerConfig {
-            socket: socket.clone(),
             store_root: Some(store.clone()),
+            ..mppm_server::ServerConfig::new(socket.clone())
         };
         let daemon = std::thread::spawn(move || {
             mppm_server::serve(&config).expect("daemon starts");

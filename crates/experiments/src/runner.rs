@@ -29,6 +29,23 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    parallel_map_with(label, items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker scratch state: `init` runs once per
+/// worker thread and the resulting state is lent to every `f` call that
+/// worker executes. Campaign shards use this to hand each worker its own
+/// [`mppm::SolverScratch`] / `SimArena`, so warm pools persist across the
+/// items a worker processes without any cross-thread sharing. Output
+/// order (and, for deterministic `f`, output values) are independent of
+/// the worker count — state is scratch, not an accumulator.
+pub fn parallel_map_with<T, S, U, I, F>(label: &str, items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
     let threads = worker_threads();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
@@ -40,16 +57,19 @@ where
             slots.iter_mut().map(parking_lot::Mutex::new).collect();
         crossbeam::scope(|scope| {
             for _ in 0..threads.min(total.max(1)) {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= total {
-                        break;
-                    }
-                    let out = f(&items[idx]);
-                    **slot_refs[idx].lock() = Some(out);
-                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if d.is_multiple_of(10) || d == total {
-                        eprintln!("  [{label}] {d}/{total}");
+                scope.spawn(|_| {
+                    let mut state = init();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= total {
+                            break;
+                        }
+                        let out = f(&mut state, &items[idx]);
+                        **slot_refs[idx].lock() = Some(out);
+                        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if d.is_multiple_of(10) || d == total {
+                            eprintln!("  [{label}] {d}/{total}");
+                        }
                     }
                 });
             }
@@ -79,6 +99,32 @@ mod tests {
     #[test]
     fn worker_threads_is_positive() {
         assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_not_shared() {
+        // Each worker counts how many items it processed in its own
+        // state; the per-item outputs must still be order-preserving and
+        // worker-count-independent, and the counts must sum to the total.
+        let items: Vec<usize> = (0..64).collect();
+        let counts = parking_lot::Mutex::new(Vec::new());
+        struct Tally<'a>(u64, &'a parking_lot::Mutex<Vec<u64>>);
+        impl Drop for Tally<'_> {
+            fn drop(&mut self) {
+                self.1.lock().push(self.0);
+            }
+        }
+        let out = parallel_map_with(
+            "test",
+            &items,
+            || Tally(0, &counts),
+            |t, &x| {
+                t.0 += 1;
+                x * 3
+            },
+        );
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(counts.lock().iter().sum::<u64>(), 64, "every item ran with some state");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! linear in the number of programs — is what this experiment checks.
 
 use mppm::mix::Mix;
+use mppm::{SingleCoreProfile, SolverScratch};
 use mppm_obs::{NoopSink, Observer};
 use mppm_sim::{Execution, MixSim, Scheduler};
 use mppm_trace::suite;
@@ -18,6 +19,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use crate::fig4::mixes_for;
+use crate::runner::{parallel_map, parallel_map_with};
 use crate::store::atomic_write_json;
 use crate::table::{f3, Table};
 use crate::Context;
@@ -284,6 +286,130 @@ pub fn write_compile_json(points: &[CompilePoint]) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Before/after timing of the model solver's allocation strategies at one
+/// worker-thread count, over a campaign-shard-shaped batch of mixes.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ArenaPoint {
+    /// Worker threads evaluating the batch.
+    pub workers: usize,
+    /// Average s/mix under the allocate-per-step reference solver.
+    pub fresh_seconds: f64,
+    /// Average s/mix with one warm [`SolverScratch`] per worker.
+    pub arena_seconds: f64,
+}
+
+impl ArenaPoint {
+    /// Fresh-allocation time over warm-scratch time.
+    pub fn speedup(&self) -> f64 {
+        self.fresh_seconds / self.arena_seconds
+    }
+}
+
+/// Times one campaign-shard-shaped batch of 8-core mixes through the
+/// allocate-per-step reference solver
+/// ([`mppm::Mppm::reference_predict_observed`]) and through the warm
+/// per-worker scratch path the campaign executor and `mppmd` use
+/// ([`Context::predict_observed_with`] under
+/// [`parallel_map_with`]), at each worker-thread count.
+///
+/// The thread count is pinned via `MPPM_THREADS` for both sides of each
+/// point, and every mix's predictions are asserted identical, so the
+/// benchmark doubles as the solver differential check under contention.
+/// Like the other comparisons nothing here touches the store cache.
+pub fn arena_comparison(
+    ctx: &Context,
+    worker_counts: &[usize],
+    mixes_per_point: usize,
+) -> Vec<ArenaPoint> {
+    let machine = ctx.baseline();
+    let profiles = ctx.profiles(&machine);
+    let model = ctx.model();
+    let span = mppm_obs::Span::disabled();
+    let mixes: Vec<Mix> = mixes_for(8, mixes_per_point);
+    let saved = std::env::var("MPPM_THREADS").ok();
+    let points = worker_counts
+        .iter()
+        .map(|&workers| {
+            std::env::set_var("MPPM_THREADS", workers.to_string());
+            // Three alternating rounds per side, best-of kept: with more
+            // worker threads than host cores a single batch's wall time
+            // is dominated by scheduling jitter, and the minimum is the
+            // least-contended estimate for both sides alike.
+            let mut best = [f64::INFINITY; 2];
+            for _ in 0..3 {
+                let started = Instant::now();
+                let fresh = parallel_map("arena-fresh", &mixes, |mix| {
+                    let refs: Vec<&SingleCoreProfile> = mix.resolve(&profiles);
+                    model
+                        .reference_predict_observed(&refs, &span)
+                        .expect("suite profiles are valid and compatible")
+                });
+                best[0] = best[0].min(started.elapsed().as_secs_f64());
+                let started = Instant::now();
+                let warm =
+                    parallel_map_with("arena-warm", &mixes, SolverScratch::new, |scratch, mix| {
+                        ctx.predict_observed_with(mix, &profiles, &span, scratch)
+                    });
+                best[1] = best[1].min(started.elapsed().as_secs_f64());
+                assert_eq!(fresh, warm, "solver paths diverged at {workers} workers");
+            }
+            ArenaPoint {
+                workers,
+                fresh_seconds: best[0] / mixes.len() as f64,
+                arena_seconds: best[1] / mixes.len() as f64,
+            }
+        })
+        .collect();
+    match saved {
+        Some(v) => std::env::set_var("MPPM_THREADS", v),
+        None => std::env::remove_var("MPPM_THREADS"),
+    }
+    points
+}
+
+/// Renders the solver allocation before/after table and writes the CSV.
+pub fn report_arena(points: &[ArenaPoint]) -> Table {
+    let mut t = Table::new(&["workers", "fresh s/mix", "arena s/mix", "speedup"]);
+    for p in points {
+        t.row(vec![
+            p.workers.to_string(),
+            format!("{:.6}", p.fresh_seconds),
+            format!("{:.6}", p.arena_seconds),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+    let _ = t.save_csv("speed_arena");
+    t
+}
+
+/// Writes the machine-readable solver allocation comparison to
+/// `BENCH_arena.json` at the workspace root (redirected to
+/// `target/test-results/` under `cargo test`).
+pub fn write_arena_json(points: &[ArenaPoint]) -> std::io::Result<PathBuf> {
+    #[derive(Serialize)]
+    struct BenchFile {
+        description: String,
+        unit: String,
+        points: Vec<ArenaPoint>,
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if cfg!(test) { root.join("target/test-results") } else { root };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_arena.json");
+    atomic_write_json(
+        &path,
+        &BenchFile {
+            description: "Model-solver s/mix over 8-core campaign-shard batches: \
+                          allocate-per-step reference solver vs warm per-worker \
+                          SolverScratch, per worker-thread count, same build"
+                .to_string(),
+            unit: "seconds per mix".to_string(),
+            points: points.to_vec(),
+        },
+    )?;
+    Ok(path)
+}
+
 /// Observability-overhead timing at one core count: the same mixes with
 /// no observer, with a disabled observer (the default in every hot
 /// path), and with an enabled [`NoopSink`] observer.
@@ -480,6 +606,24 @@ mod tests {
         assert!(raw.contains("\"cores\":2"), "unexpected JSON shape: {raw}");
         assert!(raw.contains("reference_seconds"));
         assert!(raw.contains("compiled_seconds"));
+    }
+
+    #[test]
+    fn arena_comparison_measures_and_serializes() {
+        let ctx = Context::new(Scale::Quick);
+        let points = arena_comparison(&ctx, &[1, 2], 4);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.fresh_seconds > 0.0);
+            assert!(p.arena_seconds > 0.0);
+        }
+        let table = report_arena(&points);
+        assert_eq!(table.len(), 2);
+        let path = write_arena_json(&points).expect("json written");
+        let raw = std::fs::read_to_string(path).expect("json readable");
+        assert!(raw.contains("\"workers\":1"), "unexpected JSON shape: {raw}");
+        assert!(raw.contains("fresh_seconds"));
+        assert!(raw.contains("arena_seconds"));
     }
 
     #[test]

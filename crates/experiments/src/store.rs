@@ -10,7 +10,7 @@
 use mppm::SingleCoreProfile;
 use mppm_cache::CacheConfig;
 use mppm_obs::{Counter, Observer};
-use mppm_sim::{MachineConfig, MixResult, MixSim, TraceCache};
+use mppm_sim::{MachineConfig, MixResult, MixSim, SimArena, TraceCache};
 use mppm_trace::{suite, BenchmarkSpec, TraceGeometry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -110,6 +110,11 @@ pub struct Store {
     profiles: Mutex<BTreeMap<String, SingleCoreProfile>>,
     /// Compiled traces shared across every simulation this store runs.
     traces: TraceCache,
+    /// Pool of warm simulator arenas. A simulation checks one out for its
+    /// duration and returns it afterwards, so concurrent callers (the
+    /// `mppmd` request path, parallel figure runners) each hold a private
+    /// arena while idle ones keep their pools sized for the next mix.
+    arenas: Mutex<Vec<SimArena>>,
     counters: Mutex<StoreCounters>,
 }
 
@@ -124,6 +129,7 @@ impl Store {
             mixes: Mutex::new(BTreeMap::new()),
             profiles: Mutex::new(BTreeMap::new()),
             traces: TraceCache::new(),
+            arenas: Mutex::new(Vec::new()),
             counters: Mutex::new(StoreCounters::default()),
         })
     }
@@ -141,6 +147,13 @@ impl Store {
     /// `(hits, compiles)` of the shared compiled-trace cache.
     pub fn trace_cache_stats(&self) -> (u64, u64) {
         self.traces.stats()
+    }
+
+    /// Number of idle warm simulator arenas in the pool. Its high-water
+    /// mark equals the store's peak simulation concurrency: sequential
+    /// callers keep reusing one arena.
+    pub fn warm_arenas(&self) -> usize {
+        self.arenas.lock().len()
     }
 
     /// Opens the workspace-default store under `target/mppm-store`.
@@ -245,8 +258,15 @@ impl Store {
             .collect();
         // mppm-lint: allow(wallclock-in-sim): records how long the sim took (sim_seconds telemetry), not simulated time
         let started = Instant::now();
-        let result: MixResult =
-            MixSim::new(&specs, machine, geometry).trace_cache(&self.traces).run();
+        // Check a warm arena out of the pool for the duration of the run
+        // (never holding the pool lock while simulating), and return it
+        // warmer than we found it.
+        let mut arena = self.arenas.lock().pop().unwrap_or_default();
+        let result: MixResult = MixSim::new(&specs, machine, geometry)
+            .trace_cache(&self.traces)
+            .arena(&mut arena)
+            .run();
+        self.arenas.lock().push(arena);
         // `cpi_sc` arrives in caller order; rebuild it in canonical order.
         let mut sc_by_name: BTreeMap<&str, f64> = BTreeMap::new();
         for (n, &sc) in mix_names.iter().zip(cpi_sc) {
@@ -493,6 +513,28 @@ mod tests {
         // The shared trace cache compiled each program once.
         let (_, compiles) = store.trace_cache_stats();
         assert_eq!(compiles, 2);
+    }
+
+    #[test]
+    fn sequential_simulations_share_one_warm_arena() {
+        let (_dir, store) = tmp_store();
+        let machine = MachineConfig::baseline();
+        let geometry = TraceGeometry::tiny();
+        assert_eq!(store.warm_arenas(), 0, "pool starts empty");
+        for names in [["hmmer", "povray"], ["hmmer", "lbm"], ["mcf", "lbm"]] {
+            let sc: Vec<f64> = names
+                .iter()
+                .map(|n| {
+                    store.profile(suite::benchmark(n).unwrap(), &machine, geometry).cpi_sc()
+                })
+                .collect();
+            store.simulate(&names, &sc, &machine, geometry);
+            assert_eq!(store.warm_arenas(), 1, "one caller at a time reuses one arena");
+        }
+        // Cache hits never touch the pool.
+        let sc = [1.0, 1.0];
+        store.simulate(&["hmmer", "povray"], &sc, &machine, geometry);
+        assert_eq!(store.warm_arenas(), 1);
     }
 
     #[test]

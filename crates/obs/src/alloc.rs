@@ -1,0 +1,70 @@
+//! Process-wide allocation tally — the observability half of the
+//! allocation-free-steady-state proof.
+//!
+//! This module is deliberately *passive*: it holds two relaxed atomics
+//! and does nothing unless something feeds them. Production builds never
+//! do, so [`snapshot`] reads zeros and the `sim.alloc.*` counters the
+//! simulator publishes stay at zero. Test and bench binaries that want
+//! real numbers install a counting `#[global_allocator]` *in their own
+//! crate* (a `GlobalAlloc` impl is necessarily `unsafe`, and this crate
+//! is `#![forbid(unsafe_code)]`) and report every allocation here via
+//! [`note_alloc`]; see `crates/cmpsim/tests/alloc_steady.rs` for the
+//! canonical harness.
+//!
+//! The counters are monotonic totals. Callers measure a region by taking
+//! a [`snapshot`] before and after and subtracting ([`AllocSnapshot::since`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one heap allocation of `bytes` bytes. Called by counting
+/// allocators installed in test/bench binaries; never called from
+/// production code.
+pub fn note_alloc(bytes: u64) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Point-in-time view of the process allocation totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Heap allocations reported so far.
+    pub allocs: u64,
+    /// Bytes requested across those allocations.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// The allocations and bytes accumulated since `earlier`.
+    pub fn since(&self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// The current allocation totals (zeros unless a counting allocator is
+/// installed in this process).
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot { allocs: ALLOCS.load(Ordering::Relaxed), bytes: BYTES.load(Ordering::Relaxed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notes_accumulate_and_subtract() {
+        let before = snapshot();
+        note_alloc(64);
+        note_alloc(100);
+        let delta = snapshot().since(before);
+        // Other tests in this binary may note allocations concurrently,
+        // so assert lower bounds only.
+        assert!(delta.allocs >= 2);
+        assert!(delta.bytes >= 164);
+    }
+}

@@ -1,7 +1,7 @@
 //! `mppmd` — the long-lived MPPM campaign/predict daemon.
 //!
 //! ```text
-//! mppmd [--socket PATH] [--store DIR]
+//! mppmd [--socket PATH] [--store DIR] [--cache-cap N]
 //! ```
 //!
 //! Listens on a Unix domain socket (default `$TMPDIR/mppmd.sock`) and
@@ -10,10 +10,11 @@
 
 use mppm_server::{default_socket_path, serve, ServerConfig};
 
-const USAGE: &str = "usage: mppmd [--socket PATH] [--store DIR]
+const USAGE: &str = "usage: mppmd [--socket PATH] [--store DIR] [--cache-cap N]
 
   --socket PATH   Unix socket to listen on (default $TMPDIR/mppmd.sock)
-  --store DIR     store root (default <workspace>/target/mppm-store)";
+  --store DIR     store root (default <workspace>/target/mppm-store)
+  --cache-cap N   response-cache entry cap before LRU eviction (default 1024)";
 
 fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
     let mut config = ServerConfig::new(default_socket_path());
@@ -27,6 +28,14 @@ fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
             "--store" => {
                 let path = it.next().ok_or("--store needs a directory")?;
                 config.store_root = Some(path.into());
+            }
+            "--cache-cap" => {
+                let n = it.next().ok_or("--cache-cap needs a positive entry count")?;
+                config.response_cache_cap = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--cache-cap: `{n}` is not a positive integer"))?;
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),

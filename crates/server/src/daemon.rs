@@ -16,6 +16,11 @@ use crate::protocol::{codes, err_frame, ok_frame, Request};
 use crate::state::{CampaignJob, ConnWriter, ServerState, SocketSink};
 use crate::ServerError;
 
+/// Default bound on the response cache, in entries. Each entry is one
+/// (small, JSON-sized) deterministic response; a thousand of them is a
+/// few MB at most, while still making a week-long daemon's memory flat.
+pub const DEFAULT_RESPONSE_CACHE_CAP: usize = 1024;
+
 /// How to run the daemon.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -24,12 +29,19 @@ pub struct ServerConfig {
     /// Store root; `None` opens the workspace default
     /// (`target/mppm-store`).
     pub store_root: Option<PathBuf>,
+    /// Response-cache entry cap (LRU beyond it); clamped to ≥ 1.
+    pub response_cache_cap: usize,
 }
 
 impl ServerConfig {
-    /// A config listening on `socket` with the default store.
+    /// A config listening on `socket` with the default store and cache
+    /// cap.
     pub fn new(socket: impl Into<PathBuf>) -> Self {
-        Self { socket: socket.into(), store_root: None }
+        Self {
+            socket: socket.into(),
+            store_root: None,
+            response_cache_cap: DEFAULT_RESPONSE_CACHE_CAP,
+        }
     }
 }
 
@@ -54,7 +66,12 @@ pub fn serve(config: &ServerConfig) -> Result<(), ServerError> {
     // `server.*` are readable through the `stats` request at any time.
     let observer = Observer::with_sinks(Vec::new());
     store.attach_counters(&observer);
-    let state = Arc::new(ServerState::new(store, observer, config.socket.clone()));
+    let state = Arc::new(ServerState::new(
+        store,
+        observer,
+        config.socket.clone(),
+        config.response_cache_cap,
+    ));
 
     let executor = {
         let state = Arc::clone(&state);

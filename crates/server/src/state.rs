@@ -89,6 +89,57 @@ pub(crate) struct CachedResponse {
     pub result: Value,
 }
 
+/// The bounded response cache: LRU over a logical clock. Every hit
+/// re-stamps its entry; inserting past the cap evicts the
+/// least-recently-used entry, so a long-lived daemon's memory is bounded
+/// by `cap` responses no matter how many distinct requests it serves.
+/// Recomputing an evicted response is always safe — responses are
+/// deterministic functions of their key.
+#[derive(Debug)]
+struct ResponseCache {
+    entries: BTreeMap<String, (CachedResponse, u64)>,
+    /// Monotonic use stamp; bumped on every hit and insert.
+    clock: u64,
+    /// Maximum entries kept; at least 1.
+    cap: usize,
+}
+
+impl ResponseCache {
+    fn new(cap: usize) -> Self {
+        Self { entries: BTreeMap::new(), clock: 0, cap: cap.max(1) }
+    }
+
+    fn get(&mut self, key: &str) -> Option<CachedResponse> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(resp, used)| {
+            *used = clock;
+            resp.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key`; returns how many entries were
+    /// evicted to stay within the cap.
+    fn insert(&mut self, key: String, response: CachedResponse) -> u64 {
+        self.clock += 1;
+        self.entries.insert(key, (response, self.clock));
+        let mut evicted = 0;
+        while self.entries.len() > self.cap {
+            // O(n) min-stamp scan: the cache is small (≤ cap entries)
+            // and insertions are rare next to the work they memoize.
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone());
+            let Some(oldest) = oldest else { unreachable!("non-empty cache has a minimum") };
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// One client waiting on a queued campaign.
 #[derive(Debug, Clone)]
 pub(crate) struct Waiter {
@@ -137,6 +188,8 @@ pub(crate) struct ServerCounters {
     /// `server.campaign_merged`: campaign submissions merged into an
     /// identical job in the same wave.
     pub campaign_merged: Counter,
+    /// `store.evictions`: responses dropped from the bounded LRU cache.
+    pub evictions: Counter,
 }
 
 /// Everything the daemon shares across connections.
@@ -144,7 +197,7 @@ pub struct ServerState {
     store: Arc<Store>,
     observer: Observer,
     socket: PathBuf,
-    responses: Mutex<BTreeMap<String, CachedResponse>>,
+    responses: Mutex<ResponseCache>,
     inflight: Mutex<BTreeSet<String>>,
     inflight_cv: Condvar,
     queue: Mutex<Queue>,
@@ -156,8 +209,14 @@ pub struct ServerState {
 impl ServerState {
     /// Builds the shared state. `observer` owns the live counter
     /// registry; the store's `store.*` counters should already be
-    /// attached to it.
-    pub fn new(store: Arc<Store>, observer: Observer, socket: PathBuf) -> Self {
+    /// attached to it. `response_cache_cap` bounds the response cache
+    /// (entries, not bytes); see [`crate::ServerConfig`].
+    pub fn new(
+        store: Arc<Store>,
+        observer: Observer,
+        socket: PathBuf,
+        response_cache_cap: usize,
+    ) -> Self {
         let counters = ServerCounters {
             requests: observer.counter("server.requests"),
             cache_hits: observer.counter("server.cache_hit"),
@@ -165,12 +224,13 @@ impl ServerState {
             batch_waves: observer.counter("server.batch_waves"),
             campaign_jobs: observer.counter("server.campaign_jobs"),
             campaign_merged: observer.counter("server.campaign_merged"),
+            evictions: observer.counter("store.evictions"),
         };
         Self {
             store,
             observer,
             socket,
-            responses: Mutex::new(BTreeMap::new()),
+            responses: Mutex::new(ResponseCache::new(response_cache_cap)),
             inflight: Mutex::new(BTreeSet::new()),
             inflight_cv: Condvar::new(),
             queue: Mutex::new(Queue::default()),
@@ -206,17 +266,21 @@ impl ServerState {
     }
 
     pub(crate) fn cached(&self, key: &str) -> Option<CachedResponse> {
-        relock(self.responses.lock()).get(key).cloned()
+        relock(self.responses.lock()).get(key)
     }
 
     pub(crate) fn insert_response(&self, key: String, kind: &'static str, result: Value) {
-        relock(self.responses.lock()).insert(key, CachedResponse { kind, result });
+        let evicted =
+            relock(self.responses.lock()).insert(key, CachedResponse { kind, result });
+        if evicted > 0 {
+            self.counters.evictions.add(evicted);
+        }
     }
 
     /// `(cached responses, in-flight computations, queued campaigns)`.
     pub(crate) fn cache_sizes(&self) -> (usize, usize, usize) {
         (
-            relock(self.responses.lock()).len(),
+            relock(self.responses.lock()).entries.len(),
             relock(self.inflight.lock()).len(),
             relock(self.queue.lock()).jobs.len(),
         )
@@ -328,6 +392,58 @@ impl ServerState {
             ));
         }
         !removed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(tag: &str) -> CachedResponse {
+        CachedResponse { kind: "predict", result: Value::from(tag) }
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut cache = ResponseCache::new(2);
+        assert_eq!(cache.insert("a".into(), resp("a")), 0);
+        assert_eq!(cache.insert("b".into(), resp("b")), 0);
+        // Touch `a`, making `b` the LRU candidate.
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.insert("c".into(), resp("c")), 1, "one eviction past the cap");
+        assert!(cache.get("b").is_none(), "the untouched entry was evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.entries.len(), 2);
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert("a".into(), resp("a"));
+        cache.insert("b".into(), resp("b"));
+        assert_eq!(cache.insert("a".into(), resp("a2")), 0, "overwrite stays within cap");
+        assert_eq!(cache.get("a").map(|r| r.result), Some(Value::from("a2")));
+    }
+
+    #[test]
+    fn a_zero_cap_still_keeps_the_latest_response() {
+        // The cap is clamped to 1 so serve_deduped's insert-then-reply
+        // sequence always finds the response it just computed.
+        let mut cache = ResponseCache::new(0);
+        cache.insert("a".into(), resp("a"));
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.insert("b".into(), resp("b")), 1);
+        assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn misses_are_none_and_do_not_disturb_order() {
+        let mut cache = ResponseCache::new(8);
+        assert!(cache.get("nope").is_none());
+        cache.insert("a".into(), resp("a"));
+        assert!(cache.get("nope").is_none());
+        assert!(cache.get("a").is_some());
     }
 }
 

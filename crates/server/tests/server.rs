@@ -32,7 +32,19 @@ impl Daemon {
     }
 
     fn start_on(socket: PathBuf, store: PathBuf) -> Self {
-        let config = ServerConfig { socket: socket.clone(), store_root: Some(store.clone()) };
+        Self::start_configured(socket, store, |_| {})
+    }
+
+    fn start_configured(
+        socket: PathBuf,
+        store: PathBuf,
+        tweak: impl FnOnce(&mut ServerConfig),
+    ) -> Self {
+        let mut config = ServerConfig {
+            store_root: Some(store.clone()),
+            ..ServerConfig::new(socket.clone())
+        };
+        tweak(&mut config);
         let thread = std::thread::spawn(move || {
             serve(&config).expect("daemon starts");
         });
@@ -252,6 +264,44 @@ fn predict_is_deduped_and_cached() {
         }
         other => panic!("expected bad-request, got {other:?}"),
     }
+}
+
+#[test]
+fn bounded_response_cache_evicts_lru_and_counts_it() {
+    let tag = format!(
+        "mppmd-evict-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    );
+    let daemon = Daemon::start_configured(
+        std::env::temp_dir().join(format!("{tag}.sock")),
+        std::env::temp_dir().join(format!("{tag}-store")),
+        |config| config.response_cache_cap = 1,
+    );
+    let mut client = daemon.client();
+
+    let mut first = golden_mix_request("predict");
+    first.mix = "gamess,lbm".to_string();
+    let mut second = golden_mix_request("predict");
+    second.mix = "gamess,mcf".to_string();
+
+    assert!(!client.request(&mut first.clone()).expect("first predict").cached);
+    assert!(
+        client.request(&mut first.clone()).expect("repeat within cap").cached,
+        "cap 1 still caches the latest response"
+    );
+    // A different mix displaces it (cap is one entry)...
+    assert!(!client.request(&mut second.clone()).expect("second predict").cached);
+    // ...so the first mix is recomputed, and the eviction was counted.
+    assert!(
+        !client.request(&mut first).expect("evicted predict").cached,
+        "evicted response must be recomputed"
+    );
+    let stats = client.request(&mut req("stats")).expect("stats");
+    assert!(
+        counter(&stats, "store.evictions") >= 2,
+        "each displacement increments store.evictions: {stats:?}"
+    );
 }
 
 fn quick_campaign() -> Request {

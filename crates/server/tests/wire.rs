@@ -28,8 +28,10 @@ impl Daemon {
             format!("mppmd-wire-{}-{}", std::process::id(), NEXT.fetch_add(1, Ordering::Relaxed));
         let socket = std::env::temp_dir().join(format!("{tag}.sock"));
         let store = std::env::temp_dir().join(format!("{tag}-store"));
-        let config =
-            ServerConfig { socket: socket.clone(), store_root: Some(store.clone()) };
+        let config = ServerConfig {
+            store_root: Some(store.clone()),
+            ..ServerConfig::new(socket.clone())
+        };
         let thread = std::thread::spawn(move || {
             serve(&config).expect("daemon starts");
         });

@@ -124,6 +124,36 @@ fn simulate_mix_matches_golden_snapshot() {
 }
 
 #[test]
+fn arena_runs_pin_to_the_same_golden_bytes() {
+    // A warm `SimArena` must reproduce the pinned snapshot exactly:
+    // both golden mixes are run twice through one arena (unified warms
+    // the pools, partitioned re-shapes the LLC into slices, then both
+    // repeat on fully warm pools) and every run must match the
+    // fresh-allocation snapshot. Run under MPPM_THREADS=1 and 4 in CI —
+    // results are thread-count-invariant by construction (each worker
+    // owns its arena), and this pins the single-arena sequence itself.
+    let fresh = compute_snapshot();
+    let machine = MachineConfig::baseline();
+    let g = quick_geometry();
+    let mix: Vec<_> = ["gamess", "soplex", "lbm", "hmmer"]
+        .iter()
+        .map(|n| suite::benchmark(n).expect("suite benchmark"))
+        .collect();
+    let pair: Vec<_> = ["gamess", "lbm"]
+        .iter()
+        .map(|n| suite::benchmark(n).expect("suite benchmark"))
+        .collect();
+    let mut arena = mppm_sim::SimArena::new();
+    for pass in 0..2 {
+        let unified = MixSim::new(&mix, &machine, g).arena(&mut arena).run();
+        let partitioned =
+            MixSim::new(&pair, &machine, g).partitioned(&[6, 2]).arena(&mut arena).run();
+        assert_eq!(fresh.unified, unified, "pass {pass}: arena unified run diverged");
+        assert_eq!(fresh.partitioned, partitioned, "pass {pass}: arena partitioned run diverged");
+    }
+}
+
+#[test]
 fn both_execution_substrates_pin_to_the_same_golden_bytes() {
     // The golden file was generated by the per-item reference stream
     // before the phase compiler existed. The compiled path (checked
