@@ -18,15 +18,22 @@
 //! | `lossy-counter-cast`   | silent truncation of 64-bit counters |
 //! | `deprecated-sim-entrypoint` | retired `simulate_mix*` free functions instead of `MixSim` |
 //! | `uncompiled-hot-loop`  | per-item trace iteration outside the `reference_*` substrate |
-//! | `blocking-in-handler`  | unbounded socket reads in the `mppmd` server crate |
+//! | `blocking-in-handler`  | unbounded socket reads in server code, or reachable from a handler |
+//! | `alloc-in-steady-loop` | heap allocation inside the steady-state simulation loops |
+//! | `taint-nondet-to-result` | nondeterminism laundered through helpers into results/journals/wire frames |
+//! | `panic-reaches-handler` | panic sites reachable from a daemon request handler |
 //!
 //! The environment has no `clippy`/`syn`, so the pass is hand-rolled: a
-//! small lexer ([`lexer`]) strips comments and literals, then
-//! token-stream rules emit findings with `file:line` spans. Intentional
-//! exceptions are written in the code as
+//! small lexer ([`lexer`]) strips comments and literals; token-stream
+//! rules emit per-line findings; and an item-level parser ([`parse`])
+//! builds an intra-workspace call graph ([`callgraph`]) for the
+//! inter-procedural determinism rules ([`taint`]), whose findings carry
+//! the full source→…→sink call chain. Per-file facts are cached keyed on
+//! a content fingerprint ([`facts`]) so warm runs only re-parse what
+//! changed. Intentional exceptions are written in the code as
 //!
 //! ```text
-//! // mppm-lint: allow(<rule>): <justification>
+//! // mppm-lint: allow(<rule>, <rule>...): <justification>
 //! ```
 //!
 //! on (or directly above) the offending line. The justification is
@@ -34,12 +41,17 @@
 //! longer suppresses anything is itself a violation — suppressions rot
 //! otherwise.
 
+pub mod callgraph;
+pub mod facts;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
+use facts::{AllowFact, Candidate, FactCache, FileFacts};
 use lexer::Lexed;
-use rules::{all_rules, mark_test_regions, rule_names, Scope};
+use rules::{all_rules, mark_test_regions, rule_names, Rule, Scope};
 use std::path::{Path, PathBuf};
 
 /// One analyzed source file.
@@ -63,7 +75,7 @@ impl SourceFile {
         Self { path: path.into(), lexed, in_test, file_is_test }
     }
 
-    fn in_tests_tree(&self) -> bool {
+    pub(crate) fn in_tests_tree(&self) -> bool {
         self.path.starts_with("tests/") || self.path.contains("/tests/")
     }
 
@@ -91,6 +103,17 @@ impl SourceFile {
     }
 }
 
+/// One hop of an inter-procedural finding's call chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Qualified function name (`Type::method` or bare fn name).
+    pub func: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (the fact site for endpoint hops, else the fn decl).
+    pub line: usize,
+}
+
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -102,15 +125,9 @@ pub struct Violation {
     pub rule: String,
     /// Explanation.
     pub message: String,
-}
-
-/// A parsed `// mppm-lint: allow(rule): justification` directive.
-#[derive(Debug)]
-struct Allow {
-    line: usize,
-    rule: String,
-    justification: String,
-    used: bool,
+    /// Source→…→sink call chain for inter-procedural findings; empty
+    /// for token-rule and meta findings.
+    pub chain: Vec<ChainHop>,
 }
 
 /// The result of analyzing a set of files.
@@ -131,14 +148,71 @@ impl Analysis {
     }
 }
 
+/// The reporting-only meta rules (not valid inside `allow(...)`, but
+/// valid for `--only`/`--exclude`).
+pub const META_RULES: &[&str] = &["invalid-suppression", "unused-suppression"];
+
+/// Every rule name the CLI filters accept: checkable rules plus the
+/// suppression meta rules.
+pub fn known_rule_names() -> Vec<&'static str> {
+    let mut names = rule_names();
+    names.extend_from_slice(META_RULES);
+    names
+}
+
+/// An `--only` / `--exclude` rule filter. Construction validates rule
+/// names; an empty filter admits everything.
+#[derive(Debug, Clone, Default)]
+pub struct RuleFilter {
+    only: Vec<String>,
+    exclude: Vec<String>,
+}
+
+impl RuleFilter {
+    /// Builds a filter, rejecting unknown rule names.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the unknown rule and the known set.
+    pub fn new(only: &[String], exclude: &[String]) -> Result<RuleFilter, String> {
+        let known = known_rule_names();
+        for name in only.iter().chain(exclude) {
+            if !known.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown rule `{name}` (known rules: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(RuleFilter { only: only.to_vec(), exclude: exclude.to_vec() })
+    }
+
+    /// Whether findings of `rule` are reported under this filter.
+    pub fn admits(&self, rule: &str) -> bool {
+        (self.only.is_empty() || self.only.iter().any(|r| r == rule))
+            && !self.exclude.iter().any(|r| r == rule)
+    }
+}
+
+/// Engine options: report filtering and the optional fact cache.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Rule filter applied at reporting time (facts are always complete,
+    /// so the cache is filter-independent).
+    pub filter: RuleFilter,
+    /// Fact-cache file; `None` runs cold and writes nothing.
+    pub cache: Option<PathBuf>,
+}
+
 /// The directive marker looked up inside line comments.
 const MARKER: &str = "mppm-lint:";
 
-/// Parses the allow directives of one file. Malformed directives are
-/// reported immediately as `invalid-suppression` violations.
-fn parse_allows(file: &SourceFile, violations: &mut Vec<Violation>) -> Vec<Allow> {
+/// Parses the allow directives of one file into `facts.allows`.
+/// Malformed directives become `invalid-suppression` findings in
+/// `facts.invalids`. One directive may name several rules:
+/// `allow(a, b): why`.
+fn parse_allows(file: &SourceFile, facts: &mut FileFacts) {
     let known = rule_names();
-    let mut allows = Vec::new();
     for comment in &file.lexed.comments {
         // Only plain `//` comments issue directives. `///` / `//!` doc
         // comments (whose text starts with the third `/` or a `!`) may
@@ -148,98 +222,211 @@ fn parse_allows(file: &SourceFile, violations: &mut Vec<Violation>) -> Vec<Allow
         }
         let text = comment.text.trim();
         let Some(pos) = text.find(MARKER) else { continue };
-        let invalid = |msg: String| Violation {
-            file: file.path.clone(),
+        let invalid = |msg: String| Candidate {
             line: comment.line,
             rule: "invalid-suppression".into(),
             message: msg,
         };
         let directive = text[pos + MARKER.len()..].trim();
         let Some(rest) = directive.strip_prefix("allow(") else {
-            violations.push(invalid(format!(
+            facts.invalids.push(invalid(format!(
                 "unrecognized mppm-lint directive `{directive}`; expected \
                  `mppm-lint: allow(<rule>): <justification>`"
             )));
             continue;
         };
         let Some(close) = rest.find(')') else {
-            violations.push(invalid("unterminated `allow(` directive".into()));
+            facts.invalids.push(invalid("unterminated `allow(` directive".into()));
             continue;
         };
-        let rule = rest[..close].trim().to_string();
-        if !known.contains(&rule.as_str()) {
-            violations.push(invalid(format!(
-                "allow names unknown rule `{rule}` (known: {})",
-                known.join(", ")
-            )));
+        let rules: Vec<String> =
+            rest[..close].split(',').map(|r| r.trim().to_string()).collect();
+        let mut bad = false;
+        for (i, rule) in rules.iter().enumerate() {
+            if rule.is_empty() {
+                facts.invalids.push(invalid(
+                    "empty rule name in `allow(...)`; list each rule once, comma-separated"
+                        .into(),
+                ));
+                bad = true;
+            } else if !known.contains(&rule.as_str()) {
+                facts.invalids.push(invalid(format!(
+                    "allow names unknown rule `{rule}` (known: {})",
+                    known.join(", ")
+                )));
+                bad = true;
+            } else if rules[..i].contains(rule) {
+                facts.invalids.push(invalid(format!(
+                    "allow lists rule `{rule}` twice; name each rule once"
+                )));
+                bad = true;
+            }
+        }
+        if bad {
             continue;
         }
         let after = rest[close + 1..].trim();
         let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
         if justification.is_empty() {
-            violations.push(invalid(format!(
-                "allow({rule}) carries no justification; write \
-                 `mppm-lint: allow({rule}): <why this site is sound>`"
+            let list = rules.join(", ");
+            facts.invalids.push(invalid(format!(
+                "allow({list}) carries no justification; write \
+                 `mppm-lint: allow({list}): <why this site is sound>`"
             )));
             continue;
         }
-        allows.push(Allow {
+        facts.allows.push(AllowFact {
             line: comment.line,
-            rule,
+            rules,
             justification: justification.to_string(),
-            used: false,
         });
     }
-    allows
+}
+
+/// Computes the full fact set for one file: token-rule candidates
+/// (post scope and path policy), suppression directives, and the parsed
+/// `fn` items the call graph consumes.
+fn compute_file_facts(path: &str, src: &str, rules: &[Box<dyn Rule>]) -> FileFacts {
+    let file = SourceFile::parse(path, src);
+    let mut facts = FileFacts {
+        path: path.to_string(),
+        fingerprint: facts::fingerprint(src),
+        ..FileFacts::default()
+    };
+    parse_allows(&file, &mut facts);
+    for rule in rules {
+        if !rule.applies_to(&file.path) {
+            continue;
+        }
+        for finding in rule.check(&file) {
+            if !file.scope_admits(rule.scope(), finding.tok) {
+                continue;
+            }
+            facts.candidates.push(Candidate {
+                line: file.lexed.toks[finding.tok].line,
+                rule: rule.name().into(),
+                message: finding.message,
+            });
+        }
+    }
+    let parsed = parse::items(&file);
+    facts.fns = parsed.fns;
+    facts.aliases = parsed.aliases;
+    facts.invalids.extend(parsed.invalids);
+    facts
+}
+
+/// Analyzes in-memory `(path, source)` pairs with default options.
+pub fn analyze_sources<P: AsRef<str>, S: AsRef<str>>(files: &[(P, S)]) -> Analysis {
+    analyze_sources_opts(files, &AnalyzeOptions::default())
 }
 
 /// Analyzes in-memory `(path, source)` pairs. This is the whole engine;
-/// [`analyze_workspace`] merely feeds it files from disk.
-pub fn analyze_sources<P: AsRef<str>, S: AsRef<str>>(files: &[(P, S)]) -> Analysis {
+/// [`analyze_workspace`] merely feeds it files from disk. With a cache
+/// path in `opts`, per-file facts are reused when the content
+/// fingerprint matches and the cache is rewritten afterwards (atomic
+/// temp-file + rename; cache I/O failures degrade to a cold run, never
+/// an error).
+pub fn analyze_sources_opts<P: AsRef<str>, S: AsRef<str>>(
+    files: &[(P, S)],
+    opts: &AnalyzeOptions,
+) -> Analysis {
     let rules = all_rules();
-    let mut analysis = Analysis::default();
+    let cache = opts.cache.as_deref().map(|p| FactCache::load(p, facts::cache_salt()));
+    let mut all: Vec<FileFacts> = Vec::with_capacity(files.len());
     for (path, src) in files {
-        let file = SourceFile::parse(path.as_ref(), src.as_ref());
-        analysis.files += 1;
-        let mut allows = parse_allows(&file, &mut analysis.violations);
-        for rule in &rules {
-            if !rule.applies_to(&file.path) {
-                continue;
+        let (path, src) = (path.as_ref(), src.as_ref());
+        let fp = facts::fingerprint(src);
+        let cached = cache.as_ref().and_then(|c| c.lookup(path, fp)).cloned();
+        all.push(cached.unwrap_or_else(|| compute_file_facts(path, src, &rules)));
+    }
+    if let (Some(mut cache), Some(path)) = (cache, opts.cache.as_deref()) {
+        cache.replace_all(&all);
+        // Best-effort: a read-only tree still analyzes fine, just cold.
+        let _ = cache.save(path);
+    }
+    assemble(&all, &opts.filter)
+}
+
+/// Cross-file assembly: builds the call graph, runs the graph rules,
+/// applies suppression and the report filter, and sorts the report.
+fn assemble(all: &[FileFacts], filter: &RuleFilter) -> Analysis {
+    let graph = callgraph::Graph::build(all);
+    let graph_findings = taint::check(&graph);
+    let mut analysis = Analysis { files: all.len(), ..Analysis::default() };
+    for facts in all {
+        // Per-(directive, rule) usage tracking for unused-suppression.
+        let mut used: Vec<Vec<bool>> =
+            facts.allows.iter().map(|a| vec![false; a.rules.len()]).collect();
+        let admit = |rule: &str, line: usize, used: &mut Vec<Vec<bool>>| -> Option<bool> {
+            let mut hit = false;
+            for (ai, allow) in facts.allows.iter().enumerate() {
+                if allow.line != line && allow.line + 1 != line {
+                    continue;
+                }
+                if let Some(ri) = allow.rules.iter().position(|r| r == rule) {
+                    used[ai][ri] = true;
+                    hit = true;
+                }
             }
-            for finding in rule.check(&file) {
-                if !file.scope_admits(rule.scope(), finding.tok) {
-                    continue;
-                }
-                let line = file.lexed.toks[finding.tok].line;
-                // An allow on the same line, or on its own line directly
-                // above, silences the finding.
-                let allow = allows.iter_mut().find(|a| {
-                    a.rule == rule.name() && (a.line == line || a.line + 1 == line)
-                });
-                if let Some(allow) = allow {
-                    allow.used = true;
-                    analysis.suppressed += 1;
-                    continue;
-                }
+            // Usage is tracked even for filtered-out rules so `--only`
+            // never manufactures unused-suppression noise.
+            filter.admits(rule).then_some(hit)
+        };
+        for cand in &facts.candidates {
+            match admit(&cand.rule, cand.line, &mut used) {
+                Some(true) => analysis.suppressed += 1,
+                Some(false) => analysis.violations.push(Violation {
+                    file: facts.path.clone(),
+                    line: cand.line,
+                    rule: cand.rule.clone(),
+                    message: cand.message.clone(),
+                    chain: Vec::new(),
+                }),
+                None => {}
+            }
+        }
+        for gf in graph_findings.iter().filter(|gf| gf.file == facts.path) {
+            match admit(gf.rule, gf.line, &mut used) {
+                Some(true) => analysis.suppressed += 1,
+                Some(false) => analysis.violations.push(Violation {
+                    file: facts.path.clone(),
+                    line: gf.line,
+                    rule: gf.rule.into(),
+                    message: gf.message.clone(),
+                    chain: gf.chain.clone(),
+                }),
+                None => {}
+            }
+        }
+        if filter.admits("invalid-suppression") {
+            for inv in &facts.invalids {
                 analysis.violations.push(Violation {
-                    file: file.path.clone(),
-                    line,
-                    rule: rule.name().into(),
-                    message: finding.message,
+                    file: facts.path.clone(),
+                    line: inv.line,
+                    rule: inv.rule.clone(),
+                    message: inv.message.clone(),
+                    chain: Vec::new(),
                 });
             }
         }
-        for allow in allows {
-            if !allow.used {
-                analysis.violations.push(Violation {
-                    file: file.path.clone(),
-                    line: allow.line,
-                    rule: "unused-suppression".into(),
-                    message: format!(
-                        "allow({}) suppresses nothing (justified as: {}); remove it",
-                        allow.rule, allow.justification
-                    ),
-                });
+        if filter.admits("unused-suppression") {
+            for (ai, allow) in facts.allows.iter().enumerate() {
+                for (ri, rule) in allow.rules.iter().enumerate() {
+                    if used[ai][ri] {
+                        continue;
+                    }
+                    analysis.violations.push(Violation {
+                        file: facts.path.clone(),
+                        line: allow.line,
+                        rule: "unused-suppression".into(),
+                        message: format!(
+                            "allow({rule}) suppresses nothing (justified as: {}); remove it",
+                            allow.justification
+                        ),
+                        chain: Vec::new(),
+                    });
+                }
             }
         }
     }
@@ -293,13 +480,23 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Resul
     Ok(())
 }
 
-/// Analyzes the workspace rooted at `root`.
+/// Analyzes the workspace rooted at `root` with default options (no
+/// cache, no filter).
 ///
 /// # Errors
 ///
 /// Any I/O error from reading the tree.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
     Ok(analyze_sources(&workspace_sources(root)?))
+}
+
+/// Analyzes the workspace rooted at `root` with explicit options.
+///
+/// # Errors
+///
+/// Any I/O error from reading the tree.
+pub fn analyze_workspace_opts(root: &Path, opts: &AnalyzeOptions) -> std::io::Result<Analysis> {
+    Ok(analyze_sources_opts(&workspace_sources(root)?, opts))
 }
 
 /// Locates the workspace root by walking up from `start` to the first

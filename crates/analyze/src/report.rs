@@ -1,14 +1,28 @@
 //! Human-readable and JSON reporters for an [`Analysis`](crate::Analysis).
+//!
+//! Both reports are fully deterministic: violations arrive sorted by
+//! `(file, line, rule)` from the engine, chains are ordered call paths,
+//! and nothing here consults the environment — the report-determinism
+//! integration test pins byte-identity across runs and thread counts.
 
 use crate::Analysis;
 use std::fmt::Write as _;
 
 /// Renders the compiler-style human report: one `file:line: [rule]
-/// message` finding per line, then a summary.
+/// message` finding per line (with an indented `chain:` line for
+/// inter-procedural findings), then a summary.
 pub fn human(analysis: &Analysis) -> String {
     let mut out = String::new();
     for v in &analysis.violations {
         let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        if !v.chain.is_empty() {
+            let rendered: Vec<String> = v
+                .chain
+                .iter()
+                .map(|h| format!("{} ({}:{})", h.func, h.file, h.line))
+                .collect();
+            let _ = writeln!(out, "    chain: {}", rendered.join(" -> "));
+        }
     }
     let _ = writeln!(
         out,
@@ -33,12 +47,26 @@ pub fn json(analysis: &Analysis) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+             \"chain\": [",
             escape(&v.file),
             v.line,
             escape(&v.rule),
             escape(&v.message)
         );
+        for (j, h) in v.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"fn\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                escape(&h.func),
+                escape(&h.file),
+                h.line
+            );
+        }
+        out.push_str("]}");
     }
     if !analysis.violations.is_empty() {
         out.push_str("\n  ");
@@ -67,18 +95,39 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Violation;
+    use crate::{ChainHop, Violation};
 
     fn sample() -> Analysis {
         Analysis {
             files: 2,
             suppressed: 1,
-            violations: vec![Violation {
-                file: "crates/x/src/lib.rs".into(),
-                line: 7,
-                rule: "float-partial-order".into(),
-                message: "a \"quoted\" message".into(),
-            }],
+            violations: vec![
+                Violation {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 7,
+                    rule: "float-partial-order".into(),
+                    message: "a \"quoted\" message".into(),
+                    chain: Vec::new(),
+                },
+                Violation {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 9,
+                    rule: "taint-nondet-to-result".into(),
+                    message: "laundered".into(),
+                    chain: vec![
+                        ChainHop {
+                            func: "helper".into(),
+                            file: "crates/x/src/lib.rs".into(),
+                            line: 9,
+                        },
+                        ChainHop {
+                            func: "Sink::emit".into(),
+                            file: "crates/x/src/sink.rs".into(),
+                            line: 3,
+                        },
+                    ],
+                },
+            ],
         }
     }
 
@@ -86,7 +135,18 @@ mod tests {
     fn human_lists_findings_and_summary() {
         let text = human(&sample());
         assert!(text.contains("crates/x/src/lib.rs:7: [float-partial-order]"));
-        assert!(text.contains("2 file(s) scanned, 1 violation(s), 1 finding(s)"));
+        assert!(text.contains("2 file(s) scanned, 2 violation(s), 1 finding(s)"));
+    }
+
+    #[test]
+    fn human_renders_call_chains() {
+        let text = human(&sample());
+        assert!(
+            text.contains(
+                "    chain: helper (crates/x/src/lib.rs:9) -> Sink::emit (crates/x/src/sink.rs:3)"
+            ),
+            "{text}"
+        );
     }
 
     #[test]
@@ -95,6 +155,11 @@ mod tests {
         assert!(text.contains("\"line\": 7"));
         assert!(text.contains("a \\\"quoted\\\" message"));
         assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"chain\": []"), "token findings carry an empty chain");
+        assert!(text.contains(
+            "\"chain\": [{\"fn\": \"helper\", \"file\": \"crates/x/src/lib.rs\", \"line\": 9}, \
+             {\"fn\": \"Sink::emit\", \"file\": \"crates/x/src/sink.rs\", \"line\": 3}]"
+        ));
     }
 
     #[test]

@@ -63,9 +63,18 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
-/// All rule names, for suppression validation.
+/// All checkable rule names — token rules plus the inter-procedural
+/// graph rules ([`crate::taint`]) — for suppression validation and the
+/// doc-catalog check. `blocking-in-handler` appears once: the token and
+/// graph passes share the name (and suppressions).
 pub fn rule_names() -> Vec<&'static str> {
-    all_rules().iter().map(|r| r.name()).collect()
+    let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    for name in crate::taint::graph_rule_names() {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    names
 }
 
 fn ident_at<'a>(toks: &'a [Tok], i: usize) -> Option<&'a str> {
@@ -422,6 +431,11 @@ impl Rule for UncompiledHotLoop {
 /// line-framed protocol enforces; server code must drain sockets
 /// through the bounded `FrameReader`. The rule covers the whole crate
 /// (tests included): a blocked test hangs CI just as effectively.
+///
+/// This token pass polices literal sites inside `crates/server`; the
+/// call-graph pass in [`crate::taint`] extends the same rule name to
+/// unbounded reads in *any* crate whose containing function is
+/// reachable from a daemon handler.
 pub struct BlockingInHandler;
 
 impl Rule for BlockingInHandler {

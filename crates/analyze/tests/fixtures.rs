@@ -490,6 +490,264 @@ fn docs() -> &'static str {
 }
 
 #[test]
+fn multi_rule_allow_suppresses_each_listed_rule() {
+    // One line trips both wallclock-in-sim and lossy-counter-cast; a
+    // single comma-listed allow must cover both findings.
+    let src = r#"
+fn stamp(counter: u64) -> u32 {
+    let _ = std::time::Instant::now(); let d = counter as u32; d // mppm-lint: allow(wallclock-in-sim, lossy-counter-cast): fixture exercising a two-rule directive
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    assert!(analysis.is_clean(), "got {:?}", rules_fired(&analysis));
+    assert_eq!(analysis.suppressed, 2, "both rules suppressed by one directive");
+}
+
+#[test]
+fn multi_rule_allow_tracks_unused_rules_individually() {
+    // Only the cast fires; the wallclock half of the directive is rot
+    // and must be flagged without disturbing the used half.
+    let src = r#"
+fn fast_path(pos: usize) -> u32 {
+    // mppm-lint: allow(wallclock-in-sim, lossy-counter-cast): only half of this is real
+    pos as u32
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    let fired = rules_fired(&analysis);
+    assert_eq!(fired, vec![("unused-suppression".to_string(), 3)], "{fired:?}");
+    assert!(
+        analysis.violations[0].message.contains("allow(wallclock-in-sim)"),
+        "names the stale rule: {}",
+        analysis.violations[0].message
+    );
+    assert_eq!(analysis.suppressed, 1, "the cast half still suppresses");
+}
+
+#[test]
+fn multi_rule_allow_rejects_duplicates_and_empty_entries() {
+    let dup = "fn f(c: u64) -> u32 { c as u32 } // mppm-lint: allow(lossy-counter-cast, lossy-counter-cast): twice\n";
+    let fired = rules_fired(&analyze_one(LIB, dup));
+    assert!(
+        fired.iter().any(|(r, _)| r == "invalid-suppression"),
+        "duplicate rule must be invalid: {fired:?}"
+    );
+    assert!(fired.iter().any(|(r, _)| r == "lossy-counter-cast"), "broken allow covers nothing");
+    let empty = "fn f(c: u64) -> u32 { c as u32 } // mppm-lint: allow(lossy-counter-cast,): oops\n";
+    let fired = rules_fired(&analyze_one(LIB, empty));
+    assert!(
+        fired.iter().any(|(r, _)| r == "invalid-suppression"),
+        "empty rule entry must be invalid: {fired:?}"
+    );
+}
+
+#[test]
+fn taint_two_hops_from_source_to_sink_reports_the_full_chain() {
+    // The headline inter-procedural case: an ambient env read buried two
+    // helpers below the join, flowing into an annotated sink.
+    let src = r#"
+fn read_seed() -> String {
+    std::env::var("MPPM_SEED").unwrap_or_default()
+}
+fn configure() -> String {
+    read_seed()
+}
+fn top() {
+    let cfg = configure();
+    emit(cfg);
+}
+// mppm-taint: sink
+fn emit(cfg: String) {
+    let _ = cfg;
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    assert_eq!(
+        rules_fired(&analysis),
+        vec![("taint-nondet-to-result".to_string(), 3)],
+        "fires once, anchored at the env::var site"
+    );
+    let v = &analysis.violations[0];
+    assert!(v.message.contains("env::var"), "{}", v.message);
+    let funcs: Vec<&str> = v.chain.iter().map(|h| h.func.as_str()).collect();
+    assert_eq!(funcs, ["read_seed", "configure", "top", "emit"], "full source→sink chain");
+    assert_eq!(v.chain[0].line, 3, "first hop pinpoints the source site");
+    assert_eq!(v.chain.last().expect("non-empty chain").func, "emit");
+}
+
+#[test]
+fn taint_allow_at_the_source_site_suppresses() {
+    let src = r#"
+fn read_seed() -> String {
+    // mppm-lint: allow(taint-nondet-to-result): seed only labels the log line; results never read it
+    std::env::var("MPPM_SEED").unwrap_or_default()
+}
+fn top() {
+    emit(read_seed());
+}
+// mppm-taint: sink
+fn emit(cfg: String) {
+    let _ = cfg;
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    assert!(analysis.is_clean(), "got {:?}", rules_fired(&analysis));
+    assert_eq!(analysis.suppressed, 1);
+}
+
+#[test]
+fn panic_three_calls_below_handler_is_flagged_with_its_chain() {
+    let src = r#"
+// mppm-taint: handler
+fn accept_request() {
+    step_one();
+}
+fn step_one() {
+    step_two();
+}
+fn step_two() {
+    finish(None);
+}
+fn finish(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    let fired = rules_fired(&analysis);
+    // The graph rule and the token rule each flag the unwrap.
+    assert_eq!(
+        fired,
+        vec![
+            ("panic-reaches-handler".to_string(), 13),
+            ("unwrap-in-lib".to_string(), 13)
+        ],
+        "{fired:?}"
+    );
+    let v = &analysis.violations[0];
+    assert!(v.message.contains("3 call(s) below"), "{}", v.message);
+    let funcs: Vec<&str> = v.chain.iter().map(|h| h.func.as_str()).collect();
+    assert_eq!(funcs, ["accept_request", "step_one", "step_two", "finish"]);
+    assert_eq!(v.chain.last().expect("non-empty chain").line, 13, "last hop is the unwrap site");
+}
+
+#[test]
+fn panic_and_unwrap_share_one_multi_rule_allow() {
+    let src = r#"
+// mppm-taint: handler
+fn accept_request() {
+    finish(None);
+}
+fn finish(x: Option<u64>) -> u64 {
+    x.unwrap() // mppm-lint: allow(unwrap-in-lib, panic-reaches-handler): fixture invariant documented at the call site
+}
+"#;
+    let analysis = analyze_one(LIB, src);
+    assert!(analysis.is_clean(), "got {:?}", rules_fired(&analysis));
+    assert_eq!(analysis.suppressed, 2);
+}
+
+#[test]
+fn blocking_read_two_hops_below_handler_crosses_crates() {
+    // The token rule only polices literal sites inside crates/server;
+    // the graph rule chases the helper into another crate.
+    let handler = (
+        "crates/server/src/routes.rs",
+        r#"
+// mppm-taint: handler
+fn accept(conn: &mut std::os::unix::net::UnixStream) {
+    let bytes = slurp::drain_all(conn);
+    let _ = bytes;
+}
+"#,
+    );
+    let helper = (
+        "crates/campaign/src/slurp.rs",
+        r#"
+pub fn drain_all(conn: &mut impl std::io::Read) -> Vec<u8> {
+    let mut buf = Vec::new();
+    conn.read_to_end(&mut buf).ok();
+    buf
+}
+"#,
+    );
+    let analysis = analyze_sources(&[handler, helper]);
+    let fired = rules_fired(&analysis);
+    assert_eq!(fired, vec![("blocking-in-handler".to_string(), 4)], "{fired:?}");
+    let v = &analysis.violations[0];
+    assert_eq!(v.file, "crates/campaign/src/slurp.rs");
+    let funcs: Vec<&str> = v.chain.iter().map(|h| h.func.as_str()).collect();
+    assert_eq!(funcs, ["accept", "drain_all"]);
+
+    let suppressed_helper = (
+        "crates/campaign/src/slurp.rs",
+        r#"
+pub fn drain_all(conn: &mut impl std::io::Read) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // mppm-lint: allow(blocking-in-handler): fixture peer is trusted and frames are length-prefixed upstream
+    conn.read_to_end(&mut buf).ok();
+    buf
+}
+"#,
+    );
+    let analysis = analyze_sources(&[handler, suppressed_helper]);
+    assert!(analysis.is_clean(), "got {:?}", rules_fired(&analysis));
+    assert_eq!(analysis.suppressed, 1);
+}
+
+#[test]
+fn parser_path_keeps_good_forms_clean_for_every_token_rule() {
+    // Regression net for the item parser: each token rule's compliant
+    // form, rewrapped in the structures the parser now walks (impl
+    // blocks, generics, nested fns, aliases), must stay silent.
+    let cases: &[(&str, &str)] = &[
+        (
+            "float-partial-order",
+            "impl Ord for Key {\n    fn cmp(&self, other: &Self) -> Ordering { self.0.total_cmp(&other.0) }\n}\n",
+        ),
+        (
+            "nondet-map-iteration",
+            "use std::collections::BTreeMap as Index;\nfn build<K: Ord, V>() -> Index<K, V> { Index::new() }\n",
+        ),
+        (
+            "non-atomic-write",
+            "impl Store {\n    fn persist(&self, path: &std::path::Path) -> std::io::Result<()> {\n        atomic_write_bytes(path, &self.bytes)\n    }\n}\n",
+        ),
+        (
+            "wallclock-in-sim",
+            "fn advance<C: Clock>(clock: &mut C, cycles: u64) -> u64 { clock.tick(cycles) }\n",
+        ),
+        (
+            "unwrap-in-lib",
+            "fn outer() -> u64 {\n    fn inner(x: Option<u64>) -> u64 { x.expect(\"caller checked\") }\n    inner(Some(1))\n}\n",
+        ),
+        (
+            "lossy-counter-cast",
+            "impl<T> Wide<T> {\n    fn up(&self, x: u32) -> (u64, f64) { (x as u64, x as f64) }\n}\n",
+        ),
+        (
+            "deprecated-sim-entrypoint",
+            "fn run_all(specs: &[Spec], m: &Machine, g: Geometry) -> Vec<MixResult> {\n    specs.windows(2).map(|w| MixSim::new(w, m, g).run()).collect()\n}\n",
+        ),
+        (
+            "uncompiled-hot-loop",
+            "fn reference_drive(stream: &mut TraceStream) -> u64 {\n    let mut n = 0;\n    while n < 100 { n += stream.next_item().insns(); }\n    n\n}\n",
+        ),
+        (
+            "blocking-in-handler",
+            "fn load(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {\n    let mut b = Vec::new();\n    r.read_to_end(&mut b)?;\n    Ok(b)\n}\n",
+        ),
+        (
+            "alloc-in-steady-loop",
+            "impl Pool {\n    fn warm(&mut self) { self.slabs = vec![Vec::new(); 4]; }\n}\n",
+        ),
+    ];
+    for (rule, src) in cases {
+        let analysis = analyze_one(LIB, src);
+        assert!(analysis.is_clean(), "{rule}: {:?}", rules_fired(&analysis));
+    }
+}
+
+#[test]
 fn report_lines_carry_file_and_line() {
     let src = "\n\nfn f(x: Option<u64>) -> u64 { x.unwrap() }\n";
     let analysis = analyze_one(LIB, src);

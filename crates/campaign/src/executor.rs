@@ -132,7 +132,7 @@ pub fn execute_observed(
         );
     }
 
-    // mppm-lint: allow(wallclock-in-sim): progress telemetry only; never feeds simulated time or results
+    // mppm-lint: allow(wallclock-in-sim, taint-nondet-to-result): progress telemetry only; never feeds simulated time, journal records, or results
     let started = Instant::now();
     let evaluated: usize = pending.iter().map(|s| s.end - s.start).sum();
     // One solver scratch per worker: its pools stay warm across every

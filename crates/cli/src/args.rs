@@ -95,6 +95,10 @@ pub enum Command {
         deny: bool,
         /// Machine-readable report.
         json: bool,
+        /// Report only these rules (empty = all).
+        only: Vec<String>,
+        /// Drop these rules from the report.
+        exclude: Vec<String>,
     },
     /// Show usage.
     Help,
@@ -135,7 +139,8 @@ USAGE:
   mppm-cli client campaign [--cores N] [--configs A,B,...] [--sample N]
               [--seed S] [--shard-size N] [--trials N] [--quick]
               [--subscribe] [--socket PATH]
-  mppm-cli lint [--deny] [--json]
+  mppm-cli lint [--deny] [--json] [--only RULE[,RULE]]
+              [--exclude RULE[,RULE]]
   mppm-cli help
 
 Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
@@ -146,7 +151,9 @@ Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
 --trace writes a deterministic JSONL event trace and --progress mirrors
 milestones to stderr.
 `lint` runs the mppm-analyze determinism rules over the workspace's own
-sources; --deny makes violations fatal (the CI gate).
+sources; --deny makes violations fatal (the CI gate), and --only /
+--exclude (repeatable, comma-separable) narrow the report to named
+rules — unknown rule names are usage errors.
 `serve` runs the long-lived `mppmd` daemon (warm caches, request
 batching); `client` sends it one request — results are byte-identical
 to the one-shot commands, repeats are answered from the warm cache, and
@@ -225,7 +232,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "quick", "cores", "configs", "sample", "seed", "shard-size", "trials", "trace",
             "progress",
         ],
-        "lint" => &["deny", "json"],
+        "lint" => &["deny", "json", "only", "exclude"],
         "serve" => &["socket", "store"],
         "client" => &[
             "socket", "quick", "config", "contention", "partition", "bandwidth", "cores",
@@ -307,7 +314,36 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Simulate { mix, config, quick })
         }
         "lint" => {
-            Ok(Command::Lint { deny: flag("deny").is_some(), json: flag("json").is_some() })
+            // `--only` / `--exclude` are repeatable and comma-separable;
+            // rule names are validated here so typos exit 2 like any
+            // other usage error.
+            let collect = |name: &str| -> Vec<String> {
+                flags
+                    .iter()
+                    .filter(|(n, _)| *n == name)
+                    .filter_map(|(_, v)| *v)
+                    .flat_map(|v| v.split(','))
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect()
+            };
+            let only = collect("only");
+            let exclude = collect("exclude");
+            let known = mppm_analyze::known_rule_names();
+            for rule in only.iter().chain(&exclude) {
+                if !known.contains(&rule.as_str()) {
+                    return Err(ParseError(format!(
+                        "unknown rule `{rule}` (known rules: {})",
+                        known.join(", ")
+                    )));
+                }
+            }
+            Ok(Command::Lint {
+                deny: flag("deny").is_some(),
+                json: flag("json").is_some(),
+                only,
+                exclude,
+            })
         }
         "serve" => Ok(Command::Serve {
             socket: flag("socket").flatten().map(String::from),
@@ -445,15 +481,53 @@ mod tests {
         assert_eq!(parse_ok(&["help"]), Command::Help);
     }
 
+    fn lint(deny: bool, json: bool, only: &[&str], exclude: &[&str]) -> Command {
+        Command::Lint {
+            deny,
+            json,
+            only: only.iter().map(|s| s.to_string()).collect(),
+            exclude: exclude.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
     #[test]
     fn lint_flags() {
-        assert_eq!(parse_ok(&["lint"]), Command::Lint { deny: false, json: false });
-        assert_eq!(parse_ok(&["lint", "--deny"]), Command::Lint { deny: true, json: false });
-        assert_eq!(
-            parse_ok(&["lint", "--deny", "--json"]),
-            Command::Lint { deny: true, json: true }
-        );
+        assert_eq!(parse_ok(&["lint"]), lint(false, false, &[], &[]));
+        assert_eq!(parse_ok(&["lint", "--deny"]), lint(true, false, &[], &[]));
+        assert_eq!(parse_ok(&["lint", "--deny", "--json"]), lint(true, true, &[], &[]));
         assert!(parse_err(&["lint", "--quick"]).contains("unknown flag"));
+    }
+
+    #[test]
+    fn lint_rule_filters() {
+        assert_eq!(
+            parse_ok(&["lint", "--only", "taint-nondet-to-result"]),
+            lint(false, false, &["taint-nondet-to-result"], &[])
+        );
+        // Repeatable and comma-separable, on both flags.
+        assert_eq!(
+            parse_ok(&[
+                "lint",
+                "--only",
+                "unwrap-in-lib,lossy-counter-cast",
+                "--only",
+                "wallclock-in-sim",
+                "--exclude",
+                "unused-suppression"
+            ]),
+            lint(
+                false,
+                false,
+                &["unwrap-in-lib", "lossy-counter-cast", "wallclock-in-sim"],
+                &["unused-suppression"]
+            )
+        );
+        // Unknown rule names are usage errors (exit 2 in main).
+        let err = parse_err(&["lint", "--only", "no-such-rule"]);
+        assert!(err.contains("unknown rule `no-such-rule`"), "{err}");
+        assert!(err.contains("taint-nondet-to-result"), "lists the known rules: {err}");
+        let err = parse_err(&["lint", "--exclude", "nope"]);
+        assert!(err.contains("unknown rule `nope`"), "{err}");
     }
 
     #[test]

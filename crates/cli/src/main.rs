@@ -132,14 +132,22 @@ fn run(cmd: Command) -> Result<(), CliError> {
             println!("{USAGE}");
             Ok(())
         }
-        Command::Lint { deny, json } => {
+        Command::Lint { deny, json, only, exclude } => {
             let root = std::env::current_dir()
                 .ok()
                 .and_then(|cwd| mppm_analyze::find_workspace_root(&cwd))
                 .ok_or(CliError::Invalid(
                     "could not locate the workspace root (run from inside the repo)".into(),
                 ))?;
-            let analysis = mppm_analyze::analyze_workspace(&root)
+            // Rule names were validated at parse time; re-validation here
+            // only guards direct construction.
+            let filter = mppm_analyze::RuleFilter::new(&only, &exclude)
+                .map_err(CliError::Invalid)?;
+            let opts = mppm_analyze::AnalyzeOptions {
+                filter,
+                cache: Some(root.join("target/analyze-facts.cache")),
+            };
+            let analysis = mppm_analyze::analyze_workspace_opts(&root, &opts)
                 .map_err(|e| CliError::Invalid(format!("analyzing {}: {e}", root.display())))?;
             let report = if json {
                 mppm_analyze::report::json(&analysis)

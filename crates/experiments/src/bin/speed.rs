@@ -1,16 +1,57 @@
 //! Regenerates §4.3: MPPM speed versus detailed simulation.
 //!
-//! Usage: `cargo run --release -p mppm-experiments --bin speed [--quick] [--arena-only]`
+//! Usage: `cargo run --release -p mppm-experiments --bin speed [--quick]
+//! [--arena-only] [--analyze-only]`
 //!
 //! `--arena-only` skips the detailed-simulator benches and runs just the
 //! model-solver allocation comparison (regenerating `BENCH_arena.json`
 //! takes seconds; the simulator sections take minutes at full scale).
+//! `--analyze-only` runs just the mppm-analyze cold-vs-warm scan
+//! comparison (regenerating `BENCH_analyze.json`), gated on the warm
+//! scan being at least 2x faster than cold and under a wall-clock bound.
 
 use mppm_experiments::{speed, Context, Scale};
 
 fn main() {
     let ctx = Context::new(Scale::from_args());
     let arena_only = std::env::args().any(|a| a == "--arena-only");
+    let analyze_only = std::env::args().any(|a| a == "--analyze-only");
+
+    // Analyzer cold-vs-warm: the fact cache must pay for itself. Runs
+    // first (and alone under --analyze-only) because it needs no traces
+    // or profiles.
+    let analyze = speed::analyze_comparison(3);
+    let antable = speed::report_analyze(&analyze);
+    println!("\nmppm-analyze workspace scan: cold vs warm fact cache");
+    println!("{}", antable.render());
+    match speed::write_analyze_json(&analyze) {
+        Ok(path) => println!("(machine-readable copy: {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_analyze.json: {e}"),
+    }
+    // Gates: the warm scan must be >=2x faster than cold, and a full
+    // warm scan of the workspace must stay interactive — 2 s is ~20x
+    // headroom over the observed warm time, so only a gross regression
+    // (cache never hitting, quadratic graph pass) trips it.
+    if analyze.speedup() < 2.0 {
+        eprintln!(
+            "error: warm analyze scan is only {:.2}x faster than cold (cold {:.4}s, warm {:.4}s); \
+             the fact cache must buy >=2x",
+            analyze.speedup(),
+            analyze.cold_seconds,
+            analyze.warm_seconds
+        );
+        std::process::exit(1);
+    }
+    if analyze.warm_seconds > 2.0 {
+        eprintln!(
+            "error: warm analyze scan took {:.2}s for {} files; the wall-clock bound is 2s",
+            analyze.warm_seconds, analyze.files
+        );
+        std::process::exit(1);
+    }
+    if analyze_only {
+        return;
+    }
     let bench_mixes = match ctx.scale() {
         Scale::Full => 3,
         Scale::Quick => 2,

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// pin the worker count (1 vs N must be bit-identical) and so benchmark
 /// runs can be isolated from background load.
 pub fn worker_threads() -> usize {
+    // mppm-lint: allow(taint-nondet-to-result): worker count steers scheduling only; the 1-vs-N byte-identity tests prove results never depend on it
     if let Ok(v) = std::env::var("MPPM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -17,6 +18,7 @@ pub fn worker_threads() -> usize {
         }
         eprintln!("  [runner] ignoring invalid MPPM_THREADS={v:?}");
     }
+    // mppm-lint: allow(taint-nondet-to-result): parallelism picks the worker count, not the answer; 1-vs-N runs are proven byte-identical
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 

@@ -410,6 +410,107 @@ pub fn write_arena_json(points: &[ArenaPoint]) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Cold-vs-warm timing of the `mppm-analyze` workspace scan.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct AnalyzePoint {
+    /// Files scanned per pass.
+    pub files: usize,
+    /// Best full-scan seconds with no fact cache on disk (lex + parse +
+    /// call graph from scratch, then a cache fill).
+    pub cold_seconds: f64,
+    /// Best full-scan seconds replaying the warm fact cache (fingerprint
+    /// check + graph assembly only).
+    pub warm_seconds: f64,
+}
+
+impl AnalyzePoint {
+    /// Cold-scan time over warm-scan time.
+    pub fn speedup(&self) -> f64 {
+        self.cold_seconds / self.warm_seconds
+    }
+}
+
+/// Times the full workspace lint scan cold (no fact cache on disk)
+/// versus warm (replaying the per-file fact cache), best-of `rounds`
+/// each, and asserts the two reports byte-identical — the benchmark
+/// doubles as the cache-correctness differential check.
+///
+/// Uses a private cache file so concurrent `mppm-analyze` / `mppm-cli
+/// lint` runs never contend with the benchmark.
+pub fn analyze_comparison(rounds: usize) -> AnalyzePoint {
+    let root = mppm_analyze::find_workspace_root(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")),
+    )
+    .expect("the experiments crate lives inside the workspace");
+    let cache = root.join("target/analyze-facts-bench.cache");
+    let opts = mppm_analyze::AnalyzeOptions {
+        cache: Some(cache.clone()),
+        ..mppm_analyze::AnalyzeOptions::default()
+    };
+    let mut best = [f64::INFINITY; 2];
+    let mut files = 0;
+    for _ in 0..rounds.max(1) {
+        let _ = std::fs::remove_file(&cache);
+        let started = Instant::now();
+        let cold = mppm_analyze::analyze_workspace_opts(&root, &opts)
+            .expect("workspace sources are readable");
+        best[0] = best[0].min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        let warm = mppm_analyze::analyze_workspace_opts(&root, &opts)
+            .expect("workspace sources are readable");
+        best[1] = best[1].min(started.elapsed().as_secs_f64());
+        assert_eq!(
+            mppm_analyze::report::json(&cold),
+            mppm_analyze::report::json(&warm),
+            "cached facts changed the report"
+        );
+        files = cold.files;
+    }
+    let _ = std::fs::remove_file(&cache);
+    AnalyzePoint { files, cold_seconds: best[0], warm_seconds: best[1] }
+}
+
+/// Renders the analyzer cold/warm table and writes the CSV.
+pub fn report_analyze(point: &AnalyzePoint) -> Table {
+    let mut t = Table::new(&["files", "cold s/scan", "warm s/scan", "speedup"]);
+    t.row(vec![
+        point.files.to_string(),
+        f3(point.cold_seconds),
+        f3(point.warm_seconds),
+        format!("{:.2}x", point.speedup()),
+    ]);
+    let _ = t.save_csv("speed_analyze");
+    t
+}
+
+/// Writes the machine-readable analyzer comparison to
+/// `BENCH_analyze.json` at the workspace root (redirected to
+/// `target/test-results/` under `cargo test`).
+pub fn write_analyze_json(point: &AnalyzePoint) -> std::io::Result<PathBuf> {
+    #[derive(Serialize)]
+    struct BenchFile {
+        description: String,
+        unit: String,
+        points: Vec<AnalyzePoint>,
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if cfg!(test) { root.join("target/test-results") } else { root };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_analyze.json");
+    atomic_write_json(
+        &path,
+        &BenchFile {
+            description: "mppm-analyze full-workspace scan: cold (no fact cache) vs \
+                          warm (per-file fact-cache replay), reports asserted \
+                          byte-identical, same build"
+                .to_string(),
+            unit: "seconds per scan".to_string(),
+            points: vec![*point],
+        },
+    )?;
+    Ok(path)
+}
+
 /// Observability-overhead timing at one core count: the same mixes with
 /// no observer, with a disabled observer (the default in every hot
 /// path), and with an enabled [`NoopSink`] observer.
@@ -624,6 +725,28 @@ mod tests {
         assert!(raw.contains("\"workers\":1"), "unexpected JSON shape: {raw}");
         assert!(raw.contains("fresh_seconds"));
         assert!(raw.contains("arena_seconds"));
+    }
+
+    #[test]
+    fn analyze_comparison_measures_and_serializes() {
+        let point = analyze_comparison(2);
+        assert!(point.files > 30, "scan is broken: only {} files", point.files);
+        assert!(point.cold_seconds > 0.0);
+        assert!(point.warm_seconds > 0.0);
+        assert!(
+            point.speedup() >= 2.0,
+            "warm fact-cache scan should be >=2x faster than cold, got {:.2}x \
+             (cold {:.4}s, warm {:.4}s)",
+            point.speedup(),
+            point.cold_seconds,
+            point.warm_seconds
+        );
+        let table = report_analyze(&point);
+        assert_eq!(table.len(), 1);
+        let path = write_analyze_json(&point).expect("json written");
+        let raw = std::fs::read_to_string(path).expect("json readable");
+        assert!(raw.contains("cold_seconds"), "unexpected JSON shape: {raw}");
+        assert!(raw.contains("warm_seconds"));
     }
 
     #[test]

@@ -256,7 +256,7 @@ impl Store {
             .iter()
             .map(|n| suite::benchmark(n).expect("mix references a suite benchmark"))
             .collect();
-        // mppm-lint: allow(wallclock-in-sim): records how long the sim took (sim_seconds telemetry), not simulated time
+        // mppm-lint: allow(wallclock-in-sim, taint-nondet-to-result): records how long the sim took (sim_seconds telemetry); excluded from golden comparisons and cache keys
         let started = Instant::now();
         // Check a warm arena out of the pool for the duration of the run
         // (never holding the pool lock while simulating), and return it

@@ -104,7 +104,7 @@ impl Observer {
 /// time or results: `elapsed_us` appears only on span-end telemetry
 /// events, and determinism tests strip it before comparing traces.
 fn now() -> Instant {
-    // mppm-lint: allow(wallclock-in-sim): span-end telemetry only; never feeds simulated time or results
+    // mppm-lint: allow(wallclock-in-sim, taint-nondet-to-result): span-end telemetry only; determinism tests strip `elapsed_us` before comparing traces
     Instant::now()
 }
 

@@ -198,6 +198,7 @@ fn resolve_specs(names: &[String]) -> Result<Vec<&'static BenchmarkSpec>, Handle
 /// Table 2 LLC config plus the optional bandwidth cap, with the same
 /// partition validation `mppm-cli predict --partition` performs.
 fn machine_for(m: &MixRequest) -> Result<MachineConfig, HandlerError> {
+    // mppm-lint: allow(panic-reaches-handler): `parse_config_1based` bounds-checked `m.config` against `llc_configs()` at resolve time
     let mut machine = MachineConfig::baseline().with_llc(llc_configs()[m.config]);
     if let Some(bw) = m.bandwidth {
         if !(bw.is_finite() && bw > 0.0) {

@@ -35,7 +35,7 @@ fn main() {
         four_core.len()
     );
 
-    // mppm-lint: allow(wallclock-in-sim): prints how long the hunt took; no result depends on it
+    // mppm-lint: allow(wallclock-in-sim, taint-nondet-to-result): prints how long the hunt took; no result depends on it
     let started = Instant::now();
     let mut scored: Vec<(f64, &Mix)> = Vec::new();
     let mut slowdown_per_bench: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
