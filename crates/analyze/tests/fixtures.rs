@@ -319,6 +319,50 @@ fn f() {
 }
 
 #[test]
+fn deprecated_campaign_entrypoints_fire_outside_their_crate() {
+    fires_and_fixes(
+        "deprecated-sim-entrypoint",
+        r#"
+fn sweep(ctx: &Context, spec: &CampaignSpec, options: &AggregateOptions) -> Out {
+    mppm_campaign::run_campaign(ctx, spec, options)
+}
+"#,
+        r#"
+fn sweep(ctx: &Context, spec: &CampaignSpec, options: &AggregateOptions) -> Out {
+    mppm_campaign::Campaign::new(spec).options(options).run(ctx)
+}
+"#,
+    );
+    // The whole retired family fires: the named wrappers anywhere, and
+    // `execute` in free-function call shape.
+    let all = r#"
+fn f(ctx: &Context, plan: &CampaignPlan, journal: &Journal, span: &Span) {
+    run_campaign(a, b, c);
+    run_campaign_with(a, b, c, d);
+    executor::execute(ctx, plan, journal);
+    execute_observed(ctx, plan, journal, span);
+}
+"#;
+    let fired = rules_fired(&analyze_one(LIB, all));
+    assert_eq!(fired.len(), 4, "{fired:?}");
+    assert!(fired.iter().all(|(r, _)| r == "deprecated-sim-entrypoint"));
+    // Method calls and definitions named `execute` are NOT the retired
+    // free function — the campaign crate itself and tests are exempt.
+    let benign = r#"
+fn g(plan: &CompiledTrace) -> u64 {
+    plan.execute(1000)
+}
+fn execute(x: u64) -> u64 {
+    x
+}
+"#;
+    assert!(analyze_one(LIB, benign).is_clean(), "{:?}", rules_fired(&analyze_one(LIB, benign)));
+    let src = "fn f() { let _ = run_campaign(ctx, spec, options); }\n";
+    assert!(analyze_one("crates/campaign/src/lib.rs", src).is_clean());
+    assert!(analyze_one("tests/differential.rs", src).is_clean());
+}
+
+#[test]
 fn uncompiled_hot_loop() {
     fires_and_fixes(
         "uncompiled-hot-loop",

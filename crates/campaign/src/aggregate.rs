@@ -1,18 +1,36 @@
-//! Streaming aggregation of campaign results.
+//! Mergeable aggregation of campaign results.
 //!
-//! Distributions (mean, spread, quantiles, slowdown histograms) are
-//! folded shard by shard through the streaming accumulators in
-//! [`mppm::stats`], so memory stays O(designs), not O(mixes). The one
-//! thing that genuinely needs the per-mix values — design-ranking
-//! stability under random subsampling, the paper's §5 argument — keeps a
-//! single `f64` per (design, mix).
+//! Aggregation is a fold of shard records into a [`CampaignAccumulator`]
+//! whose `merge` is **exactly associative and commutative**: every
+//! statistic routes through the exact accumulators in [`mppm::stats`]
+//! (superaccumulator moments, integer-count quantile sketches,
+//! integer-count histograms) or through position-addressed values that
+//! are re-sorted into plan order at the end. Any partition of the shard
+//! set, folded in any order and merged in any tree shape, therefore
+//! produces byte-identical aggregates — the property that lets a
+//! distributed campaign's tree-reduce match a single-process scan bit
+//! for bit, proven by the property tests below rather than by
+//! inspection.
+//!
+//! Memory stays O(designs) for the distributions. The one thing that
+//! genuinely needs per-mix values — design-ranking stability under
+//! random subsampling, the paper's §5 argument — keeps a single `f64`
+//! per (design, mix), and is therefore gated behind
+//! [`STABILITY_POPULATION_CAP`]: at tens of millions of mixes the
+//! subsampling question is settled and the vectors would not fit.
 
-use mppm::stats::{P2Quantile, StreamingMoments};
+use mppm::stats::{QuantileSketch, StreamingMoments};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::journal::ShardRecord;
+use crate::journal::{Journal, ShardRecord};
 use crate::plan::CampaignPlan;
+use crate::CampaignError;
+
+/// Largest population for which the stability sweep (and its O(mixes)
+/// per-design value vectors) runs. Above this the sweep is skipped and
+/// the stability table is empty.
+pub const STABILITY_POPULATION_CAP: u64 = 1 << 22;
 
 /// Summary of one metric's distribution over the mix population.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,30 +51,26 @@ pub struct SummaryStats {
     pub p90: f64,
 }
 
-/// Streaming accumulator behind [`SummaryStats`].
-#[derive(Debug, Clone)]
+/// Mergeable accumulator behind [`SummaryStats`].
+#[derive(Debug, Clone, PartialEq)]
 struct SummaryAcc {
     moments: StreamingMoments,
-    p10: P2Quantile,
-    p50: P2Quantile,
-    p90: P2Quantile,
+    quantiles: QuantileSketch,
 }
 
 impl SummaryAcc {
     fn new() -> Self {
-        Self {
-            moments: StreamingMoments::new(),
-            p10: P2Quantile::new(0.1),
-            p50: P2Quantile::new(0.5),
-            p90: P2Quantile::new(0.9),
-        }
+        Self { moments: StreamingMoments::new(), quantiles: QuantileSketch::new() }
     }
 
     fn push(&mut self, x: f64) {
         self.moments.push(x);
-        self.p10.push(x);
-        self.p50.push(x);
-        self.p90.push(x);
+        self.quantiles.push(x);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.moments.merge(&other.moments);
+        self.quantiles.merge(&other.quantiles);
     }
 
     fn finish(self) -> SummaryStats {
@@ -65,9 +79,9 @@ impl SummaryAcc {
             std: self.moments.sample_std().unwrap_or(0.0),
             min: self.moments.min().expect("at least one mix"),
             max: self.moments.max().expect("at least one mix"),
-            p10: self.p10.estimate().expect("at least one mix"),
-            p50: self.p50.estimate().expect("at least one mix"),
-            p90: self.p90.estimate().expect("at least one mix"),
+            p10: self.quantiles.quantile(0.1).expect("at least one mix"),
+            p50: self.quantiles.quantile(0.5).expect("at least one mix"),
+            p90: self.quantiles.quantile(0.9).expect("at least one mix"),
         }
     }
 }
@@ -97,6 +111,24 @@ impl SlowdownHistogram {
         self.counts[idx] += 1;
     }
 
+    /// Adds `other`'s counts bin for bin — exact, so merging is
+    /// associative and commutative like the rest of the accumulator.
+    ///
+    /// # Panics
+    ///
+    /// If the histograms have different geometry.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.start == other.start
+                && self.width == other.width
+                && self.counts.len() == other.counts.len(),
+            "histogram geometries must match"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
     /// `[lo, hi)` bounds of bin `idx` (the last bin is open-ended).
     pub fn bounds(&self, idx: usize) -> (f64, Option<f64>) {
         let lo = self.start + idx as f64 * self.width;
@@ -116,7 +148,7 @@ pub struct DesignAggregate {
     /// 0-based Table 2 LLC config index.
     pub config_idx: usize,
     /// Mixes evaluated.
-    pub mixes: usize,
+    pub mixes: u64,
     /// STP distribution.
     pub stp: SummaryStats,
     /// ANTT distribution.
@@ -158,6 +190,135 @@ impl Default for AggregateOptions {
     }
 }
 
+/// One design's mergeable state.
+#[derive(Debug, Clone, PartialEq)]
+struct DesignAcc {
+    stp: SummaryAcc,
+    antt: SummaryAcc,
+    slowdowns: SlowdownHistogram,
+}
+
+impl DesignAcc {
+    fn new() -> Self {
+        Self { stp: SummaryAcc::new(), antt: SummaryAcc::new(), slowdowns: SlowdownHistogram::new() }
+    }
+}
+
+/// Mergeable fold state over shard records — the campaign's aggregation
+/// monoid. Build one per worker/partition, [`absorb`](Self::absorb)
+/// shard records into it, then [`merge`](Self::merge) partials in any
+/// tree shape; [`finish`](Self::finish) yields the same bytes as a
+/// single linear scan in plan order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignAccumulator {
+    designs: Vec<DesignAcc>,
+    /// Position-addressed per-design STP values, kept only when the
+    /// stability sweep applies. Re-sorted by mix index at finish, so
+    /// absorb/merge order cannot leak into the sweep.
+    stp_values: Option<Vec<Vec<(u64, f64)>>>,
+}
+
+/// Whether the stability sweep runs for this plan (≥ 2 designs and a
+/// population small enough to hold one `f64` per design × mix).
+pub fn stability_applies(plan: &CampaignPlan) -> bool {
+    plan.spec.designs.len() >= 2 && plan.population.len() <= STABILITY_POPULATION_CAP
+}
+
+impl CampaignAccumulator {
+    /// An empty accumulator shaped for `plan`.
+    pub fn new(plan: &CampaignPlan) -> Self {
+        let n_designs = plan.spec.designs.len();
+        Self {
+            designs: (0..n_designs).map(|_| DesignAcc::new()).collect(),
+            stp_values: stability_applies(plan)
+                .then(|| (0..n_designs).map(|_| Vec::new()).collect()),
+        }
+    }
+
+    /// Folds one shard record in. The record's global mix positions are
+    /// derived from its shard index and the plan's shard size.
+    pub fn absorb(&mut self, plan: &CampaignPlan, record: &ShardRecord) {
+        let start = record.index as u64 * plan.spec.shard_size as u64;
+        let acc = &mut self.designs[record.design];
+        for (offset, out) in record.outcomes.iter().enumerate() {
+            acc.stp.push(out.stp);
+            acc.antt.push(out.antt);
+            acc.slowdowns.push(out.max_slowdown);
+            if let Some(values) = &mut self.stp_values {
+                values[record.design].push((start + offset as u64, out.stp));
+            }
+        }
+    }
+
+    /// Merges another partial in. Exactly associative and commutative:
+    /// the merged state depends only on the multiset of absorbed
+    /// records, never on the merge shape.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.designs.len(), other.designs.len(), "accumulators must share a plan");
+        for (mine, theirs) in self.designs.iter_mut().zip(&other.designs) {
+            mine.stp.merge(&theirs.stp);
+            mine.antt.merge(&theirs.antt);
+            mine.slowdowns.merge(&theirs.slowdowns);
+        }
+        if let (Some(mine), Some(theirs)) = (&mut self.stp_values, &other.stp_values) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.extend_from_slice(t);
+            }
+        }
+    }
+
+    /// Finishes the fold into per-design aggregates and the stability
+    /// sweep.
+    ///
+    /// # Panics
+    ///
+    /// If the accumulator does not cover the plan exactly once (each
+    /// design must have absorbed every mix exactly one time).
+    pub fn finish(
+        self,
+        plan: &CampaignPlan,
+        options: &AggregateOptions,
+    ) -> (Vec<DesignAggregate>, Vec<StabilityPoint>) {
+        let population = plan.population.len();
+        let designs: Vec<DesignAggregate> = self
+            .designs
+            .iter()
+            .zip(&plan.spec.designs)
+            .map(|(acc, &config_idx)| {
+                assert_eq!(
+                    acc.stp.moments.count(),
+                    population,
+                    "design {config_idx} absorbed the wrong number of mixes"
+                );
+                DesignAggregate {
+                    config_idx,
+                    mixes: population,
+                    stp: acc.stp.clone().finish(),
+                    antt: acc.antt.clone().finish(),
+                    slowdowns: acc.slowdowns.clone(),
+                }
+            })
+            .collect();
+
+        let stability = match self.stp_values {
+            Some(mut values) => {
+                // Plan order regardless of absorb/merge order.
+                let stp: Vec<Vec<f64>> = values
+                    .iter_mut()
+                    .map(|v| {
+                        v.sort_unstable_by_key(|&(idx, _)| idx);
+                        assert_eq!(v.len() as u64, population, "stability values must tile");
+                        v.iter().map(|&(_, x)| x).collect()
+                    })
+                    .collect();
+                stability_sweep(plan, &stp, options)
+            }
+            None => Vec::new(),
+        };
+        (designs, stability)
+    }
+}
+
 /// Subset sizes probed by the stability sweep: powers of two bracketing
 /// the paper's "10 to 100 random mixes", capped below the population.
 fn subset_sizes(population: usize) -> Vec<usize> {
@@ -167,49 +328,44 @@ fn subset_sizes(population: usize) -> Vec<usize> {
         .collect()
 }
 
-/// Folds journal records (plan order) into per-design aggregates and the
-/// pairwise stability sweep.
+/// Folds shard records into per-design aggregates and the pairwise
+/// stability sweep.
 ///
-/// Everything here is a deterministic function of the records and
-/// options — the RNG is seeded per (pair, size) — which is what the
-/// resume test leans on.
+/// Everything here is a deterministic function of the record multiset
+/// and options — see [`CampaignAccumulator`] — which is what the resume
+/// and distributed byte-identity tests lean on.
 pub fn aggregate(
     plan: &CampaignPlan,
     records: &[ShardRecord],
     options: &AggregateOptions,
 ) -> (Vec<DesignAggregate>, Vec<StabilityPoint>) {
-    let n_designs = plan.spec.designs.len();
-    let population = plan.mixes.len();
-    let mut accs: Vec<(SummaryAcc, SummaryAcc, SlowdownHistogram)> = (0..n_designs)
-        .map(|_| (SummaryAcc::new(), SummaryAcc::new(), SlowdownHistogram::new()))
-        .collect();
-    // Per-design STP in mix order, for the subsampling sweep.
-    let mut stp: Vec<Vec<f64>> = vec![Vec::with_capacity(population); n_designs];
-
+    let mut acc = CampaignAccumulator::new(plan);
     for record in records {
-        let (stp_acc, antt_acc, hist) = &mut accs[record.design];
-        for out in &record.outcomes {
-            stp_acc.push(out.stp);
-            antt_acc.push(out.antt);
-            hist.push(out.max_slowdown);
-            stp[record.design].push(out.stp);
-        }
+        acc.absorb(plan, record);
     }
+    acc.finish(plan, options)
+}
 
-    let designs: Vec<DesignAggregate> = accs
-        .into_iter()
-        .zip(&plan.spec.designs)
-        .map(|((stp_acc, antt_acc, hist), &config_idx)| DesignAggregate {
-            config_idx,
-            mixes: population,
-            stp: stp_acc.finish(),
-            antt: antt_acc.finish(),
-            slowdowns: hist,
-        })
-        .collect();
-
-    let stability = stability_sweep(plan, &stp, options);
-    (designs, stability)
+/// Streams the journal's shards through the accumulator in plan order,
+/// without ever materializing the full record set.
+///
+/// # Errors
+///
+/// [`CampaignError::MissingShard`] if a shard is absent or unreadable,
+/// or a journal format error.
+pub fn aggregate_journal(
+    plan: &CampaignPlan,
+    journal: &Journal,
+    options: &AggregateOptions,
+) -> Result<(Vec<DesignAggregate>, Vec<StabilityPoint>), CampaignError> {
+    let mut acc = CampaignAccumulator::new(plan);
+    for shard in &plan.shards {
+        let record = journal
+            .load(shard.id, shard.mixes())?
+            .ok_or(CampaignError::MissingShard(shard.id))?;
+        acc.absorb(plan, &record);
+    }
+    Ok(acc.finish(plan, options))
 }
 
 fn stability_sweep(
@@ -217,7 +373,7 @@ fn stability_sweep(
     stp: &[Vec<f64>],
     options: &AggregateOptions,
 ) -> Vec<StabilityPoint> {
-    let population = plan.mixes.len();
+    let population = plan.population.len() as usize;
     let full_mean =
         |d: usize| stp[d].iter().sum::<f64>() / population.max(1) as f64;
     let mut points = Vec::new();
@@ -271,6 +427,7 @@ mod tests {
     use crate::journal::MixOutcome;
     use crate::plan::{CampaignSpec, MixSource};
     use mppm_trace::TraceGeometry;
+    use proptest::prelude::*;
 
     /// A plan plus synthetic records where design 0's STP is always
     /// `base + i/100` and design 1's is shifted by `delta`.
@@ -301,7 +458,7 @@ mod tests {
                             1.5 + ((i * 7 + 3) % 10) as f64 / 100.0 + delta
                         };
                         MixOutcome {
-                            members: plan.mixes[i].members().to_vec(),
+                            members: plan.population.mix_at(i).members().to_vec(),
                             stp,
                             antt: 1.0 + (i % 7) as f64 / 10.0,
                             max_slowdown: 1.0 + (i % 13) as f64 / 4.0,
@@ -376,6 +533,20 @@ mod tests {
     }
 
     #[test]
+    fn single_design_skips_the_stability_sweep_and_its_vectors() {
+        let spec = CampaignSpec {
+            cores: 2,
+            designs: vec![0],
+            source: MixSource::Stratified { count: 10, seed: 1 },
+            shard_size: 4,
+        };
+        let plan = CampaignPlan::build(&spec, 29, TraceGeometry::new(20_000, 10)).unwrap();
+        assert!(!stability_applies(&plan));
+        let acc = CampaignAccumulator::new(&plan);
+        assert!(acc.stp_values.is_none(), "no per-mix vectors for one design");
+    }
+
+    #[test]
     fn histogram_bins_and_bounds() {
         let mut h = SlowdownHistogram::new();
         h.push(1.0);
@@ -388,5 +559,65 @@ mod tests {
         assert_eq!(h.total(), 4);
         assert_eq!(h.bounds(0), (1.0, Some(1.25)));
         assert_eq!(h.bounds(16), (5.0, None));
+    }
+
+    /// Fold `records` through `shapes` partitions merged as a balanced
+    /// tree, returning the finished aggregate.
+    fn tree_aggregate(
+        plan: &CampaignPlan,
+        records: &[ShardRecord],
+        chunk: usize,
+    ) -> (Vec<DesignAggregate>, Vec<StabilityPoint>) {
+        let mut partials: Vec<CampaignAccumulator> = records
+            .chunks(chunk.max(1))
+            .map(|part| {
+                let mut acc = CampaignAccumulator::new(plan);
+                for r in part {
+                    acc.absorb(plan, r);
+                }
+                acc
+            })
+            .collect();
+        while partials.len() > 1 {
+            let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+            for pair in partials.chunks(2) {
+                let mut merged = pair[0].clone();
+                if let Some(right) = pair.get(1) {
+                    merged.merge(right);
+                }
+                next.push(merged);
+            }
+            partials = next;
+        }
+        partials.pop().expect("at least one partial").finish(plan, &AggregateOptions::default())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The tentpole property: linear scan, tree-reduce at any chunk
+        /// width, and a shuffled record order all aggregate to identical
+        /// results — merge shape and order cannot leak into the output.
+        #[test]
+        fn merge_shape_and_order_cannot_change_the_aggregate(
+            mixes in 8usize..80,
+            chunk in 1usize..10,
+            seed in 0u64..1000,
+        ) {
+            let (plan, records) = synthetic(0.003, mixes);
+            let linear = aggregate(&plan, &records, &AggregateOptions::default());
+            let tree = tree_aggregate(&plan, &records, chunk);
+            prop_assert_eq!(&linear, &tree);
+
+            // Shuffle the record order (a worker-completion order).
+            let mut shuffled = records.clone();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for k in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..k + 1);
+                shuffled.swap(k, j);
+            }
+            let out_of_order = aggregate(&plan, &shuffled, &AggregateOptions::default());
+            prop_assert_eq!(&linear, &out_of_order);
+        }
     }
 }

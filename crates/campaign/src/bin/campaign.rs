@@ -7,17 +7,21 @@
 //! ```text
 //! campaign [--quick] [--cores N] [--configs 1,2,...] \
 //!          [--sample N --seed S] [--shard-size N] [--trials N] \
+//!          [--workers N] [--journal DIR] [--bundle FILE] \
 //!          [--trace FILE] [--progress]
 //! ```
 //!
 //! `--configs` takes 1-based Table 2 LLC config numbers. Without
-//! `--sample` the full mix space is enumerated (refused above 4M mixes).
-//! `--trace FILE` writes a deterministic JSONL event trace; `--progress`
-//! mirrors campaign milestones to stderr.
+//! `--sample` the full mix space is enumerated — including the complete
+//! 8-program space (30,260,340 mixes). `--workers N` fans execution out
+//! over N spawned worker processes (this same binary, re-entered);
+//! killing any worker, or the whole run, loses at most the in-flight
+//! shards. `--trace FILE` writes a deterministic JSONL event trace;
+//! `--progress` mirrors campaign milestones to stderr.
 
 use mppm_campaign::{
-    csv_bundle, design_table, histogram_table, run_campaign_with, stability_table, write_csvs,
-    AggregateOptions, CampaignSpec, MixSource,
+    csv_bundle, design_table, histogram_table, stability_table, write_csvs, AggregateOptions,
+    Campaign, CampaignSpec, MixSource,
 };
 use mppm_experiments::{Context, Scale};
 use mppm_obs::{JsonlSink, Observer, ProgressSink, Sink};
@@ -27,6 +31,9 @@ struct Args {
     scale: Scale,
     spec: CampaignSpec,
     options: AggregateOptions,
+    workers: usize,
+    journal: Option<PathBuf>,
+    bundle: Option<PathBuf>,
     trace: Option<PathBuf>,
     progress: bool,
 }
@@ -43,6 +50,9 @@ fn usage() -> ! {
          --seed S       sample seed (default 1, ignored without --sample)\n\
          --shard-size N mixes per checkpoint shard (default 64)\n\
          --trials N     random subsets per stability point (default 200)\n\
+         --workers N    fan out over N worker processes (default 0 = in-process)\n\
+         --journal DIR  shard journal directory (default: the trace store)\n\
+         --bundle FILE  also write the CSV bundle to FILE (byte-compare aid)\n\
          --trace FILE   write a deterministic JSONL event trace to FILE\n\
          --progress     print campaign milestones to stderr"
     );
@@ -55,6 +65,9 @@ fn parse_args() -> Args {
     let mut options = AggregateOptions::default();
     let mut sample: Option<usize> = None;
     let mut seed = 1u64;
+    let mut workers = 0usize;
+    let mut journal: Option<PathBuf> = None;
+    let mut bundle: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut progress = false;
     let mut args = std::env::args().skip(1);
@@ -63,6 +76,12 @@ fn parse_args() -> Args {
             eprintln!("error: {what} needs a number");
             usage()
         })
+    };
+    let path = |v: Option<String>, what: &str| -> PathBuf {
+        PathBuf::from(v.unwrap_or_else(|| {
+            eprintln!("error: {what} needs a path");
+            usage()
+        }))
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,12 +104,10 @@ fn parse_args() -> Args {
             "--seed" => seed = parse(args.next(), "--seed"),
             "--shard-size" => spec.shard_size = parse(args.next(), "--shard-size") as usize,
             "--trials" => options.stability_trials = parse(args.next(), "--trials") as usize,
-            "--trace" => {
-                trace = Some(PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("error: --trace needs a file path");
-                    usage()
-                })));
-            }
+            "--workers" => workers = parse(args.next(), "--workers") as usize,
+            "--journal" => journal = Some(path(args.next(), "--journal")),
+            "--bundle" => bundle = Some(path(args.next(), "--bundle")),
+            "--trace" => trace = Some(path(args.next(), "--trace")),
             "--progress" => progress = true,
             "--help" | "-h" => usage(),
             other => {
@@ -102,10 +119,14 @@ fn parse_args() -> Args {
     if let Some(count) = sample {
         spec.source = MixSource::Stratified { count, seed };
     }
-    Args { scale, spec, options, trace, progress }
+    Args { scale, spec, options, workers, journal, bundle, trace, progress }
 }
 
 fn main() {
+    // Re-entry point for `--workers` fan-out: when spawned as a worker
+    // this serves shard assignments on stdin/stdout and never returns.
+    mppm_campaign::maybe_serve();
+
     let args = parse_args();
     let ctx = Context::new(args.scale);
 
@@ -121,11 +142,20 @@ fn main() {
 
     let result = {
         let root = observer.root("campaign");
-        match run_campaign_with(&ctx, &args.spec, &args.options, &root) {
+        let mut campaign =
+            Campaign::new(&args.spec).options(&args.options).workers(args.workers).observer(&root);
+        if let Some(dir) = &args.journal {
+            campaign = campaign.journal(dir);
+        }
+        match campaign.run(&ctx) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                let code = match &e {
+                    mppm_campaign::CampaignError::Protocol(_) => 6,
+                    _ => 1,
+                };
+                std::process::exit(code);
             }
         }
     };
@@ -158,6 +188,15 @@ fn main() {
         );
     }
 
+    let bundle = csv_bundle(&result);
+    if let Some(path) = &args.bundle {
+        if let Err(e) = mppm_experiments::atomic_write_bytes(path, bundle.as_bytes()) {
+            eprintln!("error writing bundle: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote csv bundle to {}", path.display());
+    }
+
     // CSVs next to the other experiment outputs (workspace results/).
     let dir: PathBuf = mppm_experiments::table::results_dir();
     match write_csvs(&result, &dir) {
@@ -167,7 +206,7 @@ fn main() {
             std::process::exit(1);
         }
     }
-    // The bundle is what the resume test compares; print its size as a
-    // cheap fingerprint of the output.
-    println!("csv bundle: {} bytes", csv_bundle(&result).len());
+    // The bundle is what the resume and distributed tests compare; print
+    // its size as a cheap fingerprint of the output.
+    println!("csv bundle: {} bytes", bundle.len());
 }

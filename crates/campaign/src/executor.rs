@@ -3,9 +3,10 @@
 //! The executor fans pending shards out over [`parallel_map_with`]
 //! workers, each owning a warm [`SolverScratch`] for the duration of the
 //! run. Each worker solves the MPPM fixed point for every mix in its
-//! shard (from cached single-core profiles) and persists the shard
-//! atomically before moving on. Completed shards found in the journal are skipped,
-//! which is the whole resume story — no in-band state beyond the files.
+//! shard (walked lazily from the plan's population — exhaustive spaces
+//! are never materialized) and persists the shard atomically before
+//! moving on. Completed shards found in the journal are skipped, which
+//! is the whole resume story — no in-band state beyond the files.
 //!
 //! Aggregation input is *always re-read from the journal*, in plan order,
 //! even for shards computed this run. Both a one-shot and a resumed
@@ -31,7 +32,7 @@ pub struct ExecutionStats {
     /// Shards computed by this run.
     pub computed_shards: usize,
     /// Model evaluations performed by this run (not resumed ones).
-    pub evaluated_mixes: usize,
+    pub evaluated_mixes: u64,
     /// Wall-clock seconds spent computing (0 when fully resumed).
     pub compute_seconds: f64,
 }
@@ -50,7 +51,7 @@ impl ExecutionStats {
 /// `span` is the *shard's* scope. Each mix gets a child scope named by
 /// its global plan index (`mix-0007`), so the trace's event order is a
 /// function of the plan alone — never of which worker ran the shard.
-fn compute_shard(
+pub(crate) fn compute_shard(
     ctx: &Context,
     plan: &CampaignPlan,
     profiles: &[SingleCoreProfile],
@@ -58,12 +59,13 @@ fn compute_shard(
     span: &Span,
     scratch: &mut SolverScratch,
 ) -> ShardRecord {
-    let outcomes = plan.mixes[shard.start..shard.end]
-        .iter()
+    let outcomes = plan
+        .population
+        .iter_range(shard.start, shard.end)
         .enumerate()
         .map(|(offset, mix)| {
-            let mix_span = span.child(&format!("mix-{:04}", shard.start + offset));
-            let pred = ctx.predict_observed_with(mix, profiles, &mix_span, scratch);
+            let mix_span = span.child(&format!("mix-{:04}", shard.start + offset as u64));
+            let pred = ctx.predict_observed_with(&mix, profiles, &mix_span, scratch);
             span.counter("campaign.mixes").incr();
             MixOutcome {
                 members: mix.members().to_vec(),
@@ -79,38 +81,25 @@ fn compute_shard(
     ShardRecord { design: shard.id.design, index: shard.id.index, outcomes }
 }
 
-/// Runs every pending shard of `plan`, then loads the complete shard set
-/// from the journal in plan order.
-///
-/// # Errors
-///
-/// I/O errors persisting shards, or [`CampaignError::MissingShard`] if a
-/// shard cannot be read back after execution.
-pub fn execute(
-    ctx: &Context,
-    plan: &CampaignPlan,
-    journal: &Journal,
-) -> Result<(Vec<ShardRecord>, ExecutionStats), CampaignError> {
-    execute_observed(ctx, plan, journal, &Span::disabled())
-}
-
-/// [`execute`] under an observability span.
+/// Runs every pending shard of `plan` in this process, leaving results
+/// in the journal. Nothing is returned beyond bookkeeping — aggregation
+/// reads the journal (see [`crate::aggregate::aggregate_journal`]).
 ///
 /// Every computed shard opens a child scope (`shard-d0-i0003`) owned by
-/// exactly one worker; inside it each mix opens its own scope for the
-/// solver's residual events, and a `checkpoint` event marks the moment
-/// the shard hit the journal. Resumed shards emit nothing — the trace
-/// records work actually performed.
+/// exactly one worker thread; inside it each mix opens its own scope for
+/// the solver's residual events, and a `checkpoint` event marks the
+/// moment the shard hit the journal. Resumed shards emit nothing — the
+/// trace records work actually performed.
 ///
 /// # Errors
 ///
-/// Exactly as [`execute`].
-pub fn execute_observed(
+/// I/O errors persisting shards, or journal format errors.
+pub fn execute_pending(
     ctx: &Context,
     plan: &CampaignPlan,
     journal: &Journal,
     span: &Span,
-) -> Result<(Vec<ShardRecord>, ExecutionStats), CampaignError> {
+) -> Result<ExecutionStats, CampaignError> {
     // Profiles once per design point (cached on disk by the store).
     let profiles: Vec<Vec<SingleCoreProfile>> = plan
         .spec
@@ -119,11 +108,12 @@ pub fn execute_observed(
         .map(|&cfg| ctx.profiles(&ctx.machine_with_config(cfg)))
         .collect();
 
-    let pending: Vec<&Shard> = plan
-        .shards
-        .iter()
-        .filter(|s| journal.load(s.id, s.end - s.start).is_none())
-        .collect();
+    let mut pending: Vec<&Shard> = Vec::new();
+    for shard in &plan.shards {
+        if journal.load(shard.id, shard.mixes())?.is_none() {
+            pending.push(shard);
+        }
+    }
     let resumed = plan.shards.len() - pending.len();
     if resumed > 0 {
         eprintln!(
@@ -134,7 +124,7 @@ pub fn execute_observed(
 
     // mppm-lint: allow(wallclock-in-sim, taint-nondet-to-result): progress telemetry only; never feeds simulated time, journal records, or results
     let started = Instant::now();
-    let evaluated: usize = pending.iter().map(|s| s.end - s.start).sum();
+    let evaluated: u64 = pending.iter().map(|s| s.mixes()).sum();
     // One solver scratch per worker: its pools stay warm across every
     // shard (and mix) the worker processes, and results stay bit-exact
     // at any worker count because scratch never crosses threads.
@@ -153,7 +143,7 @@ pub fn execute_observed(
                     &[
                         ("design", Value::from(shard.id.design)),
                         ("index", Value::from(shard.id.index)),
-                        ("mixes", Value::from(shard.end - shard.start)),
+                        ("mixes", Value::from(shard.mixes())),
                     ],
                 );
                 span.counter("campaign.shards").incr();
@@ -165,25 +155,72 @@ pub fn execute_observed(
         return Err(CampaignError::Io(e));
     }
 
-    // Single source of truth for aggregation: the journal.
-    let records = plan
-        .shards
-        .iter()
-        .map(|s| {
-            journal
-                .load(s.id, s.end - s.start)
-                .ok_or(CampaignError::MissingShard(s.id))
-        })
-        .collect::<Result<Vec<ShardRecord>, CampaignError>>()?;
-
-    let stats = ExecutionStats {
+    Ok(ExecutionStats {
         total_shards: plan.shards.len(),
         resumed_shards: resumed,
         computed_shards: pending.len(),
         evaluated_mixes: evaluated,
         compute_seconds: if pending.is_empty() { 0.0 } else { compute_seconds },
-    };
-    Ok((records, stats))
+    })
+}
+
+/// Loads the plan's complete shard set from the journal, in plan order.
+///
+/// # Errors
+///
+/// [`CampaignError::MissingShard`] for an absent/unreadable shard, or a
+/// journal format error.
+pub(crate) fn load_records(
+    plan: &CampaignPlan,
+    journal: &Journal,
+) -> Result<Vec<ShardRecord>, CampaignError> {
+    plan.shards
+        .iter()
+        .map(|s| {
+            journal.load(s.id, s.mixes())?.ok_or(CampaignError::MissingShard(s.id))
+        })
+        .collect()
+}
+
+/// Runs every pending shard of `plan`, then loads the complete shard set
+/// from the journal in plan order.
+///
+/// # Errors
+///
+/// I/O errors persisting shards, or [`CampaignError::MissingShard`] if a
+/// shard cannot be read back after execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Campaign::new(spec).journal(root).run(ctx)`; for raw shard access use \
+            `execute_pending` + `Journal::load`"
+)]
+pub fn execute(
+    ctx: &Context,
+    plan: &CampaignPlan,
+    journal: &Journal,
+) -> Result<(Vec<ShardRecord>, ExecutionStats), CampaignError> {
+    let stats = execute_pending(ctx, plan, journal, &Span::disabled())?;
+    Ok((load_records(plan, journal)?, stats))
+}
+
+/// [`execute`] under an observability span.
+///
+/// # Errors
+///
+/// Exactly as [`execute`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Campaign::new(spec).observer(span).run(ctx)`; for raw shard access use \
+            `execute_pending` + `Journal::load`"
+)]
+pub fn execute_observed(
+    ctx: &Context,
+    plan: &CampaignPlan,
+    journal: &Journal,
+    span: &Span,
+) -> Result<(Vec<ShardRecord>, ExecutionStats), CampaignError> {
+    let stats = execute_pending(ctx, plan, journal, span)?;
+    Ok((load_records(plan, journal)?, stats))
 }
 
 #[cfg(test)]
@@ -201,6 +238,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn executes_all_shards_then_resumes_for_free() {
         let (root, ctx) = tmp_store("resume");
         let spec = CampaignSpec {
@@ -224,7 +262,7 @@ mod tests {
         assert_eq!(stats.evaluated_mixes, 24);
         assert!(stats.throughput().unwrap() > 0.0);
         for (rec, shard) in records.iter().zip(&plan.shards) {
-            assert_eq!(rec.outcomes.len(), shard.end - shard.start);
+            assert_eq!(rec.outcomes.len() as u64, shard.mixes());
             for out in &rec.outcomes {
                 assert!(out.stp > 0.0 && out.antt >= 1.0 - 1e-9 && out.max_slowdown >= 1.0 - 1e-9);
             }

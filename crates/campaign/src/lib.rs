@@ -5,44 +5,65 @@
 //! — instead of the handful of hand-picked mixes detailed simulation
 //! forces on you. This crate turns that claim into infrastructure:
 //!
-//! 1. **Plan** ([`plan`]) — materialize the mix population (exhaustive or
+//! 1. **Plan** ([`plan`]) — describe the mix population (exhaustive or
 //!    seeded stratified sample) × LLC design points as journal-addressed
-//!    shards.
-//! 2. **Execute** ([`executor`]) — fan shards over worker threads, each
-//!    solving the MPPM fixed point from cached single-core profiles.
-//! 3. **Journal** ([`journal`]) — persist each shard atomically; a killed
-//!    campaign resumes from the completed-shard set, and a resumed run is
-//!    *bit-identical* to a one-shot run because aggregation always reads
-//!    back the journal files in plan order.
-//! 4. **Aggregate** ([`aggregate`]) — streaming per-design STP/ANTT
-//!    distributions, slowdown histograms, and the pairwise design-ranking
-//!    stability sweep that quantifies how often small random mix subsets
-//!    mis-rank two designs.
+//!    shards. Exhaustive populations are *ranked*, never materialized,
+//!    so the full 8-core space (30,260,340 mixes) plans in microseconds.
+//! 2. **Execute** ([`executor`] in-process, [`distributed`] across
+//!    worker processes) — fan shards over workers, each solving the
+//!    MPPM fixed point from cached single-core profiles.
+//! 3. **Journal** ([`journal`]) — persist each shard atomically in a
+//!    versioned, checksummed binary format; a killed campaign (or
+//!    worker) resumes from the completed-shard set.
+//! 4. **Aggregate** ([`aggregate`]) — an exactly-mergeable accumulator
+//!    over per-design STP/ANTT distributions, slowdown histograms, and
+//!    the pairwise design-ranking stability sweep. Merge shape and
+//!    order cannot change a single output byte, which is what makes
+//!    distributed and resumed runs bit-identical to one-shot runs.
+//!
+//! The front door is the [`Campaign`] builder:
+//!
+//! ```no_run
+//! # use mppm_campaign::{Campaign, CampaignSpec, MixSource};
+//! # let ctx: mppm_experiments::Context = unimplemented!();
+//! # let spec: CampaignSpec = unimplemented!();
+//! let result = Campaign::new(&spec).workers(4).run(&ctx)?;
+//! # Ok::<(), mppm_campaign::CampaignError>(())
+//! ```
 
 pub mod aggregate;
+pub mod distributed;
 pub mod executor;
 pub mod journal;
 pub mod plan;
+pub mod worker;
 
 use std::fmt;
+use std::path::PathBuf;
 
 use mppm::mix::MixSpaceError;
 use mppm_experiments::table::{f3, pct, Table};
 use mppm_experiments::Context;
+use mppm_obs::Span;
 use mppm_sim::llc_configs;
 
 pub use aggregate::{
-    aggregate, AggregateOptions, DesignAggregate, SlowdownHistogram, StabilityPoint, SummaryStats,
+    aggregate, aggregate_journal, stability_applies, AggregateOptions, CampaignAccumulator,
+    DesignAggregate, SlowdownHistogram, StabilityPoint, SummaryStats,
 };
-pub use executor::{execute, execute_observed, ExecutionStats};
-pub use journal::{Journal, MixOutcome, ShardRecord};
-pub use plan::{CampaignPlan, CampaignSpec, MixSource, Shard, ShardId};
+pub use distributed::{execute_distributed, FAIL_AFTER_ENV, WORKER_ENV};
+#[allow(deprecated)]
+pub use executor::{execute, execute_observed, execute_pending, ExecutionStats};
+pub use journal::{Journal, MixOutcome, ShardRecord, JOURNAL_VERSION};
+pub use mppm_wire::ProtocolMismatch;
+pub use plan::{CampaignPlan, CampaignSpec, MixPopulation, MixSource, Shard, ShardId};
+pub use worker::maybe_serve;
 
 /// Everything that can go wrong running a campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignError {
     /// The spec is internally inconsistent (empty designs, zero shard
-    /// size, out-of-range config, intractable exhaustive space, ...).
+    /// size, out-of-range config, intractable shard count, ...).
     InvalidSpec(String),
     /// Mix-space arithmetic failed (count overflow, rank out of range).
     MixSpace(MixSpaceError),
@@ -50,6 +71,19 @@ pub enum CampaignError {
     Io(String),
     /// A shard could not be read back after execution reported success.
     MissingShard(ShardId),
+    /// The journal directory holds shards in the retired JSON format.
+    LegacyJournal(PathBuf),
+    /// A shard file was written by a different journal format revision.
+    FormatVersion {
+        /// Version stamped in the shard header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// A worker (or coordinator) speaks a different wire revision.
+    Protocol(ProtocolMismatch),
+    /// A distributed campaign failed before the work queue drained.
+    Worker(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -61,6 +95,19 @@ impl fmt::Display for CampaignError {
             CampaignError::MissingShard(id) => {
                 write!(f, "shard d{}-{} missing from journal after execution", id.design, id.index)
             }
+            CampaignError::LegacyJournal(dir) => write!(
+                f,
+                "journal {} holds shards in the retired JSON format; move it aside and \
+                 recompute (JSON shards carry no checksum and cannot be trusted for resume)",
+                dir.display()
+            ),
+            CampaignError::FormatVersion { found, expected } => write!(
+                f,
+                "journal shard format v{found} is not readable by this build (v{expected}); \
+                 recompute into a fresh journal or use the build that wrote it"
+            ),
+            CampaignError::Protocol(e) => write!(f, "{e}"),
+            CampaignError::Worker(msg) => write!(f, "distributed campaign failed: {msg}"),
         }
     }
 }
@@ -75,7 +122,7 @@ pub struct CampaignResult {
     /// Programs per mix.
     pub cores: usize,
     /// Mixes in the population.
-    pub mixes: usize,
+    pub mixes: u64,
     /// Per-design aggregates, in spec order.
     pub designs: Vec<DesignAggregate>,
     /// Pairwise ranking-stability sweep.
@@ -84,74 +131,173 @@ pub struct CampaignResult {
     pub stats: ExecutionStats,
 }
 
-/// Runs a campaign end to end: plan → execute (with resume) → aggregate.
+/// One campaign run, configured fluently: plan → execute (in-process or
+/// fanned out over worker processes, with resume) → aggregate.
 ///
 /// Deterministic given the spec, context scale, and options: the journal
-/// is the single source of aggregation input, so re-running (including
-/// after a crash) reproduces the result byte for byte.
+/// is the single source of aggregation input and the accumulator is an
+/// exact monoid, so re-running — after a crash, with a different worker
+/// count, or under any merge order — reproduces the result byte for
+/// byte.
+///
+/// ```no_run
+/// # use mppm_campaign::{Campaign, CampaignSpec};
+/// # let ctx: mppm_experiments::Context = unimplemented!();
+/// # let spec: CampaignSpec = unimplemented!();
+/// # let dir: std::path::PathBuf = unimplemented!();
+/// let result = Campaign::new(&spec)
+///     .workers(4)          // 0 = in-process (the default)
+///     .journal(&dir)       // default: the context store's root
+///     .run(&ctx)?;
+/// # Ok::<(), mppm_campaign::CampaignError>(())
+/// ```
+#[must_use = "a Campaign does nothing until .run()"]
+pub struct Campaign<'a> {
+    spec: CampaignSpec,
+    options: AggregateOptions,
+    workers: usize,
+    worker_exe: Option<PathBuf>,
+    journal_root: Option<PathBuf>,
+    span: Option<&'a Span>,
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign over `spec` with default options: in-process
+    /// execution, journal in the context store, no observer.
+    pub fn new(spec: &CampaignSpec) -> Self {
+        Self {
+            spec: spec.clone(),
+            options: AggregateOptions::default(),
+            workers: 0,
+            worker_exe: None,
+            journal_root: None,
+            span: None,
+        }
+    }
+
+    /// Aggregation options (stability-sweep sizes and trial counts).
+    pub fn options(mut self, options: &AggregateOptions) -> Self {
+        self.options = options.clone();
+        self
+    }
+
+    /// Fan execution out over `workers` spawned worker processes.
+    /// `0` (the default) executes in-process on the thread pool.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Binary to spawn as the worker (must call [`maybe_serve`] first
+    /// thing in `main`). Defaults to this very executable.
+    pub fn worker_exe(mut self, exe: &std::path::Path) -> Self {
+        self.worker_exe = Some(exe.to_path_buf());
+        self
+    }
+
+    /// Directory the shard journal lives under. Defaults to the context
+    /// store's root, which resumes across runs for free.
+    pub fn journal(mut self, root: &std::path::Path) -> Self {
+        self.journal_root = Some(root.to_path_buf());
+        self
+    }
+
+    /// Observe the run: one `plan` event up front, per-shard scopes
+    /// with `checkpoint` events (or `worker-done` events when
+    /// distributed), and a final `aggregated` event.
+    pub fn observer(mut self, span: &'a Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Runs the campaign: plan, execute every pending shard (resuming
+    /// journaled ones), aggregate from the journal.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation, mix-space arithmetic, journal format/IO
+    /// failures, or — when distributed — worker and protocol failures.
+    pub fn run(&self, ctx: &Context) -> Result<CampaignResult, CampaignError> {
+        use mppm_obs::Value;
+        let disabled = Span::disabled();
+        let span = self.span.unwrap_or(&disabled);
+        let n = mppm_trace::suite::spec_suite().len();
+        let plan = CampaignPlan::build(&self.spec, n, ctx.geometry())?;
+        let journal_root =
+            self.journal_root.clone().unwrap_or_else(|| ctx.store().root().to_path_buf());
+        let journal = Journal::open(&journal_root, &plan)?;
+        span.event(
+            "plan",
+            &[
+                ("plan_id", Value::from(plan.id.as_str())),
+                ("cores", Value::from(self.spec.cores)),
+                ("mixes", Value::from(plan.population.len())),
+                ("designs", Value::from(self.spec.designs.len())),
+                ("shards", Value::from(plan.shards.len())),
+                ("workers", Value::from(self.workers)),
+            ],
+        );
+        let stats = if self.workers == 0 {
+            execute_pending(ctx, &plan, &journal, span)?
+        } else {
+            let exe = match &self.worker_exe {
+                Some(exe) => exe.clone(),
+                None => std::env::current_exe().map_err(|e| {
+                    CampaignError::Worker(format!("locating our own executable: {e}"))
+                })?,
+            };
+            execute_distributed(ctx, &plan, &journal, &journal_root, self.workers, &exe, span)?
+        };
+        let (designs, stability) = aggregate_journal(&plan, &journal, &self.options)?;
+        span.event(
+            "aggregated",
+            &[
+                ("computed_shards", Value::from(stats.computed_shards)),
+                ("resumed_shards", Value::from(stats.resumed_shards)),
+                ("evaluated_mixes", Value::from(stats.evaluated_mixes)),
+            ],
+        );
+        Ok(CampaignResult {
+            plan_id: plan.id,
+            cores: self.spec.cores,
+            mixes: plan.population.len(),
+            designs,
+            stability,
+            stats,
+        })
+    }
+}
+
+/// Runs a campaign end to end: plan → execute (with resume) → aggregate.
 ///
 /// # Errors
 ///
 /// Spec validation, mix-space arithmetic, or journal I/O failures.
+#[deprecated(since = "0.2.0", note = "use `Campaign::new(spec).options(options).run(ctx)`")]
 pub fn run_campaign(
     ctx: &Context,
     spec: &CampaignSpec,
     options: &AggregateOptions,
 ) -> Result<CampaignResult, CampaignError> {
-    run_campaign_with(ctx, spec, options, &mppm_obs::Span::disabled())
+    Campaign::new(spec).options(options).run(ctx)
 }
 
-/// [`run_campaign`] under an observability span — the entry point the
-/// `campaign` binary's `--trace`/`--progress` flags feed.
-///
-/// The span receives one `plan` event up front (population size, shard
-/// count, design count), then per-shard scopes with `checkpoint` events
-/// and per-mix solver residuals from [`execute_observed`], and finally
-/// an `aggregated` event. A disabled span (what [`run_campaign`] passes)
-/// restores the uninstrumented behavior exactly.
+/// [`run_campaign`] under an observability span.
 ///
 /// # Errors
 ///
 /// Exactly as [`run_campaign`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Campaign::new(spec).options(options).observer(span).run(ctx)`"
+)]
 pub fn run_campaign_with(
     ctx: &Context,
     spec: &CampaignSpec,
     options: &AggregateOptions,
-    span: &mppm_obs::Span,
+    span: &Span,
 ) -> Result<CampaignResult, CampaignError> {
-    use mppm_obs::Value;
-    let n = mppm_trace::suite::spec_suite().len();
-    let plan = CampaignPlan::build(spec, n, ctx.geometry())?;
-    let journal = Journal::open(ctx.store().root(), &plan)
-        .map_err(|e| CampaignError::Io(format!("opening journal: {e}")))?;
-    span.event(
-        "plan",
-        &[
-            ("plan_id", Value::from(plan.id.as_str())),
-            ("cores", Value::from(spec.cores)),
-            ("mixes", Value::from(plan.mixes.len())),
-            ("designs", Value::from(spec.designs.len())),
-            ("shards", Value::from(plan.shards.len())),
-        ],
-    );
-    let (records, stats) = execute_observed(ctx, &plan, &journal, span)?;
-    let (designs, stability) = aggregate(&plan, &records, options);
-    span.event(
-        "aggregated",
-        &[
-            ("computed_shards", Value::from(stats.computed_shards)),
-            ("resumed_shards", Value::from(stats.resumed_shards)),
-            ("evaluated_mixes", Value::from(stats.evaluated_mixes)),
-        ],
-    );
-    Ok(CampaignResult {
-        plan_id: plan.id,
-        cores: spec.cores,
-        mixes: plan.mixes.len(),
-        designs,
-        stability,
-        stats,
-    })
+    Campaign::new(spec).options(options).observer(span).run(ctx)
 }
 
 /// Short label for an LLC design point, e.g. `"#3 1MB/16w"`.
@@ -222,7 +368,7 @@ pub fn stability_table(result: &CampaignResult) -> Table {
 }
 
 /// The three campaign CSVs concatenated into one deterministic string —
-/// the payload the resume test compares byte for byte.
+/// the payload the resume and distributed tests compare byte for byte.
 pub fn csv_bundle(result: &CampaignResult) -> String {
     format!(
         "# campaign {} ({} mixes x {} designs)\n{}\n{}\n{}",
@@ -274,7 +420,7 @@ mod tests {
             shard_size: 8,
         };
         let options = AggregateOptions { stability_trials: 50, ..Default::default() };
-        let result = run_campaign(&ctx, &spec, &options).unwrap();
+        let result = Campaign::new(&spec).options(&options).run(&ctx).unwrap();
 
         assert_eq!(result.mixes, 30);
         assert_eq!(result.designs.len(), 2);
@@ -295,7 +441,7 @@ mod tests {
         assert!(histogram_table(&result).len() >= 2);
         let bundle = csv_bundle(&result);
         assert!(bundle.contains("design_a"));
-        let again = run_campaign(&ctx, &spec, &options).unwrap();
+        let again = Campaign::new(&spec).options(&options).run(&ctx).unwrap();
         assert_eq!(again.stats.computed_shards, 0, "second run fully resumed");
         assert_eq!(csv_bundle(&again), bundle);
 
@@ -304,6 +450,31 @@ mod tests {
         write_csvs(&result, &out).unwrap();
         let designs = std::fs::read_to_string(out.join("campaign_designs.csv")).unwrap();
         assert_eq!(designs, design_table(&result).to_csv());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The deprecated free functions are one-line wrappers over the
+    /// builder; pin that they stay bit-exact with it.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let root = std::env::temp_dir()
+            .join(format!("mppm-campaign-wrapper-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let ctx = Context::with_store(Scale::Quick, Store::open(&root).unwrap());
+        let spec = CampaignSpec {
+            cores: 2,
+            designs: vec![0, 3],
+            source: MixSource::Stratified { count: 12, seed: 7 },
+            shard_size: 5,
+        };
+        let options = AggregateOptions { stability_trials: 20, ..Default::default() };
+        let via_builder = Campaign::new(&spec).options(&options).run(&ctx).unwrap();
+        let via_wrapper = run_campaign(&ctx, &spec, &options).unwrap();
+        assert_eq!(csv_bundle(&via_wrapper), csv_bundle(&via_builder));
+        let span = Span::disabled();
+        let via_with = run_campaign_with(&ctx, &spec, &options, &span).unwrap();
+        assert_eq!(csv_bundle(&via_with), csv_bundle(&via_builder));
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -7,8 +7,17 @@
 //! [`Shard`]s — contiguous runs of mixes on one design — which are the
 //! unit of parallel execution *and* of checkpointing: a shard either
 //! exists in the journal completely or not at all.
+//!
+//! Exhaustive populations are **never materialized**: [`MixPopulation`]
+//! addresses them by combinatorial rank (`unrank_mix` seeds a shard's
+//! first mix, `enumerate_mixes_from` walks the rest at O(cores) per
+//! step), so the 30.2-million-mix eight-program space costs the planner
+//! a handful of integers, not gigabytes of `Vec<Mix>`.
 
-use mppm::mix::{count_mixes, enumerate_mixes, sample_stratified, Mix, MixSpaceError};
+use mppm::mix::{
+    count_mixes, enumerate_mixes_from, sample_stratified, unrank_mix, EnumerateMixes, Mix,
+    MixSpaceError,
+};
 use mppm_sim::llc_configs;
 use mppm_trace::TraceGeometry;
 use rand::rngs::SmallRng;
@@ -22,8 +31,8 @@ use crate::CampaignError;
 pub enum MixSource {
     /// Every distinct mix for the core count — the paper's methodology.
     Exhaustive,
-    /// A seeded stratified sample without replacement (for spaces too
-    /// large to enumerate, e.g. the 30M eight-program mixes).
+    /// A seeded stratified sample without replacement (when even lazy
+    /// enumeration is more space than the question needs).
     Stratified {
         /// Number of mixes to draw.
         count: usize,
@@ -91,6 +100,12 @@ pub struct CampaignSpec {
     pub shard_size: usize,
 }
 
+/// Upper bound on journal files per design point. A plan that would
+/// exceed it is refused with advice to raise the shard size — millions
+/// of shard files cost more in directory operations than they save in
+/// checkpoint granularity.
+pub const MAX_SHARDS_PER_DESIGN: u64 = 1 << 20;
+
 impl CampaignSpec {
     /// A 2-core exhaustive sweep over the first two LLC configs — the
     /// smallest campaign that exercises every subsystem layer.
@@ -124,6 +139,111 @@ impl CampaignSpec {
     }
 }
 
+/// The mix population in its canonical order, addressed by `u64` index.
+///
+/// Stratified samples are explicit vectors; exhaustive spaces are pure
+/// rank arithmetic (the canonical order is lexicographic, matching
+/// `enumerate_mixes`). Both forms give the same two operations shards
+/// need: random access ([`mix_at`](Self::mix_at)) and cheap in-order
+/// walks over a contiguous range ([`iter_range`](Self::iter_range)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixPopulation {
+    /// Materialized mixes (stratified samples).
+    Explicit(Vec<Mix>),
+    /// The exhaustive space of `count` mixes of `m` programs drawn from
+    /// `n` benchmarks, addressed by combinatorial rank.
+    Ranked {
+        /// Benchmarks to draw from.
+        n: usize,
+        /// Programs per mix.
+        m: usize,
+        /// Total mixes, `C(n+m-1, m)`.
+        count: u64,
+    },
+}
+
+impl MixPopulation {
+    /// Number of mixes in the population.
+    pub fn len(&self) -> u64 {
+        match self {
+            MixPopulation::Explicit(mixes) => mixes.len() as u64,
+            MixPopulation::Ranked { count, .. } => *count,
+        }
+    }
+
+    /// True when the population holds no mixes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mix at position `index` in canonical order.
+    ///
+    /// # Panics
+    ///
+    /// If `index >= len()`.
+    pub fn mix_at(&self, index: u64) -> Mix {
+        match self {
+            MixPopulation::Explicit(mixes) => mixes[index as usize].clone(),
+            MixPopulation::Ranked { n, m, count } => {
+                assert!(index < *count, "mix index {index} out of range ({count} mixes)");
+                unrank_mix(*n, *m, u128::from(index)).expect("index checked against count")
+            }
+        }
+    }
+
+    /// Iterates mixes `start..end` in canonical order. For ranked
+    /// populations this unranks once and then walks lexicographically at
+    /// O(cores) per step, so a shard of S mixes costs O(n·m + S·m), not
+    /// S unrank calls.
+    ///
+    /// # Panics
+    ///
+    /// If `start > end` or `end > len()`.
+    pub fn iter_range(&self, start: u64, end: u64) -> PopulationRange<'_> {
+        assert!(start <= end && end <= self.len(), "range {start}..{end} out of population");
+        let walk = match self {
+            MixPopulation::Explicit(_) => None,
+            MixPopulation::Ranked { n, m, .. } => (start < end).then(|| {
+                let first = unrank_mix(*n, *m, u128::from(start)).expect("start in range");
+                enumerate_mixes_from(*n, &first)
+            }),
+        };
+        PopulationRange { population: self, next: start, end, walk }
+    }
+}
+
+/// Iterator over a contiguous population range (see
+/// [`MixPopulation::iter_range`]).
+#[derive(Debug)]
+pub struct PopulationRange<'a> {
+    population: &'a MixPopulation,
+    next: u64,
+    end: u64,
+    walk: Option<EnumerateMixes>,
+}
+
+impl Iterator for PopulationRange<'_> {
+    type Item = Mix;
+
+    fn next(&mut self) -> Option<Mix> {
+        if self.next >= self.end {
+            return None;
+        }
+        let mix = match (&mut self.walk, self.population) {
+            (Some(walk), _) => walk.next().expect("rank range checked against count"),
+            (None, MixPopulation::Explicit(mixes)) => mixes[self.next as usize].clone(),
+            (None, MixPopulation::Ranked { .. }) => unreachable!("ranked ranges always walk"),
+        };
+        self.next += 1;
+        Some(mix)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.end - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
 /// Identity of one shard: a design point × a slice of the mix order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ShardId {
@@ -133,16 +253,23 @@ pub struct ShardId {
     pub index: usize,
 }
 
-/// One executable unit: mixes `range` (indices into the plan's mix
+/// One executable unit: mixes `start..end` (indices into the plan's mix
 /// order) evaluated on design `id.design`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Shard {
     /// Stable identity used for journal file naming.
     pub id: ShardId,
     /// First mix index (inclusive).
-    pub start: usize,
+    pub start: u64,
     /// Last mix index (exclusive).
-    pub end: usize,
+    pub end: u64,
+}
+
+impl Shard {
+    /// Mixes this shard covers.
+    pub fn mixes(&self) -> u64 {
+        self.end - self.start
+    }
 }
 
 /// A fully materialized campaign: the mix population in its canonical
@@ -156,7 +283,7 @@ pub struct CampaignPlan {
     /// never share (and therefore corrupt) a journal.
     pub id: String,
     /// The mix population, in deterministic (enumeration/stratum) order.
-    pub mixes: Vec<Mix>,
+    pub population: MixPopulation,
     /// All shards, design-major then shard-index order.
     pub shards: Vec<Shard>,
 }
@@ -171,30 +298,45 @@ impl CampaignPlan {
         geometry: TraceGeometry,
     ) -> Result<Self, CampaignError> {
         spec.validate()?;
-        let mixes = match spec.source {
+        let population = match spec.source {
             MixSource::Exhaustive => {
                 let total = count_mixes(n_benchmarks, spec.cores)?;
-                if total > 4_000_000 {
-                    return Err(CampaignError::InvalidSpec(format!(
-                        "exhaustive space has {total} mixes; use a stratified sample"
-                    )));
-                }
-                enumerate_mixes(n_benchmarks, spec.cores).collect()
+                let count = u64::try_from(total).map_err(|_| {
+                    CampaignError::InvalidSpec(format!(
+                        "exhaustive space has {total} mixes; that exceeds 64-bit addressing"
+                    ))
+                })?;
+                MixPopulation::Ranked { n: n_benchmarks, m: spec.cores, count }
             }
             MixSource::Stratified { count, seed } => {
                 let mut rng = SmallRng::seed_from_u64(seed);
-                sample_stratified(n_benchmarks, spec.cores, count, &mut rng)?
+                MixPopulation::Explicit(sample_stratified(
+                    n_benchmarks,
+                    spec.cores,
+                    count,
+                    &mut rng,
+                )?)
             }
         };
-        let per_design = mixes.len().div_ceil(spec.shard_size);
-        let mut shards = Vec::with_capacity(per_design * spec.designs.len());
+        let mixes = population.len();
+        let per_design = mixes.div_ceil(spec.shard_size as u64);
+        if per_design > MAX_SHARDS_PER_DESIGN {
+            return Err(CampaignError::InvalidSpec(format!(
+                "{mixes} mixes at shard size {} means {per_design} journal files per design; \
+                 raise --shard-size to at most {} files (>= {} mixes/shard)",
+                spec.shard_size,
+                MAX_SHARDS_PER_DESIGN,
+                mixes.div_ceil(MAX_SHARDS_PER_DESIGN),
+            )));
+        }
+        let mut shards = Vec::with_capacity((per_design as usize) * spec.designs.len());
         for design in 0..spec.designs.len() {
             for index in 0..per_design {
-                let start = index * spec.shard_size;
+                let start = index * spec.shard_size as u64;
                 shards.push(Shard {
-                    id: ShardId { design, index },
+                    id: ShardId { design, index: index as usize },
                     start,
-                    end: (start + spec.shard_size).min(mixes.len()),
+                    end: (start + spec.shard_size as u64).min(mixes),
                 });
             }
         }
@@ -210,7 +352,7 @@ impl CampaignPlan {
             spec.shard_size,
             mppm_experiments::SUITE_VERSION,
         );
-        Ok(Self { spec: spec.clone(), id, mixes, shards })
+        Ok(Self { spec: spec.clone(), id, population, shards })
     }
 
     /// Shards belonging to one design position, in index order.
@@ -219,8 +361,8 @@ impl CampaignPlan {
     }
 
     /// Total model evaluations the plan covers (mixes × designs).
-    pub fn evaluations(&self) -> usize {
-        self.mixes.len() * self.spec.designs.len()
+    pub fn evaluations(&self) -> u64 {
+        self.population.len() * self.spec.designs.len() as u64
     }
 }
 
@@ -233,6 +375,7 @@ impl From<MixSpaceError> for CampaignError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mppm::mix::enumerate_mixes;
 
     fn geometry() -> TraceGeometry {
         TraceGeometry::new(20_000, 10)
@@ -242,7 +385,7 @@ mod tests {
     fn exhaustive_plan_covers_the_space() {
         let spec = CampaignSpec::quick_default();
         let plan = CampaignPlan::build(&spec, 29, geometry()).unwrap();
-        assert_eq!(plan.mixes.len(), 435, "the paper's 2-core count");
+        assert_eq!(plan.population.len(), 435, "the paper's 2-core count");
         assert_eq!(plan.evaluations(), 870);
         // 435 mixes in shards of 64 → 7 shards per design, last one short.
         assert_eq!(plan.shards.len(), 14);
@@ -250,15 +393,54 @@ mod tests {
         assert_eq!((last.start, last.end), (384, 435));
         // Shards tile the mix range exactly once per design.
         for d in 0..2 {
-            let mut covered = vec![false; plan.mixes.len()];
+            let mut covered = vec![false; plan.population.len() as usize];
             for s in plan.shards_of_design(d) {
-                for slot in &mut covered[s.start..s.end] {
+                for slot in &mut covered[s.start as usize..s.end as usize] {
                     assert!(!*slot, "overlap");
                     *slot = true;
                 }
             }
             assert!(covered.iter().all(|&c| c), "gap in design {d}");
         }
+    }
+
+    #[test]
+    fn ranked_population_matches_enumeration() {
+        let plan = CampaignPlan::build(&CampaignSpec::quick_default(), 7, geometry()).unwrap();
+        let all: Vec<Mix> = enumerate_mixes(7, 2).collect();
+        assert_eq!(plan.population.len(), all.len() as u64);
+        // Random access agrees with enumeration order.
+        for idx in [0u64, 1, 13, all.len() as u64 - 1] {
+            assert_eq!(plan.population.mix_at(idx), all[idx as usize]);
+        }
+        // Range walks agree, including empty and full ranges.
+        let walked: Vec<Mix> = plan.population.iter_range(5, 19).collect();
+        assert_eq!(walked, all[5..19]);
+        assert_eq!(plan.population.iter_range(7, 7).count(), 0);
+        let full: Vec<Mix> = plan.population.iter_range(0, all.len() as u64).collect();
+        assert_eq!(full, all);
+    }
+
+    #[test]
+    fn eight_core_exhaustive_space_plans_lazily()  {
+        // The full 8-program space: 30,260,340 mixes. Planning it must
+        // be cheap — the population is rank arithmetic, not a Vec.
+        let spec = CampaignSpec {
+            cores: 8,
+            designs: vec![0],
+            source: MixSource::Exhaustive,
+            shard_size: 4096,
+        };
+        let plan = CampaignPlan::build(&spec, 29, geometry()).unwrap();
+        assert_eq!(plan.population.len(), 30_260_340);
+        assert_eq!(plan.evaluations(), 30_260_340);
+        assert_eq!(plan.shards.len(), 7388, "ceil(30260340 / 4096)");
+        // Spot-check the boundary between two shards: the walk across
+        // the seam matches direct unranking.
+        let s = &plan.shards[3];
+        let mixes: Vec<Mix> = plan.population.iter_range(s.start, s.start + 3).collect();
+        assert_eq!(mixes[0], plan.population.mix_at(s.start));
+        assert_eq!(mixes[2], plan.population.mix_at(s.start + 2));
     }
 
     #[test]
@@ -271,9 +453,9 @@ mod tests {
         };
         let a = CampaignPlan::build(&spec, 29, geometry()).unwrap();
         let b = CampaignPlan::build(&spec, 29, geometry()).unwrap();
-        assert_eq!(a.mixes, b.mixes);
+        assert_eq!(a.population, b.population);
         assert_eq!(a.id, b.id);
-        assert_eq!(a.mixes.len(), 100);
+        assert_eq!(a.population.len(), 100);
         assert_eq!(a.shards.len(), 4 * 3, "ceil(100/32) shards per design");
     }
 
@@ -314,9 +496,16 @@ mod tests {
         let mut spec = CampaignSpec::quick_default();
         spec.shard_size = 0;
         assert!(matches!(build(&spec), Err(CampaignError::InvalidSpec(_))));
-        // An 8-core exhaustive space (30M mixes) is refused, not attempted.
+        // Degenerate shard sizes on huge spaces would create millions of
+        // journal files; the planner demands a saner shard size instead.
         let mut spec = CampaignSpec::quick_default();
         spec.cores = 8;
-        assert!(matches!(build(&spec), Err(CampaignError::InvalidSpec(_))));
+        spec.shard_size = 1;
+        match build(&spec) {
+            Err(CampaignError::InvalidSpec(msg)) => {
+                assert!(msg.contains("raise --shard-size"), "{msg}")
+            }
+            other => panic!("expected shard-count refusal, got {other:?}"),
+        }
     }
 }

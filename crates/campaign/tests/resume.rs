@@ -7,7 +7,7 @@
 //! default parallel test harness.
 
 use mppm_campaign::{
-    csv_bundle, run_campaign, AggregateOptions, CampaignPlan, CampaignSpec, Journal, MixSource,
+    csv_bundle, AggregateOptions, Campaign, CampaignPlan, CampaignSpec, Journal, MixSource,
 };
 use mppm_experiments::{Context, Scale, Store};
 
@@ -41,7 +41,7 @@ fn killed_campaign_resumes_bit_identically_across_thread_counts() {
 
         // Reference: one uninterrupted run.
         let (root_a, ctx_a) = fresh_context(&format!("oneshot-{threads}"));
-        let one_shot = run_campaign(&ctx_a, &spec, &options).unwrap();
+        let one_shot = Campaign::new(&spec).options(&options).run(&ctx_a).unwrap();
         assert_eq!(one_shot.mixes, 435, "exhaustive 2-core space");
         assert_eq!(one_shot.stats.computed_shards, one_shot.stats.total_shards);
 
@@ -49,7 +49,7 @@ fn killed_campaign_resumes_bit_identically_across_thread_counts() {
         // deleting some journal shards and truncating another (a torn
         // write cannot happen — writes are atomic — but defend anyway).
         let (root_b, ctx_b) = fresh_context(&format!("killed-{threads}"));
-        let first = run_campaign(&ctx_b, &spec, &options).unwrap();
+        let first = Campaign::new(&spec).options(&options).run(&ctx_b).unwrap();
         let plan = CampaignPlan::build(
             &spec,
             mppm_trace::suite::spec_suite().len(),
@@ -59,15 +59,15 @@ fn killed_campaign_resumes_bit_identically_across_thread_counts() {
         let journal = Journal::open(ctx_b.store().root(), &plan).unwrap();
         let dir = journal.dir();
         // Drop one shard from each design, plus the final (short) shard.
-        for name in ["shard-d0-00003.json", "shard-d1-00007.json", "shard-d1-00013.json"] {
+        for name in ["shard-d0-0000003.bin", "shard-d1-0000007.bin", "shard-d1-0000013.bin"] {
             std::fs::remove_file(dir.join(name)).unwrap();
         }
-        let torn = dir.join("shard-d0-00010.json");
+        let torn = dir.join("shard-d0-0000010.bin");
         let bytes = std::fs::read(&torn).unwrap();
         // mppm-lint: allow(non-atomic-write): deliberately tears the shard to exercise resume-after-kill
         std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
 
-        let resumed = run_campaign(&ctx_b, &spec, &options).unwrap();
+        let resumed = Campaign::new(&spec).options(&options).run(&ctx_b).unwrap();
         assert_eq!(resumed.stats.computed_shards, 4, "3 deleted + 1 torn");
         assert_eq!(
             resumed.stats.resumed_shards,

@@ -74,6 +74,10 @@ pub enum Command {
         trace: Option<String>,
         /// Mirror campaign milestones to stderr.
         progress: bool,
+        /// Worker processes to fan shards out to (0 = in-process).
+        workers: usize,
+        /// Shard-journal directory override (default: inside the store).
+        journal: Option<String>,
     },
     /// Run the `mppmd` daemon in the foreground.
     Serve {
@@ -130,6 +134,7 @@ USAGE:
   mppm-cli record <bench> --out FILE [--quick]
   mppm-cli campaign [--cores N] [--configs A,B,...] [--sample N] [--seed S]
               [--shard-size N] [--trials N] [--quick]
+              [--workers N] [--journal DIR]
               [--trace FILE] [--progress]
   mppm-cli serve [--socket PATH] [--store DIR]
   mppm-cli client ping|stats|shutdown [--socket PATH]
@@ -148,8 +153,10 @@ Benchmarks are the 29 synthetic SPEC CPU2006 stand-ins (see `list`).
 --quick uses short traces for instant results.
 `campaign` sweeps every mix (or a seeded stratified --sample) over each
 --configs design point, checkpointing shards so a killed run resumes;
---trace writes a deterministic JSONL event trace and --progress mirrors
-milestones to stderr.
+--workers N fans shards out to N worker processes sharing one journal
+(the result is byte-identical for any worker count), --journal DIR
+overrides where shards checkpoint, --trace writes a deterministic JSONL
+event trace and --progress mirrors milestones to stderr.
 `lint` runs the mppm-analyze determinism rules over the workspace's own
 sources; --deny makes violations fatal (the CI gate), and --only /
 --exclude (repeatable, comma-separable) narrow the report to named
@@ -230,7 +237,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "record" => &["quick", "out"],
         "campaign" => &[
             "quick", "cores", "configs", "sample", "seed", "shard-size", "trials", "trace",
-            "progress",
+            "progress", "workers", "journal",
         ],
         "lint" => &["deny", "json", "only", "exclude"],
         "serve" => &["socket", "store"],
@@ -447,6 +454,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 Some(None) => return Err(ParseError("--trace expects a file path".into())),
                 None => None,
             };
+            let journal = match flag("journal") {
+                Some(Some(v)) => Some(v.to_string()),
+                Some(None) => return Err(ParseError("--journal expects a directory".into())),
+                None => None,
+            };
             Ok(Command::Campaign {
                 cores,
                 configs,
@@ -457,6 +469,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 quick,
                 trace,
                 progress: flag("progress").is_some(),
+                workers: number("workers", 0)? as usize,
+                journal,
             })
         }
         other => Err(ParseError(format!("unknown command `{other}`; try `mppm-cli help`"))),
@@ -614,13 +628,15 @@ mod tests {
                 quick: false,
                 trace: None,
                 progress: false,
+                workers: 0,
+                journal: None,
             }
         );
         assert_eq!(
             parse_ok(&[
                 "campaign", "--quick", "--cores", "4", "--configs", "1,3,6", "--sample", "500",
                 "--seed", "9", "--shard-size", "32", "--trials", "100", "--trace",
-                "/tmp/t.jsonl", "--progress",
+                "/tmp/t.jsonl", "--progress", "--workers", "4", "--journal", "/tmp/j",
             ]),
             Command::Campaign {
                 cores: 4,
@@ -632,6 +648,8 @@ mod tests {
                 quick: true,
                 trace: Some("/tmp/t.jsonl".into()),
                 progress: true,
+                workers: 4,
+                journal: Some("/tmp/j".into()),
             }
         );
         assert!(parse_err(&["campaign", "--configs", "0,1"]).contains("1..6"));

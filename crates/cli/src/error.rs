@@ -39,6 +39,9 @@ impl CliError {
         match self {
             CliError::Invalid(_) => 1,
             CliError::Model(_) => 3,
+            // A wire-version mismatch between coordinator and campaign
+            // workers is a protocol failure, same class as the daemon's.
+            CliError::Campaign(mppm_campaign::CampaignError::Protocol(_)) => 6,
             CliError::Campaign(_) => 4,
             CliError::Io(_) => 5,
             CliError::Server(_) => 6,
@@ -124,6 +127,13 @@ mod tests {
             (io.exit_code(), 5),
             (
                 CliError::Server(mppm_server::ServerError::Protocol("x".into())).exit_code(),
+                6,
+            ),
+            (
+                CliError::Campaign(mppm_campaign::CampaignError::Protocol(
+                    mppm_campaign::ProtocolMismatch { found: 0, expected: 1 },
+                ))
+                .exit_code(),
                 6,
             ),
         ];

@@ -23,8 +23,8 @@ use mppm::{
     SdcCompetitionModel, SingleCoreProfile,
 };
 use mppm_campaign::{
-    design_table, histogram_table, run_campaign_with, stability_table, write_csvs,
-    AggregateOptions, CampaignSpec, MixSource,
+    design_table, histogram_table, stability_table, write_csvs, AggregateOptions, Campaign,
+    CampaignSpec, MixSource,
 };
 use mppm_obs::{JsonlSink, Observer, ProgressSink, Sink};
 use mppm_experiments::table::{f3, Table};
@@ -33,6 +33,9 @@ use mppm_sim::{llc_configs, MachineConfig};
 use mppm_trace::{suite, RecordedTrace, TraceGeometry, TraceStream};
 
 fn main() {
+    // When re-executed as a campaign worker (`--workers N` fan-out),
+    // serve shards over stdin/stdout and exit — never parse argv.
+    mppm_campaign::maybe_serve();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match parse(&argv) {
         Ok(cmd) => {
@@ -346,6 +349,8 @@ fn run(cmd: Command) -> Result<(), CliError> {
             quick,
             trace,
             progress,
+            workers,
+            journal,
         } => {
             let scale = if quick { Scale::Quick } else { Scale::Full };
             let ctx = Context::new(scale);
@@ -370,7 +375,12 @@ fn run(cmd: Command) -> Result<(), CliError> {
                 if sinks.is_empty() { Observer::disabled() } else { Observer::with_sinks(sinks) };
             let result = {
                 let root = observer.root("campaign");
-                run_campaign_with(&ctx, &spec, &options, &root)?
+                let mut campaign =
+                    Campaign::new(&spec).options(&options).workers(workers).observer(&root);
+                if let Some(dir) = &journal {
+                    campaign = campaign.journal(std::path::Path::new(dir));
+                }
+                campaign.run(&ctx)?
             };
             observer.finish()?;
             if let Some(path) = &trace {

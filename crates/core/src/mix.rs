@@ -309,6 +309,37 @@ pub fn enumerate_mixes(n: usize, m: usize) -> EnumerateMixes {
     EnumerateMixes { n, state }
 }
 
+/// Enumerates mixes lexicographically starting *at* `start` (inclusive).
+///
+/// Combined with [`unrank_mix`] this gives cheap range iteration over a
+/// huge mix space: unrank the range's first rank once (O(n·m) binomial
+/// work), then advance in O(m) per mix — the campaign executor walks
+/// 30M-mix shard ranges this way without ever materializing the space.
+///
+/// # Panics
+///
+/// Panics if `start` is empty or any member is `>= n`.
+///
+/// # Example
+///
+/// ```
+/// use mppm::mix::{enumerate_mixes, enumerate_mixes_from, unrank_mix};
+///
+/// let all: Vec<_> = enumerate_mixes(4, 2).collect();
+/// let fifth = unrank_mix(4, 2, 5).unwrap();
+/// let tail: Vec<_> = enumerate_mixes_from(4, &fifth).collect();
+/// assert_eq!(&all[5..], &tail[..]);
+/// ```
+pub fn enumerate_mixes_from(n: usize, start: &Mix) -> EnumerateMixes {
+    let members = start.members();
+    assert!(!members.is_empty(), "mixes need at least one program");
+    assert!(
+        members.iter().all(|&b| b < n),
+        "start mix references a benchmark outside 0..{n}"
+    );
+    EnumerateMixes { n, state: Some(members.to_vec()) }
+}
+
 /// Iterator returned by [`enumerate_mixes`].
 #[derive(Debug, Clone)]
 pub struct EnumerateMixes {

@@ -1,9 +1,17 @@
 //! Statistics used by the paper's methodology: Student-t confidence
 //! intervals over workload-mix populations (§4.1), Spearman rank
 //! correlation for comparing design-space rankings (§5), and streaming
-//! accumulators (Welford moments, P² quantiles) for campaign-scale mix
-//! populations that are aggregated shard by shard without ever holding
-//! the full sample in memory.
+//! accumulators for campaign-scale mix populations that are aggregated
+//! shard by shard without ever holding the full sample in memory.
+//!
+//! Two of the accumulators are *mergeable monoids* — built for the
+//! distributed campaign aggregator, whose per-worker partials must
+//! tree-reduce to byte-identical results for any worker count and any
+//! merge shape: [`StreamingMoments`] (exact fixed-point sums, so its
+//! merge is exactly associative) and [`QuantileSketch`] (log-bucket
+//! counts, integer-additive merge). [`P2Quantile`] remains for
+//! single-stream use; its merge is deterministic and commutative but —
+//! provably — cannot be exact (see DESIGN.md §16).
 
 /// Total order over `f64` for sorts, merges and maxima.
 ///
@@ -31,11 +39,235 @@ pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
     a.total_cmp(&b)
 }
 
-/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Number of 32-bit limbs in an [`ExactSum`]. The fixed-point window
+/// spans bit positions `EMIN .. EMIN + 32·LIMBS`, wide enough for the
+/// square of any finite `f64` (down to `2^-2148`, up past `2^2048`)
+/// plus headroom for `2^31` accumulated terms and one carry guard.
+const LIMBS: usize = 140;
+
+/// Weight of bit 0 of limb 0: `2^EMIN`. A multiple of 32 below the
+/// smallest square of a subnormal (`2^-2148`).
+const EMIN: i32 = -2176;
+
+/// Exact fixed-point accumulator for sums of `f64` values (and their
+/// squares): a superaccumulator in carry-save form.
 ///
-/// One pass, O(1) memory, deterministic for a fixed observation order —
-/// the campaign aggregator's workhorse for STP/ANTT distributions over
-/// tens of thousands of mixes.
+/// Every finite `f64` is an integer multiple of `2^-1074`, so a wide
+/// enough fixed-point integer can hold any sum of them *exactly*.
+/// Addition of integers is associative and commutative, which is the
+/// whole point: two accumulators can be [`merged`](ExactSum::merge) in
+/// any tree shape and any order and represent the same exact value —
+/// the property the distributed campaign aggregator's byte-identity
+/// guarantee rests on.
+///
+/// Limbs are signed and lazily carried: each `push` adds at most a few
+/// 32-bit chunks, and carries are only propagated when a limb could
+/// otherwise overflow (or on read). [`value`](ExactSum::value) rounds
+/// the exact total to the nearest `f64` (ties to even), including
+/// subnormal and overflow handling.
+#[derive(Debug, Clone, PartialEq)]
+struct ExactSum {
+    /// Limb `i` weighs `2^(EMIN + 32·i)`; signed carry-save digits.
+    limbs: [i64; LIMBS],
+    /// Contributions since the last carry propagation.
+    pending: u32,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self { limbs: [0; LIMBS], pending: 0 }
+    }
+}
+
+impl ExactSum {
+    /// Adds `±m·2^e` (`m < 2^64`) into the limbs. `sign` is `±1`.
+    fn add_scaled(&mut self, m: u64, e: i32, sign: i64) {
+        if m == 0 {
+            return;
+        }
+        self.reserve(1);
+        let p = e - EMIN;
+        debug_assert!(p >= 0, "exponent below the accumulator window");
+        let mut limb = (p >> 5) as usize;
+        // Up to 64 + 31 = 95 significant bits: three or four chunks.
+        let mut wide = (m as u128) << (p & 31);
+        while wide != 0 {
+            self.limbs[limb] += sign * ((wide & 0xFFFF_FFFF) as i64);
+            wide >>= 32;
+            limb += 1;
+        }
+    }
+
+    /// Adds the finite value `x` exactly.
+    fn add(&mut self, x: f64) {
+        let (m, e, sign) = decompose(x);
+        self.add_scaled(m, e, sign);
+    }
+
+    /// Adds `x²` exactly (always non-negative).
+    fn add_square(&mut self, x: f64) {
+        let (m, e, _) = decompose(x);
+        let sq = (m as u128) * (m as u128);
+        self.add_scaled(sq as u64, 2 * e, 1);
+        self.add_scaled((sq >> 64) as u64, 2 * e + 64, 1);
+    }
+
+    /// Propagates carries if `extra` more contributions could overflow
+    /// a limb. After propagation every limb is in `[-2^31, 2^31)`.
+    fn reserve(&mut self, extra: u32) {
+        if self.pending >= (1 << 30) - extra {
+            self.normalize();
+        }
+        self.pending += extra;
+    }
+
+    /// Carry propagation into balanced signed digits.
+    fn normalize(&mut self) {
+        let mut carry: i64 = 0;
+        for l in &mut self.limbs {
+            let v = *l + carry;
+            let mut r = v & 0xFFFF_FFFF;
+            carry = v >> 32;
+            if r >= 1 << 31 {
+                r -= 1 << 32;
+                carry += 1;
+            }
+            *l = r;
+        }
+        debug_assert_eq!(carry, 0, "accumulator window exhausted");
+        self.pending = 1;
+    }
+
+    /// Adds another accumulator; the represented exact value becomes
+    /// the sum of both. Associative and commutative by construction.
+    fn merge(&mut self, other: &Self) {
+        let mut rhs;
+        let other = if self.pending as u64 + other.pending as u64 >= 1 << 30 {
+            self.normalize();
+            rhs = other.clone();
+            rhs.normalize();
+            &rhs
+        } else {
+            other
+        };
+        self.pending += other.pending;
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a += b;
+        }
+    }
+
+    /// The exact total, rounded to the nearest `f64` (ties to even).
+    fn value(&self) -> f64 {
+        // Normalize a copy, then convert to sign-magnitude digits.
+        let mut acc = self.clone();
+        acc.normalize();
+        let mut digits = acc.limbs;
+        // Balanced digits: the most significant non-zero digit carries
+        // the sign of the whole value.
+        let Some(top) = digits.iter().rposition(|&d| d != 0) else {
+            return 0.0;
+        };
+        let sign = if digits[top] < 0 { -1.0 } else { 1.0 };
+        if digits[top] < 0 {
+            for d in &mut digits {
+                *d = -*d;
+            }
+        }
+        // Magnitude carry propagation into [0, 2^32).
+        let mut carry: i64 = 0;
+        for d in &mut digits {
+            let v = *d + carry;
+            let r = v & 0xFFFF_FFFF;
+            carry = v >> 32;
+            *d = r;
+        }
+        debug_assert_eq!(carry, 0);
+        let Some(h) = digits.iter().rposition(|&d| d != 0) else {
+            return 0.0;
+        };
+        // mppm-lint: allow(lossy-counter-cast): leading_zeros ≤ 64 and limb index ≤ 67 — bit positions, not counters
+        let top_bit = 63 - (digits[h] as u64).leading_zeros() as i32;
+        // Absolute exponent of the most significant set bit.
+        // mppm-lint: allow(lossy-counter-cast): leading_zeros ≤ 64 and limb index ≤ 67 — bit positions, not counters
+        let msb = EMIN + 32 * h as i32 + top_bit;
+        // Unit in the last place of the rounding target: 53 bits for
+        // normal results, fewer when the value lands in the subnormals.
+        let ulp_exp = (msb - 52).max(-1074);
+        let ulp_pos = (ulp_exp - EMIN) as usize;
+        let (limb0, off) = (ulp_pos >> 5, ulp_pos & 31);
+        let mut window: u128 = 0;
+        for i in (0..4).rev() {
+            let d = digits.get(limb0 + i).copied().unwrap_or(0) as u128;
+            window = (window << 32) | d;
+        }
+        let mut mant = (window >> off) as u64;
+        // Round to nearest, ties to even: guard bit plus sticky tail.
+        let guard_pos = ulp_pos.wrapping_sub(1);
+        let guard = ulp_pos > 0
+            && digits[guard_pos >> 5] >> (guard_pos & 31) & 1 == 1;
+        let sticky = guard
+            && (digits[guard_pos >> 5] & ((1i64 << (guard_pos & 31)) - 1) != 0
+                || digits[..guard_pos >> 5].iter().any(|&d| d != 0));
+        let mut exp = ulp_exp;
+        if guard && (sticky || mant & 1 == 1) {
+            mant += 1;
+            if mant == 1 << 53 {
+                mant = 1 << 52;
+                exp += 1;
+            }
+        }
+        if mant == 0 {
+            return sign * 0.0;
+        }
+        if exp > 1023 {
+            // Even a 1-bit mantissa at this exponent exceeds f64 range.
+            return sign * f64::INFINITY;
+        }
+        // mant·2^exp is representable (or overflows to ∞): reconstruct
+        // with exact power-of-two scaling, split once for subnormals so
+        // every intermediate product is exact.
+        let pow2 = |e: i32| f64::from_bits(((e + 1023) as u64) << 52);
+        let x = if exp >= -1022 {
+            mant as f64 * pow2(exp)
+        } else {
+            (mant as f64 * pow2(exp + 537)) * pow2(-537)
+        };
+        sign * x
+    }
+}
+
+/// Splits a finite `f64` into `(mantissa, exponent, sign)` with
+/// `|x| = m·2^e`, `m < 2^53`.
+fn decompose(x: f64) -> (u64, i32, i64) {
+    let bits = x.to_bits();
+    let sign = if bits >> 63 == 1 { -1 } else { 1 };
+    // mppm-lint: allow(lossy-counter-cast): masked to 11 bits — an IEEE-754 exponent field, not a counter
+    let exp_bits = ((bits >> 52) & 0x7FF) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    debug_assert_ne!(exp_bits, 0x7FF, "decompose needs a finite value");
+    if exp_bits == 0 {
+        (frac, -1074, sign)
+    } else {
+        (frac | (1 << 52), exp_bits - 1075, sign)
+    }
+}
+
+/// Streaming mean/variance/min/max accumulator with an *exactly*
+/// associative merge.
+///
+/// Internally keeps the exact sum and sum of squares of all finite
+/// observations in fixed-point superaccumulators ([`ExactSum`]), so the
+/// derived statistics are a pure function of the observation multiset:
+/// pushing in any order, or [`merging`](StreamingMoments::merge)
+/// partial accumulators in any tree shape, yields bit-identical
+/// `mean()`/`sample_std()`/`min()`/`max()`. That is what lets the
+/// campaign aggregator tree-reduce per-shard partials from any number
+/// of workers and still reproduce the single-process scan byte for
+/// byte.
+///
+/// Non-finite observations are tracked by kind (they cannot enter an
+/// exact sum): any NaN — or both +∞ and −∞ — poisons the mean to NaN,
+/// a single infinity sign saturates it, and `sample_std` follows suit.
 ///
 /// # Example
 ///
@@ -53,26 +285,67 @@ pub fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StreamingMoments {
     count: u64,
-    mean: f64,
-    m2: f64,
+    sum: ExactSum,
+    sum_sq: ExactSum,
     min: f64,
     max: f64,
+    has_nan: bool,
+    has_pos_inf: bool,
+    has_neg_inf: bool,
 }
 
 impl StreamingMoments {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            sum: ExactSum::default(),
+            sum_sq: ExactSum::default(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            has_nan: false,
+            has_pos_inf: false,
+            has_neg_inf: false,
+        }
     }
 
     /// Feeds one observation.
     pub fn push(&mut self, x: f64) {
         self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
+        if x.is_nan() {
+            self.has_nan = true;
+            return;
+        }
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+        if x.is_infinite() {
+            if x > 0.0 {
+                self.has_pos_inf = true;
+            } else {
+                self.has_neg_inf = true;
+            }
+            return;
+        }
+        self.sum.add(x);
+        self.sum_sq.add_square(x);
+    }
+
+    /// Absorbs another accumulator, as if every observation fed to
+    /// `other` had been fed to `self`.
+    ///
+    /// The merge is associative and commutative *exactly* (not just up
+    /// to rounding): the derived statistics depend only on the combined
+    /// observation multiset, never on the merge tree. The campaign
+    /// merge-invariance property test pins this.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.has_nan |= other.has_nan;
+        self.has_pos_inf |= other.has_pos_inf;
+        self.has_neg_inf |= other.has_neg_inf;
+        self.sum.merge(&other.sum);
+        self.sum_sq.merge(&other.sum_sq);
     }
 
     /// Number of observations so far.
@@ -80,22 +353,50 @@ impl StreamingMoments {
         self.count
     }
 
-    /// Running mean; `None` before the first observation.
+    /// Mean of all observations, from the exact sum; `None` before the
+    /// first observation.
     pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.mean)
+        if self.count == 0 {
+            return None;
+        }
+        if self.has_nan || (self.has_pos_inf && self.has_neg_inf) {
+            return Some(f64::NAN);
+        }
+        if self.has_pos_inf {
+            return Some(f64::INFINITY);
+        }
+        if self.has_neg_inf {
+            return Some(f64::NEG_INFINITY);
+        }
+        Some(self.sum.value() / self.count as f64)
     }
 
     /// Sample standard deviation (n−1); `None` below two observations.
+    ///
+    /// Computed from the exact sum and sum of squares. The final
+    /// subtraction happens in `f64`, so extreme mean-to-spread ratios
+    /// (∼10⁸) lose precision there — but the result is still a pure
+    /// function of the observation multiset, so merge invariance holds
+    /// regardless.
     pub fn sample_std(&self) -> Option<f64> {
-        (self.count > 1).then(|| (self.m2 / (self.count as f64 - 1.0)).sqrt())
+        if self.count < 2 {
+            return None;
+        }
+        if self.has_nan || self.has_pos_inf || self.has_neg_inf {
+            return Some(f64::NAN);
+        }
+        let n = self.count as f64;
+        let s = self.sum.value();
+        let var = ((self.sum_sq.value() - s * s / n) / (n - 1.0)).max(0.0);
+        Some(var.sqrt())
     }
 
-    /// Smallest observation; `None` before the first.
+    /// Smallest non-NaN observation; `None` before the first.
     pub fn min(&self) -> Option<f64> {
         (self.count > 0).then_some(self.min)
     }
 
-    /// Largest observation; `None` before the first.
+    /// Largest non-NaN observation; `None` before the first.
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
     }
@@ -245,6 +546,296 @@ impl P2Quantile {
             return Some(head[lo] + frac * (head[hi] - head[lo]));
         }
         Some(self.q[2])
+    }
+
+    /// Absorbs another estimator of the *same* quantile.
+    ///
+    /// P² marker state is lossy, so no merge of two P² states can be
+    /// exact or truly associative — the markers do not determine the
+    /// concatenated stream's quantile (see DESIGN.md §16 for the
+    /// two-stream counterexample). What this merge guarantees instead:
+    ///
+    /// * **deterministic** — a pure function of the two states;
+    /// * **commutative** — `a.merge(b)` and `b.merge(a)` produce
+    ///   identical states (the weighted marker union is symmetric);
+    /// * **count-preserving** — the merged count is the sum;
+    /// * **exact while small** — if the combined count is ≤ 5 the merge
+    ///   stays in the exact buffered regime.
+    ///
+    /// Accumulators needing byte-identical tree-reduction (the campaign
+    /// aggregator) use [`QuantileSketch`] instead, whose merge *is*
+    /// associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators target different quantiles.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.p.to_bits(),
+            other.p.to_bits(),
+            "merging estimators of different quantiles"
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        if self.count < 5 && other.count < 5 {
+            // Both sides still hold raw observations: replay them in
+            // sorted order (symmetric, hence commutative; exact while
+            // the combined count stays ≤ 5).
+            let mut vals: Vec<f64> = self.q[..self.count]
+                .iter()
+                .chain(&other.q[..other.count])
+                .copied()
+                .collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            let mut fresh = P2Quantile::new(self.p);
+            for v in vals {
+                fresh.push(v);
+            }
+            *self = fresh;
+            return;
+        }
+        // Weighted marker union: each side contributes its markers (or
+        // raw head) weighted by the observation count each marker
+        // stands for; the merged markers are quantiles of that union.
+        // Symmetric in the two sides, so commutative by construction.
+        let mut wv: Vec<(f64, f64)> = Vec::with_capacity(10);
+        for side in [&*self, other] {
+            if side.count < 5 {
+                wv.extend(side.q[..side.count].iter().map(|&v| (v, 1.0)));
+            } else {
+                let mut prev = 0.0;
+                for i in 0..5 {
+                    wv.push((side.q[i], side.pos[i] - prev));
+                    prev = side.pos[i];
+                }
+            }
+        }
+        wv.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let n = total as f64;
+        let p = self.p;
+        let fractions = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0];
+        let mut q = [0.0f64; 5];
+        for (slot, f) in q.iter_mut().zip(fractions) {
+            // Nearest-rank over cumulative weights.
+            let target = f * (n - 1.0) + 1.0;
+            let mut cum = 0.0;
+            let mut val = wv[wv.len() - 1].0;
+            for &(v, w) in &wv {
+                cum += w;
+                if cum >= target {
+                    val = v;
+                    break;
+                }
+            }
+            *slot = val;
+        }
+        for i in 1..5 {
+            q[i] = q[i].max(q[i - 1]);
+        }
+        // Integral marker positions: ideal rank clamped into the band
+        // that keeps positions strictly increasing inside [1, n].
+        let mut pos = [0.0f64; 5];
+        pos[0] = 1.0;
+        pos[4] = n;
+        for i in 1..4 {
+            let ideal = (1.0 + fractions[i] * (n - 1.0)).round();
+            pos[i] = ideal.clamp(i as f64 + 1.0, n - (4 - i) as f64);
+            pos[i] = pos[i].max(pos[i - 1] + 1.0);
+        }
+        let init = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0];
+        let grown = n - 5.0;
+        let mut desired = [0.0f64; 5];
+        for i in 0..5 {
+            desired[i] = init[i] + self.inc[i] * grown;
+        }
+        self.q = q;
+        self.pos = pos;
+        self.desired = desired;
+        self.count = total;
+    }
+}
+
+/// A mergeable streaming quantile sketch over base-2 log buckets.
+///
+/// Observations are bucketed by the top bits of their IEEE-754
+/// representation (sign, exponent, and the 8 leading mantissa bits), so
+/// each bucket spans a relative width of 2⁻⁸ ≈ 0.4%. Counts live in
+/// ordered maps; [`merge`](QuantileSketch::merge) adds counts per
+/// bucket, which makes it **exactly associative and commutative** — the
+/// sketch state (and every quantile read from it) is a pure function of
+/// the observation multiset, independent of push order or merge tree.
+/// That is the property the distributed campaign aggregator needs for
+/// byte-identical CSV bundles at any worker count.
+///
+/// Quantiles are nearest-rank over bucket midpoints, clamped into the
+/// exactly-tracked `[min, max]`, so relative error is bounded by the
+/// bucket width. NaN observations are counted separately and ordered
+/// after +∞ (the [`total_cmp`] convention).
+///
+/// # Example
+///
+/// ```
+/// use mppm::stats::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new();
+/// for i in 1..=1000 {
+///     s.push(i as f64);
+/// }
+/// let median = s.quantile(0.5).unwrap();
+/// assert!((median - 500.0).abs() / 500.0 < 0.005, "got {median}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Counts for negative observations, keyed by the bits of `|x|`.
+    neg: std::collections::BTreeMap<u32, u64>,
+    /// Observations equal to ±0.0.
+    zero: u64,
+    /// Counts for positive observations.
+    pos: std::collections::BTreeMap<u32, u64>,
+    /// NaN observations (sorted after +∞).
+    nan: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Mantissa bits kept in the bucket key (with sign + exponent).
+    const SHIFT: u32 = 44;
+
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self {
+            neg: std::collections::BTreeMap::new(),
+            zero: 0,
+            pos: std::collections::BTreeMap::new(),
+            nan: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket key for a strictly positive value (finite or +∞).
+    fn bucket(x: f64) -> u32 {
+        // mppm-lint: allow(lossy-counter-cast): SHIFT ≥ 32 leaves at most 32 significant bits — a bucket key, not a counter
+        (x.to_bits() >> Self::SHIFT) as u32
+    }
+
+    /// Deterministic representative of a bucket: its midpoint.
+    fn representative(key: u32) -> f64 {
+        let lo = f64::from_bits(u64::from(key) << Self::SHIFT);
+        if lo.is_infinite() {
+            return lo;
+        }
+        let hi = f64::from_bits(u64::from(key + 1) << Self::SHIFT);
+        lo + (hi - lo) / 2.0
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x == 0.0 {
+            self.zero += 1;
+        } else if x > 0.0 {
+            *self.pos.entry(Self::bucket(x)).or_insert(0) += 1;
+        } else {
+            *self.neg.entry(Self::bucket(-x)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest non-NaN observation; `None` before the first.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > self.nan).then_some(self.min)
+    }
+
+    /// Largest non-NaN observation; `None` before the first.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > self.nan).then_some(self.max)
+    }
+
+    /// Absorbs another sketch: per-bucket count addition. Exactly
+    /// associative and commutative, so any merge tree over any
+    /// partition of the observations yields an identical sketch.
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.zero += other.zero;
+        self.nan += other.nan;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (&k, &c) in &other.neg {
+            *self.neg.entry(k).or_insert(0) += c;
+        }
+        for (&k, &c) in &other.pos {
+            *self.pos.entry(k).or_insert(0) += c;
+        }
+    }
+
+    /// Nearest-rank `q`-quantile estimate (`0 ≤ q ≤ 1`), clamped into
+    /// the exact observed `[min, max]`. `None` before the first
+    /// observation; NaN when the rank falls into the NaN tail.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly; buckets only matter
+        // for the interior.
+        let non_nan = self.count - self.nan;
+        if rank > non_nan {
+            return Some(f64::NAN);
+        }
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == non_nan {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (&k, &c) in self.neg.iter().rev() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.clamp(-Self::representative(k)));
+            }
+        }
+        seen += self.zero;
+        if seen >= rank {
+            return Some(self.clamp(0.0));
+        }
+        for (&k, &c) in &self.pos {
+            seen += c;
+            if seen >= rank {
+                return Some(self.clamp(Self::representative(k)));
+            }
+        }
+        Some(f64::NAN)
+    }
+
+    fn clamp(&self, x: f64) -> f64 {
+        x.max(self.min).min(self.max)
     }
 }
 
@@ -783,6 +1374,281 @@ mod tests {
             let sum: f64 = r.iter().sum();
             let n = xs.len() as f64;
             prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+    }
+
+    /// Outputs of a moments accumulator as raw bits, for byte-identity
+    /// assertions across merge shapes.
+    fn moments_bits(acc: &StreamingMoments) -> [u64; 5] {
+        [
+            acc.count(),
+            acc.mean().unwrap_or(f64::NAN).to_bits(),
+            acc.sample_std().unwrap_or(f64::NAN).to_bits(),
+            acc.min().unwrap_or(f64::NAN).to_bits(),
+            acc.max().unwrap_or(f64::NAN).to_bits(),
+        ]
+    }
+
+    fn moments_of(xs: &[f64]) -> StreamingMoments {
+        let mut acc = StreamingMoments::new();
+        for &x in xs {
+            acc.push(x);
+        }
+        acc
+    }
+
+    #[test]
+    fn exact_sum_survives_catastrophic_cancellation() {
+        // Welford (and naive f64 summation) lose the 1.0 entirely; the
+        // exact accumulator rounds the true sum once at the end.
+        let acc = moments_of(&[1e16, 1.0, -1e16]);
+        assert_eq!(acc.mean(), Some(1.0 / 3.0));
+        let acc = moments_of(&[1e308, 1e308, -1e308, -1e308, 5.0]);
+        assert_eq!(acc.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn exact_sum_handles_extreme_magnitudes() {
+        // Sum transiently exceeds f64 range, then cancels back.
+        let acc = moments_of(&[f64::MAX, f64::MAX, -f64::MAX, -f64::MAX]);
+        assert_eq!(acc.mean(), Some(0.0));
+        // Overflowing sum saturates like IEEE addition would.
+        let acc = moments_of(&[f64::MAX, f64::MAX, f64::MAX]);
+        assert_eq!(acc.mean(), Some(f64::INFINITY));
+        // Subnormals accumulate exactly.
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        let acc = moments_of(&[tiny; 7]);
+        assert_eq!(acc.mean(), Some(tiny * 7.0 / 7.0));
+        let acc = moments_of(&[tiny, -tiny, tiny]);
+        assert_eq!(acc.mean(), Some(tiny / 3.0));
+    }
+
+    #[test]
+    fn moments_track_nonfinite_observations() {
+        let acc = moments_of(&[1.0, f64::INFINITY, 2.0]);
+        assert_eq!(acc.mean(), Some(f64::INFINITY));
+        assert_eq!(acc.max(), Some(f64::INFINITY));
+        let acc = moments_of(&[f64::INFINITY, f64::NEG_INFINITY]);
+        assert!(acc.mean().unwrap().is_nan());
+        let acc = moments_of(&[1.0, f64::NAN]);
+        assert!(acc.mean().unwrap().is_nan());
+        assert_eq!(acc.min(), Some(1.0), "NaN never claims min/max");
+    }
+
+    #[test]
+    fn moments_merge_is_exact_across_shapes() {
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| {
+                let m = ((i * 2654435761u64 as usize) % 9973) as f64 - 4986.0;
+                m * (2.0f64).powi((i % 61) as i32 - 30)
+            })
+            .collect();
+        let whole = moments_of(&xs);
+        // Linear left fold over 7 uneven chunks.
+        let chunks: Vec<&[f64]> = xs.chunks(317).collect();
+        let mut linear = StreamingMoments::new();
+        for c in &chunks {
+            linear.merge(&moments_of(c));
+        }
+        // Right-to-left fold (different association AND order).
+        let mut reversed = StreamingMoments::new();
+        for c in chunks.iter().rev() {
+            reversed.merge(&moments_of(c));
+        }
+        // Balanced tree reduce.
+        let mut layer: Vec<StreamingMoments> =
+            chunks.iter().map(|c| moments_of(c)).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| {
+                    let mut m = pair[0].clone();
+                    if let Some(r) = pair.get(1) {
+                        m.merge(r);
+                    }
+                    m
+                })
+                .collect();
+        }
+        assert_eq!(moments_bits(&whole), moments_bits(&linear));
+        assert_eq!(moments_bits(&whole), moments_bits(&reversed));
+        assert_eq!(moments_bits(&whole), moments_bits(&layer[0]));
+    }
+
+    #[test]
+    fn sketch_tracks_known_quantiles() {
+        let mut s = QuantileSketch::new();
+        for i in 0..10_000 {
+            s.push(((i * 7919) % 10_000) as f64 / 100.0);
+        }
+        for (q, want) in [(0.1, 10.0), (0.5, 50.0), (0.9, 90.0)] {
+            let got = s.quantile(q).unwrap();
+            assert!((got - want).abs() < 0.5, "q={q}: got {got}");
+        }
+        assert_eq!(s.quantile(0.0), Some(s.min().unwrap()));
+        assert_eq!(s.quantile(1.0), Some(s.max().unwrap()));
+        assert_eq!(s.count(), 10_000);
+    }
+
+    #[test]
+    fn sketch_handles_signs_zeros_and_nan() {
+        let mut s = QuantileSketch::new();
+        for x in [-4.0, -2.0, 0.0, 0.0, 3.0, f64::NAN] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.min(), Some(-4.0));
+        assert_eq!(s.max(), Some(3.0));
+        let med = s.quantile(0.5).unwrap();
+        assert!((-2.0..=0.0).contains(&med), "got {med}");
+        // The NaN tail is reachable but ordered last.
+        assert!(s.quantile(1.0).unwrap().is_nan());
+        assert!(QuantileSketch::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn p2_merge_is_commutative_and_count_preserving() {
+        let mk = |lo: usize, hi: usize, mul: usize| {
+            let mut q = P2Quantile::new(0.5);
+            for i in lo..hi {
+                q.push(((i * mul) % 1009) as f64);
+            }
+            q
+        };
+        for (a_range, b_range) in [
+            ((0usize, 3usize), (0usize, 2usize)), // both exact
+            ((0, 3), (0, 100)),                   // exact into marker
+            ((0, 250), (0, 400)),                 // marker into marker
+        ] {
+            let a = mk(a_range.0, a_range.1, 7);
+            let b = mk(b_range.0, b_range.1, 13);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must be commutative");
+            assert_eq!(ab.count(), a.count() + b.count());
+            if ab.count() >= 5 {
+                // Marker invariants survive the merge.
+                let qm = ab.clone();
+                for w in qm.q.windows(2) {
+                    assert!(w[0] <= w[1], "heights must be sorted");
+                }
+            }
+            // The merged estimator keeps working as a stream target.
+            let mut cont = ab.clone();
+            for i in 0..50 {
+                cont.push(i as f64);
+            }
+            assert!(cont.estimate().unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn p2_merge_small_regime_is_exact() {
+        let mut a = P2Quantile::new(0.5);
+        a.push(1.0);
+        a.push(5.0);
+        let mut b = P2Quantile::new(0.5);
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.estimate(), Some(3.0), "median of {{1, 3, 5}}");
+    }
+
+    #[test]
+    fn p2_merge_tracks_combined_distribution() {
+        // Two halves of a uniform stream; the merged median should be
+        // near the overall median even though the merge is lossy.
+        let mut lo = P2Quantile::new(0.5);
+        let mut hi = P2Quantile::new(0.5);
+        for i in 0..4000 {
+            lo.push((i % 500) as f64); // uniform 0..500
+            hi.push(500.0 + (i % 500) as f64); // uniform 500..1000
+        }
+        let mut merged = lo.clone();
+        merged.merge(&hi);
+        let est = merged.estimate().unwrap();
+        assert_eq!(merged.count(), 8000);
+        assert!((400.0..=600.0).contains(&est), "median ~500, got {est}");
+    }
+
+    proptest! {
+        #[test]
+        fn moments_merge_invariant_under_chunking(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..120),
+            split in 1usize..40,
+        ) {
+            let whole = moments_of(&xs);
+            let size = split.min(xs.len());
+            let mut folded = StreamingMoments::new();
+            for c in xs.chunks(size) {
+                folded.merge(&moments_of(c));
+            }
+            let mut reversed = StreamingMoments::new();
+            for c in xs.chunks(size).rev() {
+                reversed.merge(&moments_of(c));
+            }
+            prop_assert_eq!(moments_bits(&whole), moments_bits(&folded));
+            prop_assert_eq!(moments_bits(&whole), moments_bits(&reversed));
+        }
+
+        #[test]
+        fn sketch_merge_invariant_under_chunking(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..120),
+            split in 1usize..40,
+        ) {
+            let mut whole = QuantileSketch::new();
+            for &x in &xs {
+                whole.push(x);
+            }
+            let size = split.min(xs.len());
+            let mut folded = QuantileSketch::new();
+            for c in xs.chunks(size) {
+                let mut part = QuantileSketch::new();
+                for &x in c {
+                    part.push(x);
+                }
+                folded.merge(&part);
+            }
+            let mut reversed = QuantileSketch::new();
+            for c in xs.chunks(size).rev() {
+                let mut part = QuantileSketch::new();
+                for &x in c {
+                    part.push(x);
+                }
+                reversed.merge(&part);
+            }
+            // Associative + commutative merge: the full *state* matches,
+            // so every quantile read matches bit for bit.
+            prop_assert_eq!(&whole, &folded);
+            prop_assert_eq!(&whole, &reversed);
+        }
+
+        #[test]
+        fn exact_mean_matches_i128_reference(
+            xs in proptest::collection::vec(-1_000_000i64..1_000_000, 1..60),
+        ) {
+            // Integer-valued observations: the exact sum must agree
+            // with 128-bit integer arithmetic to the last bit.
+            let acc = moments_of(&xs.iter().map(|&v| v as f64).collect::<Vec<_>>());
+            let total: i128 = xs.iter().map(|&v| v as i128).sum();
+            let want = total as f64 / xs.len() as f64;
+            prop_assert_eq!(acc.mean().unwrap().to_bits(), want.to_bits());
+        }
+
+        #[test]
+        fn sketch_quantiles_stay_in_range(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut s = QuantileSketch::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            let est = s.quantile(q).unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo && est <= hi, "{} not in [{}, {}]", est, lo, hi);
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Regenerates §4.3: MPPM speed versus detailed simulation.
 //!
 //! Usage: `cargo run --release -p mppm-experiments --bin speed [--quick]
-//! [--arena-only] [--analyze-only]`
+//! [--arena-only] [--analyze-only] [--distcampaign-only]`
 //!
 //! `--arena-only` skips the detailed-simulator benches and runs just the
 //! model-solver allocation comparison (regenerating `BENCH_arena.json`
@@ -9,13 +9,40 @@
 //! `--analyze-only` runs just the mppm-analyze cold-vs-warm scan
 //! comparison (regenerating `BENCH_analyze.json`), gated on the warm
 //! scan being at least 2x faster than cold and under a wall-clock bound.
+//! `--distcampaign-only` runs just the distributed-campaign scaling
+//! sweep (regenerating `BENCH_distcampaign.json`), gated on the CSV
+//! bundle being byte-identical at every worker count.
 
 use mppm_experiments::{speed, Context, Scale};
+
+fn run_distcampaign(quick: bool) {
+    let (workers, sample, shard_size): (&[usize], usize, usize) =
+        if quick { (&[1, 2, 4], 48, 8) } else { (&[1, 2, 4, 8], 4096, 64) };
+    let points = match speed::distcampaign_comparison(quick, workers, sample, shard_size) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let table = speed::report_distcampaign(&points);
+    println!("\nDistributed campaign: worker-process scaling (bundles byte-compared)");
+    println!("{}", table.render());
+    match speed::write_distcampaign_json(&points) {
+        Ok(path) => println!("(machine-readable copy: {})", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_distcampaign.json: {e}"),
+    }
+}
 
 fn main() {
     let ctx = Context::new(Scale::from_args());
     let arena_only = std::env::args().any(|a| a == "--arena-only");
     let analyze_only = std::env::args().any(|a| a == "--analyze-only");
+    let distcampaign_only = std::env::args().any(|a| a == "--distcampaign-only");
+    if distcampaign_only {
+        run_distcampaign(matches!(ctx.scale(), Scale::Quick));
+        return;
+    }
 
     // Analyzer cold-vs-warm: the fact cache must pay for itself. Runs
     // first (and alone under --analyze-only) because it needs no traces
@@ -125,6 +152,10 @@ fn main() {
         Ok(path) => println!("(machine-readable copy: {})", path.display()),
         Err(e) => eprintln!("warning: could not write BENCH_obs.json: {e}"),
     }
+
+    // Distributed-campaign scaling: the same campaign through 1..N
+    // worker processes, CSV bundles byte-compared inside the bench.
+    run_distcampaign(matches!(ctx.scale(), Scale::Quick));
 
     // Gate: a disabled observer must be free. Quick-scale runs are short
     // enough that run-to-run jitter swamps a 2% bound (±8% observed), so

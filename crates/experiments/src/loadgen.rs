@@ -149,7 +149,11 @@ fn client_lines(pool: &[String], client: usize, requests: usize) -> Vec<String> 
     (0..requests)
         .map(|k| {
             let body = &pool[(client * requests + k) % pool.len()];
-            format!("{{\"id\":{},{body}}}", k + 1)
+            format!(
+                "{{\"v\":{},\"id\":{},{body}}}",
+                mppm_wire::PROTOCOL_VERSION,
+                k + 1
+            )
         })
         .collect()
 }
@@ -328,7 +332,10 @@ pub fn await_socket(socket: &Path, timeout: Duration) -> bool {
 /// Connection or write failures; an unexpected response frame.
 pub fn request_shutdown(socket: &Path) -> std::io::Result<()> {
     let mut client = LoadClient::connect(socket)?;
-    client.send("{\"id\":1,\"kind\":\"shutdown\"}")?;
+    client.send(&format!(
+        "{{\"v\":{},\"id\":1,\"kind\":\"shutdown\"}}",
+        mppm_wire::PROTOCOL_VERSION
+    ))?;
     let response = client.recv()?;
     let (ok, _) = parse_response(&response);
     if !ok {
@@ -421,7 +428,11 @@ mod tests {
         for line in &a {
             assert!(!b.contains(line), "clients 0 and 1 share {line}");
         }
-        assert!(a[0].starts_with("{\"id\":1,"), "ids are 1-based per connection: {}", a[0]);
+        assert!(
+            a[0].starts_with("{\"v\":1,\"id\":1,"),
+            "frames are versioned and ids are 1-based per connection: {}",
+            a[0]
+        );
     }
 
     #[test]

@@ -511,6 +511,165 @@ pub fn write_analyze_json(point: &AnalyzePoint) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// One worker-count point of the distributed-campaign scaling sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DistCampaignPoint {
+    /// Worker processes the shards were fanned out to (0 = in-process).
+    pub workers: usize,
+    /// End-to-end wall seconds for the campaign run (fresh journal).
+    pub seconds: f64,
+    /// Mix evaluations performed (mixes x design points).
+    pub evaluations: u64,
+}
+
+impl DistCampaignPoint {
+    /// Evaluations per wall second.
+    pub fn throughput(&self) -> f64 {
+        self.evaluations as f64 / self.seconds
+    }
+}
+
+/// Locates a binary built alongside the running one (`target/<profile>/`),
+/// looking one level up when invoked from a test binary in `deps/`.
+fn sibling_binary(name: &str) -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    let direct = dir.join(name);
+    if direct.is_file() {
+        return Some(direct);
+    }
+    if dir.ends_with("deps") {
+        dir.pop();
+        let up = dir.join(name);
+        if up.is_file() {
+            return Some(up);
+        }
+    }
+    None
+}
+
+/// Times the same campaign through the `campaign` binary at each worker
+/// count, each on a fresh journal, and byte-compares the CSV bundles —
+/// the scaling benchmark doubles as the distribution differential check
+/// (worker count must never change output bytes).
+///
+/// An untimed warm-up run first fills the shared trace store (profiles,
+/// compiled traces) so every timed point sees the same cache
+/// temperature. Returns `Err` if the `campaign` binary is not built,
+/// a run fails, or any bundle differs from the first.
+pub fn distcampaign_comparison(
+    quick: bool,
+    worker_counts: &[usize],
+    sample: usize,
+    shard_size: usize,
+) -> Result<Vec<DistCampaignPoint>, String> {
+    let exe = sibling_binary("campaign").ok_or_else(|| {
+        "the `campaign` binary is not built; run `cargo build --release -p mppm-campaign` first"
+            .to_string()
+    })?;
+    let configs = "1,2";
+    let designs = 2u64;
+    let scratch =
+        std::env::temp_dir().join(format!("mppm-distcampaign-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("creating {scratch:?}: {e}"))?;
+    let run = |workers: usize, tag: &str| -> Result<(f64, Vec<u8>), String> {
+        let journal = scratch.join(format!("journal-{tag}"));
+        let bundle = scratch.join(format!("bundle-{tag}.csv"));
+        let mut command = std::process::Command::new(&exe);
+        if quick {
+            command.arg("--quick");
+        }
+        command
+            .args(["--cores", "4", "--configs", configs])
+            .args(["--sample", &sample.to_string(), "--seed", "7"])
+            .args(["--shard-size", &shard_size.to_string(), "--trials", "40"])
+            .args(["--workers", &workers.to_string()])
+            .arg("--journal")
+            .arg(&journal)
+            .arg("--bundle")
+            .arg(&bundle)
+            .env_remove("MPPM_WORKER_FAIL_AFTER")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit());
+        let started = Instant::now();
+        let status =
+            command.status().map_err(|e| format!("spawning {}: {e}", exe.display()))?;
+        let seconds = started.elapsed().as_secs_f64();
+        if !status.success() {
+            return Err(format!("campaign --workers {workers} failed with {status}"));
+        }
+        let bytes = std::fs::read(&bundle).map_err(|e| format!("reading {bundle:?}: {e}"))?;
+        Ok((seconds, bytes))
+    };
+    let result = (|| {
+        // Warm-up: fill the store caches once, untimed.
+        let (_, reference) = run(0, "warmup")?;
+        let mut points = Vec::with_capacity(worker_counts.len());
+        for &workers in worker_counts {
+            let (seconds, bytes) = run(workers, &workers.to_string())?;
+            if bytes != reference {
+                return Err(format!(
+                    "CSV bundle at {workers} workers differs from the in-process bundle \
+                     ({} vs {} bytes): distribution changed the results",
+                    bytes.len(),
+                    reference.len()
+                ));
+            }
+            points.push(DistCampaignPoint {
+                workers,
+                seconds,
+                evaluations: sample as u64 * designs,
+            });
+        }
+        Ok(points)
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+/// Renders the distributed-campaign scaling table and writes the CSV.
+pub fn report_distcampaign(points: &[DistCampaignPoint]) -> Table {
+    let mut t = Table::new(&["workers", "wall s", "evaluations", "evals/s"]);
+    for p in points {
+        t.row(vec![
+            p.workers.to_string(),
+            f3(p.seconds),
+            p.evaluations.to_string(),
+            format!("{:.0}", p.throughput()),
+        ]);
+    }
+    let _ = t.save_csv("speed_distcampaign");
+    t
+}
+
+/// Writes the machine-readable distributed-campaign scaling sweep to
+/// `BENCH_distcampaign.json` at the workspace root (redirected to
+/// `target/test-results/` under `cargo test`).
+pub fn write_distcampaign_json(points: &[DistCampaignPoint]) -> std::io::Result<PathBuf> {
+    #[derive(Serialize)]
+    struct BenchFile {
+        description: String,
+        unit: String,
+        points: Vec<DistCampaignPoint>,
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = if cfg!(test) { root.join("target/test-results") } else { root };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_distcampaign.json");
+    atomic_write_json(
+        &path,
+        &BenchFile {
+            description: "End-to-end campaign wall time per worker-process count, \
+                          fresh journal each, CSV bundles byte-compared against the \
+                          in-process run, same build"
+                .to_string(),
+            unit: "seconds per campaign".to_string(),
+            points: points.to_vec(),
+        },
+    )?;
+    Ok(path)
+}
+
 /// Observability-overhead timing at one core count: the same mixes with
 /// no observer, with a disabled observer (the default in every hot
 /// path), and with an enabled [`NoopSink`] observer.
@@ -747,6 +906,28 @@ mod tests {
         let raw = std::fs::read_to_string(path).expect("json readable");
         assert!(raw.contains("cold_seconds"), "unexpected JSON shape: {raw}");
         assert!(raw.contains("warm_seconds"));
+    }
+
+    #[test]
+    fn distcampaign_comparison_measures_and_serializes() {
+        let points = match distcampaign_comparison(true, &[1, 2], 24, 4) {
+            Ok(points) => points,
+            // The `campaign` binary is built by the workspace, not by
+            // `cargo test -p mppm-experiments` alone — skip, not fail.
+            Err(e) if e.contains("not built") => return,
+            Err(e) => panic!("distributed campaign bench failed: {e}"),
+        };
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.seconds > 0.0);
+            assert_eq!(p.evaluations, 48);
+        }
+        let table = report_distcampaign(&points);
+        assert_eq!(table.len(), 2);
+        let path = write_distcampaign_json(&points).expect("json written");
+        let raw = std::fs::read_to_string(path).expect("json readable");
+        assert!(raw.contains("\"workers\":1"), "unexpected JSON shape: {raw}");
+        assert!(raw.contains("evaluations"));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 
 use crate::framing::{Frame, FrameReader};
-use crate::protocol::Request;
+use crate::protocol::{Request, PROTOCOL_VERSION};
 use crate::ServerError;
 
 fn as_bool(v: &Value) -> Option<bool> {
@@ -80,6 +80,7 @@ impl Client {
     /// [`ServerError::Io`]/[`ServerError::Protocol`] for transport
     /// failures.
     pub fn request(&mut self, req: &mut Request) -> Result<Response, ServerError> {
+        req.v = PROTOCOL_VERSION;
         if req.id == 0 {
             self.next_id += 1;
             req.id = self.next_id;
@@ -121,6 +122,8 @@ impl Client {
             };
             let value: Value = serde_json::from_str(&line)
                 .map_err(|e| ServerError::Protocol(format!("undecodable frame: {e}")))?;
+            mppm_wire::check_version(value.get("v").and_then(Value::as_u64))
+                .map_err(ServerError::WireVersion)?;
             let frame_id = value.get("id").and_then(Value::as_u64).unwrap_or(0);
             if value.get("kind").and_then(Value::as_str) == Some("event") {
                 if frame_id == id {
@@ -160,6 +163,9 @@ impl Client {
                         ),
                         None => ("?".to_string(), line.clone()),
                     };
+                    if code == crate::protocol::codes::PROTOCOL {
+                        return Err(ServerError::Protocol(message));
+                    }
                     return Err(ServerError::Remote { code, message });
                 }
                 None => {

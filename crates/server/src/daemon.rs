@@ -1,7 +1,7 @@
 //! The `mppmd` daemon: accept loop, connection threads, and the
 //! batching campaign executor.
 
-use mppm_campaign::{run_campaign_with, AggregateOptions, CampaignSpec, MixSource};
+use mppm_campaign::{AggregateOptions, Campaign, CampaignSpec, MixSource};
 use mppm_experiments::{Context, Scale, Store};
 use mppm_obs::{Observer, Sink};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -139,6 +139,17 @@ fn handle_conn(state: &Arc<ServerState>, conn_id: u64, stream: UnixStream) {
                 }
                 match serde_json::from_str::<Request>(&line) {
                     Ok(req) => {
+                        // Version gate before any semantics: a client
+                        // from another build gets a typed refusal, not
+                        // a confusing bad-request or wrong answer.
+                        if let Err(mismatch) = mppm_wire::check_version(Some(req.v)) {
+                            writer.send_line(&err_frame(
+                                req.id,
+                                codes::PROTOCOL,
+                                &mismatch.to_string(),
+                            ));
+                            continue;
+                        }
                         let stopping = req.kind == "shutdown";
                         handlers::handle(state, conn_id, &writer, req);
                         if stopping {
@@ -217,7 +228,7 @@ fn run_campaign_job(state: &Arc<ServerState>, job: CampaignJob) {
     let observer = if sinks.is_empty() { Observer::disabled() } else { Observer::with_sinks(sinks) };
     let outcome = {
         let root = observer.root("campaign");
-        run_campaign_with(&ctx, &spec, &options, &root)
+        Campaign::new(&spec).options(&options).observer(&root).run(&ctx)
     };
     let _ = observer.finish();
     match outcome {
@@ -232,8 +243,8 @@ fn run_campaign_job(state: &Arc<ServerState>, job: CampaignJob) {
             let (code, message) = match &e {
                 mppm_campaign::CampaignError::InvalidSpec(_)
                 | mppm_campaign::CampaignError::MixSpace(_) => (codes::BAD_REQUEST, e.to_string()),
-                mppm_campaign::CampaignError::Io(_)
-                | mppm_campaign::CampaignError::MissingShard(_) => (codes::CAMPAIGN, e.to_string()),
+                mppm_campaign::CampaignError::Protocol(_) => (codes::PROTOCOL, e.to_string()),
+                _ => (codes::CAMPAIGN, e.to_string()),
             };
             for w in &job.waiters {
                 w.writer.send_line(&err_frame(w.id, code, &message));

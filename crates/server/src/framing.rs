@@ -1,223 +1,7 @@
 //! Newline framing over a byte stream.
 //!
-//! [`FrameReader`] turns an arbitrary [`Read`] into complete request
-//! lines, independent of how the transport fragments them: a frame may
-//! arrive one byte at a time or many frames may land in one read. Lines
-//! longer than [`MAX_LINE`](crate::protocol::MAX_LINE) are discarded up
-//! to the next newline and reported as [`Frame::Oversized`], so the
-//! daemon can answer with a typed error instead of buffering without
-//! bound (see the `blocking-in-handler` lint).
+//! The implementation lives in [`mppm_wire`], shared with the campaign
+//! coordinator↔worker pipes; this module re-exports it under the
+//! daemon's historical paths.
 
-use std::io::Read;
-
-use crate::protocol::MAX_LINE;
-
-/// One framing step.
-#[derive(Debug, PartialEq, Eq)]
-pub enum Frame {
-    /// A complete line (without its trailing `\n`; a trailing `\r` is
-    /// stripped for telnet-style clients).
-    Line(String),
-    /// A line exceeded the size limit; `discarded` bytes were skipped.
-    Oversized {
-        /// Number of bytes thrown away, including the newline if one
-        /// was seen.
-        discarded: usize,
-    },
-    /// End of stream. Any unterminated remainder was returned as a
-    /// final [`Frame::Line`] first.
-    Eof,
-}
-
-/// Incremental line reader with a hard per-line size limit.
-#[derive(Debug)]
-pub struct FrameReader<R> {
-    inner: R,
-    buf: Vec<u8>,
-    /// Bytes of `buf` already scanned for `\n` (restart point).
-    scanned: usize,
-    /// When set, we are discarding an oversized line up to its newline.
-    discarding: Option<usize>,
-    eof: bool,
-}
-
-impl<R: Read> FrameReader<R> {
-    /// Wraps a byte stream.
-    pub fn new(inner: R) -> Self {
-        Self { inner, buf: Vec::new(), scanned: 0, discarding: None, eof: false }
-    }
-
-    /// Blocks until the next frame is available.
-    ///
-    /// # Errors
-    ///
-    /// Propagates transport errors from the underlying reader.
-    pub fn next_frame(&mut self) -> std::io::Result<Frame> {
-        loop {
-            // Resolve what the buffer already holds before reading more.
-            if let Some(frame) = self.take_buffered() {
-                return Ok(frame);
-            }
-            if self.eof {
-                if self.buf.is_empty() {
-                    return Ok(Frame::Eof);
-                }
-                // Unterminated final line.
-                let line = std::mem::take(&mut self.buf);
-                self.scanned = 0;
-                return Ok(Frame::Line(decode(line)));
-            }
-            let mut chunk = [0u8; 4096];
-            let n = self.inner.read(&mut chunk)?;
-            if n == 0 {
-                self.eof = true;
-                if let Some(discarded) = self.discarding.take() {
-                    // The oversized line never ended; report what we skipped.
-                    return Ok(Frame::Oversized { discarded });
-                }
-                continue;
-            }
-            self.buf.extend_from_slice(&chunk[..n]);
-        }
-    }
-
-    fn take_buffered(&mut self) -> Option<Frame> {
-        if let Some(discarded) = self.discarding {
-            // Skip to the newline terminating the oversized line.
-            match self.buf.iter().position(|&b| b == b'\n') {
-                Some(nl) => {
-                    let total = discarded + nl + 1;
-                    self.buf.drain(..=nl);
-                    self.scanned = 0;
-                    self.discarding = None;
-                    return Some(Frame::Oversized { discarded: total });
-                }
-                None => {
-                    self.discarding = Some(discarded + self.buf.len());
-                    self.buf.clear();
-                    self.scanned = 0;
-                    return None;
-                }
-            }
-        }
-        if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-            let nl = self.scanned + nl;
-            self.scanned = 0;
-            if nl > MAX_LINE {
-                self.buf.drain(..=nl);
-                return Some(Frame::Oversized { discarded: nl + 1 });
-            }
-            let mut line: Vec<u8> = self.buf.drain(..=nl).collect();
-            line.pop(); // the newline
-            return Some(Frame::Line(decode(line)));
-        }
-        self.scanned = self.buf.len();
-        if self.buf.len() > MAX_LINE {
-            self.discarding = Some(self.buf.len());
-            self.buf.clear();
-            self.scanned = 0;
-        }
-        None
-    }
-}
-
-fn decode(mut line: Vec<u8>) -> String {
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8_lossy(&line).into_owned()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Yields the source bytes `chunk` bytes at a time, exercising
-    /// partial reads across buffer boundaries.
-    struct Chunked {
-        data: Vec<u8>,
-        pos: usize,
-        chunk: usize,
-    }
-
-    impl Read for Chunked {
-        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
-            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
-            self.pos += n;
-            Ok(n)
-        }
-    }
-
-    fn frames(data: &[u8], chunk: usize) -> Vec<Frame> {
-        let mut reader =
-            FrameReader::new(Chunked { data: data.to_vec(), pos: 0, chunk });
-        let mut out = Vec::new();
-        loop {
-            let frame = reader.next_frame().unwrap();
-            let done = frame == Frame::Eof;
-            out.push(frame);
-            if done {
-                return out;
-            }
-        }
-    }
-
-    #[test]
-    fn lines_survive_any_fragmentation() {
-        let data = b"{\"kind\":\"ping\"}\n{\"kind\":\"stats\"}\n";
-        for chunk in [1, 2, 3, 7, 4096] {
-            assert_eq!(
-                frames(data, chunk),
-                vec![
-                    Frame::Line("{\"kind\":\"ping\"}".to_string()),
-                    Frame::Line("{\"kind\":\"stats\"}".to_string()),
-                    Frame::Eof,
-                ],
-                "chunk size {chunk}"
-            );
-        }
-    }
-
-    #[test]
-    fn crlf_and_unterminated_tail_are_tolerated() {
-        assert_eq!(
-            frames(b"a\r\nb", 4096),
-            vec![Frame::Line("a".to_string()), Frame::Line("b".to_string()), Frame::Eof]
-        );
-    }
-
-    #[test]
-    fn oversized_line_is_discarded_not_buffered() {
-        let mut data = vec![b'x'; MAX_LINE + 100];
-        data.push(b'\n');
-        data.extend_from_slice(b"{\"kind\":\"ping\"}\n");
-        let got = frames(&data, 8192);
-        assert_eq!(
-            got,
-            vec![
-                Frame::Oversized { discarded: MAX_LINE + 101 },
-                Frame::Line("{\"kind\":\"ping\"}".to_string()),
-                Frame::Eof,
-            ]
-        );
-    }
-
-    #[test]
-    fn oversized_line_at_eof_reports_skipped_bytes() {
-        let data = vec![b'y'; MAX_LINE + 7];
-        let got = frames(&data, 4096);
-        assert_eq!(got, vec![Frame::Oversized { discarded: MAX_LINE + 7 }, Frame::Eof]);
-    }
-
-    #[test]
-    fn exact_limit_line_is_accepted() {
-        let mut data = vec![b'z'; MAX_LINE];
-        data.push(b'\n');
-        let got = frames(&data, 65536);
-        match &got[0] {
-            Frame::Line(l) => assert_eq!(l.len(), MAX_LINE),
-            other => panic!("expected a line, got {other:?}"),
-        }
-    }
-}
+pub use mppm_wire::{Frame, FrameReader};

@@ -46,6 +46,9 @@ pub enum ServerError {
     Io(String),
     /// The peer violated the wire protocol.
     Protocol(String),
+    /// The daemon speaks a different wire protocol version (its frames
+    /// carry the wrong — or no — `v` field).
+    WireVersion(mppm_wire::ProtocolMismatch),
     /// The daemon answered with a typed error frame.
     Remote {
         /// One of [`protocol::codes`].
@@ -63,6 +66,7 @@ impl fmt::Display for ServerError {
             }
             ServerError::Io(msg) => write!(f, "server I/O error: {msg}"),
             ServerError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServerError::WireVersion(mismatch) => write!(f, "{mismatch}"),
             ServerError::Remote { code, message } => write!(f, "daemon error [{code}]: {message}"),
         }
     }

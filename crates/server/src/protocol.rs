@@ -19,10 +19,17 @@
 use serde::{Deserialize, Serialize, Value};
 use std::fmt::Write as _;
 
-/// Longest accepted request line, in bytes. Longer lines are discarded
-/// to the next newline and answered with an [`codes::OVERSIZED`] error
-/// frame, keeping one misbehaving client from ballooning the daemon.
-pub const MAX_LINE: usize = 1 << 20;
+/// Longest accepted request line, in bytes (shared with the campaign
+/// worker wire via `mppm-wire`). Longer lines are discarded to the next
+/// newline and answered with an [`codes::OVERSIZED`] error frame,
+/// keeping one misbehaving client from ballooning the daemon.
+pub use mppm_wire::MAX_LINE;
+
+/// Wire protocol version stamped on every frame (requests and
+/// responses alike) as the `v` member. A peer speaking any other
+/// version — or omitting `v` — is answered with a
+/// [`codes::PROTOCOL`] error frame, never a misparse.
+pub use mppm_wire::PROTOCOL_VERSION;
 
 /// Stable error codes carried by error frames.
 pub mod codes {
@@ -43,6 +50,9 @@ pub mod codes {
     pub const CANCELED: &str = "canceled";
     /// The daemon is shutting down and no longer accepts work.
     pub const SHUTDOWN: &str = "shutdown";
+    /// The peer speaks a different wire protocol version (its `v`
+    /// field is missing or not [`super::PROTOCOL_VERSION`]).
+    pub const PROTOCOL: &str = "protocol-mismatch";
 }
 
 /// One request frame. Unknown fields are ignored; missing fields take
@@ -50,6 +60,11 @@ pub mod codes {
 /// one-shot CLI would do with the same flags.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Request {
+    /// Wire protocol version; must equal [`PROTOCOL_VERSION`]. The
+    /// default (0, i.e. absent) is deliberately *invalid*: pre-version
+    /// clients get a typed [`codes::PROTOCOL`] error.
+    #[serde(default)]
+    pub v: u64,
     /// Client-chosen correlation id, echoed on every frame this request
     /// produces.
     #[serde(default)]
@@ -384,6 +399,7 @@ impl CampaignRequest {
 /// Serializes one ok-response frame (no trailing newline).
 pub fn ok_frame(id: u64, kind: &str, cached: bool, result: Value, meta: Option<Value>) -> String {
     let mut fields = vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
         ("id".to_string(), Value::UInt(id)),
         ("ok".to_string(), Value::Bool(true)),
         ("kind".to_string(), Value::String(kind.to_string())),
@@ -403,6 +419,7 @@ pub fn err_frame(id: u64, code: &str, message: &str) -> String {
         ("message".to_string(), Value::String(message.to_string())),
     ]);
     let frame = Value::Object(vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
         ("id".to_string(), Value::UInt(id)),
         ("ok".to_string(), Value::Bool(false)),
         ("error".to_string(), error),
@@ -433,6 +450,7 @@ pub fn event_frame(id: u64, event: &mppm_obs::Event) -> String {
         ("fields".to_string(), Value::Object(fields)),
     ]);
     let frame = Value::Object(vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
         ("id".to_string(), Value::UInt(id)),
         ("kind".to_string(), Value::String("event".to_string())),
         ("event".to_string(), body),
@@ -535,11 +553,14 @@ mod tests {
     #[test]
     fn frames_have_stable_shapes() {
         let ok = ok_frame(3, "ping", false, Value::Object(vec![]), None);
-        assert_eq!(ok, "{\"id\":3,\"ok\":true,\"kind\":\"ping\",\"cached\":false,\"result\":{}}");
+        assert_eq!(
+            ok,
+            "{\"v\":1,\"id\":3,\"ok\":true,\"kind\":\"ping\",\"cached\":false,\"result\":{}}"
+        );
         let err = err_frame(0, codes::PARSE, "bad json");
         assert_eq!(
             err,
-            "{\"id\":0,\"ok\":false,\"error\":{\"code\":\"parse\",\"message\":\"bad json\"}}"
+            "{\"v\":1,\"id\":0,\"ok\":false,\"error\":{\"code\":\"parse\",\"message\":\"bad json\"}}"
         );
         let ev = mppm_obs::Event {
             scope: "campaign".to_string(),
@@ -549,7 +570,7 @@ mod tests {
         };
         assert_eq!(
             event_frame(5, &ev),
-            "{\"id\":5,\"kind\":\"event\",\"event\":{\"scope\":\"campaign\",\"index\":1,\
+            "{\"v\":1,\"id\":5,\"kind\":\"event\",\"event\":{\"scope\":\"campaign\",\"index\":1,\
              \"name\":\"plan\",\"fields\":{\"shards\":4}}}"
         );
     }
@@ -562,5 +583,8 @@ mod tests {
         assert!(!parsed.quick);
         assert_eq!(parsed.bandwidth, None);
         assert!(matches!(resolve(&parsed).unwrap(), Resolved::Ping));
+        // ... but a missing `v` defaults to 0, which the daemon refuses.
+        assert_eq!(parsed.v, 0);
+        assert!(mppm_wire::check_version(Some(parsed.v)).is_err());
     }
 }

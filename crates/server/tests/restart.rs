@@ -27,7 +27,7 @@ fn spawn_daemon(socket: &Path, store: &Path) -> Child {
     child
 }
 
-const CAMPAIGN: &str = "{\"id\":1,\"kind\":\"campaign\",\"quick\":true,\"cores\":2,\
+const CAMPAIGN: &str = "{\"v\":1,\"id\":1,\"kind\":\"campaign\",\"quick\":true,\"cores\":2,\
                         \"configs\":\"1,2\",\"sample\":24,\"seed\":5,\"shard_size\":2,\
                         \"trials\":20,\"subscribe\":true}";
 

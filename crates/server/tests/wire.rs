@@ -61,7 +61,7 @@ impl Daemon {
 impl Drop for Daemon {
     fn drop(&mut self) {
         if let Ok(mut conn) = UnixStream::connect(&self.socket) {
-            let _ = conn.write_all(b"{\"kind\":\"shutdown\",\"id\":999}\n");
+            let _ = conn.write_all(b"{\"v\":1,\"kind\":\"shutdown\",\"id\":999}\n");
         }
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
@@ -98,13 +98,13 @@ fn malformed_json_and_unknown_kinds_are_answered_not_dropped() {
     let frame = read_line(&mut reader);
     assert_eq!(error_code(&frame), "parse");
 
-    writer.write_all(b"{\"kind\":\"frobnicate\",\"id\":7}\n").unwrap();
+    writer.write_all(b"{\"v\":1,\"kind\":\"frobnicate\",\"id\":7}\n").unwrap();
     let frame = read_line(&mut reader);
     assert_eq!(error_code(&frame), "bad-request");
     assert_eq!(frame.get("id").and_then(Value::as_u64), Some(7));
 
     // The connection survived both: a ping still round-trips.
-    writer.write_all(b"{\"kind\":\"ping\",\"id\":8}\n").unwrap();
+    writer.write_all(b"{\"v\":1,\"kind\":\"ping\",\"id\":8}\n").unwrap();
     let frame = read_line(&mut reader);
     assert_eq!(frame.get("id").and_then(Value::as_u64), Some(8));
     assert_eq!(frame.get("kind").and_then(Value::as_str), Some("ping"));
@@ -123,7 +123,7 @@ fn oversized_lines_get_a_typed_error_frame() {
     let frame = read_line(&mut reader);
     assert_eq!(error_code(&frame), "oversized");
 
-    writer.write_all(b"{\"kind\":\"ping\",\"id\":3}\n").unwrap();
+    writer.write_all(b"{\"v\":1,\"kind\":\"ping\",\"id\":3}\n").unwrap();
     let frame = read_line(&mut reader);
     assert_eq!(frame.get("id").and_then(Value::as_u64), Some(3), "connection still usable");
 }
@@ -135,7 +135,7 @@ fn requests_split_across_arbitrary_writes_are_reassembled() {
     let mut writer = conn.try_clone().unwrap();
     let mut reader = FrameReader::new(conn);
 
-    let request = b"{\"kind\":\"ping\",\"id\":11}\n{\"kind\":\"stats\",\"id\":12}\n";
+    let request = b"{\"v\":1,\"kind\":\"ping\",\"id\":11}\n{\"v\":1,\"kind\":\"stats\",\"id\":12}\n";
     for chunk in request.chunks(3) {
         writer.write_all(chunk).unwrap();
         writer.flush().unwrap();
@@ -149,12 +149,39 @@ fn requests_split_across_arbitrary_writes_are_reassembled() {
 }
 
 #[test]
+fn missing_or_wrong_protocol_version_is_refused_with_a_typed_error() {
+    let daemon = Daemon::start();
+    let conn = daemon.connect();
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = FrameReader::new(conn);
+
+    // Pre-versioning frame (no `v` at all): typed refusal, not a parse
+    // error, and every response frame itself announces `v:1`.
+    writer.write_all(b"{\"kind\":\"ping\",\"id\":21}\n").unwrap();
+    let frame = read_line(&mut reader);
+    assert_eq!(error_code(&frame), "protocol-mismatch");
+    assert_eq!(frame.get("id").and_then(Value::as_u64), Some(21));
+    assert_eq!(frame.get("v").and_then(Value::as_u64), Some(1));
+
+    // Future version: same refusal.
+    writer.write_all(b"{\"v\":9,\"kind\":\"ping\",\"id\":22}\n").unwrap();
+    let frame = read_line(&mut reader);
+    assert_eq!(error_code(&frame), "protocol-mismatch");
+
+    // The connection survives; a correctly-versioned ping round-trips.
+    writer.write_all(b"{\"v\":1,\"kind\":\"ping\",\"id\":23}\n").unwrap();
+    let frame = read_line(&mut reader);
+    assert_eq!(frame.get("id").and_then(Value::as_u64), Some(23));
+    assert_eq!(frame.get("kind").and_then(Value::as_str), Some("ping"));
+}
+
+#[test]
 fn empty_lines_are_ignored() {
     let daemon = Daemon::start();
     let conn = daemon.connect();
     let mut writer = conn.try_clone().unwrap();
     let mut reader = FrameReader::new(conn);
-    writer.write_all(b"\n\n{\"kind\":\"ping\",\"id\":2}\n").unwrap();
+    writer.write_all(b"\n\n{\"v\":1,\"kind\":\"ping\",\"id\":2}\n").unwrap();
     let frame = read_line(&mut reader);
     assert_eq!(frame.get("id").and_then(Value::as_u64), Some(2));
 }

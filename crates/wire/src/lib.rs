@@ -1,0 +1,84 @@
+//! Shared NDJSON wire plumbing.
+//!
+//! Both wire protocols in the workspace — the `mppmd` daemon socket and
+//! the campaign coordinator↔worker pipes — speak newline-delimited JSON
+//! frames. This crate holds what they share so neither depends on the
+//! other:
+//!
+//! * [`FrameReader`]: incremental newline framing with a hard per-line
+//!   size limit ([`MAX_LINE`]), robust to any transport fragmentation;
+//! * [`PROTOCOL_VERSION`] and [`check_version`]: the `v` field carried
+//!   by every frame, so two builds speaking different revisions fail
+//!   with a typed [`ProtocolMismatch`] instead of a silent misparse.
+
+mod framing;
+
+pub use framing::{Frame, FrameReader};
+
+/// Hard per-line size limit for NDJSON frames (1 MiB). Longer lines are
+/// discarded to the next newline and surface as [`Frame::Oversized`].
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Version of the NDJSON wire protocols (daemon socket and campaign
+/// worker pipes). Carried as the `v` member of every frame; bump it
+/// whenever a frame shape changes incompatibly.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A peer speaks a different protocol revision than this build.
+///
+/// Raised by [`check_version`] when a frame's `v` field disagrees with
+/// [`PROTOCOL_VERSION`]. Frames *without* a `v` field are treated as
+/// version 0 — the pre-versioning wire — and refused the same way, so
+/// mixing an old binary with a new one fails loudly on the first frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolMismatch {
+    /// The version the peer announced (0 when the frame had none).
+    pub found: u64,
+    /// The version this build speaks.
+    pub expected: u64,
+}
+
+impl std::fmt::Display for ProtocolMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "protocol mismatch: peer speaks wire version {}, this build speaks {} \
+             (rebuild both sides from the same revision)",
+            self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ProtocolMismatch {}
+
+/// Validates a frame's announced version against this build's.
+///
+/// `found` is the frame's `v` member, or `None` when absent (legacy
+/// frames announce nothing and count as version 0).
+///
+/// # Errors
+///
+/// [`ProtocolMismatch`] unless `found == Some(PROTOCOL_VERSION)`.
+pub fn check_version(found: Option<u64>) -> Result<(), ProtocolMismatch> {
+    let found = found.unwrap_or(0);
+    if found == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(ProtocolMismatch { found, expected: PROTOCOL_VERSION })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_check_accepts_only_the_current_revision() {
+        assert!(check_version(Some(PROTOCOL_VERSION)).is_ok());
+        let err = check_version(None).unwrap_err();
+        assert_eq!(err, ProtocolMismatch { found: 0, expected: PROTOCOL_VERSION });
+        let err = check_version(Some(99)).unwrap_err();
+        assert_eq!(err.found, 99);
+        assert!(err.to_string().contains("protocol mismatch"), "{err}");
+    }
+}
