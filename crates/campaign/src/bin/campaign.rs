@@ -21,7 +21,7 @@
 
 use mppm_campaign::{
     csv_bundle, design_table, histogram_table, stability_table, write_csvs, AggregateOptions,
-    Campaign, CampaignSpec, MixSource,
+    Campaign, CampaignSpec, MixSource, RunProvenance,
 };
 use mppm_experiments::{Context, Scale};
 use mppm_obs::{JsonlSink, Observer, ProgressSink, Sink};
@@ -197,9 +197,11 @@ fn main() {
         println!("wrote csv bundle to {}", path.display());
     }
 
-    // CSVs next to the other experiment outputs (workspace results/).
-    let dir: PathBuf = mppm_experiments::table::results_dir();
-    match write_csvs(&result, &dir) {
+    // CSVs next to the other experiment outputs: workspace results/ at
+    // full scale, target/quick-results/ for smoke runs — a quick run
+    // must never clobber the committed paper-scale bundle.
+    let dir: PathBuf = mppm_experiments::table::results_dir_for(args.scale);
+    match write_csvs(&result, &dir, &RunProvenance::current(args.scale)) {
         Ok(()) => println!("wrote campaign CSVs to {}", dir.display()),
         Err(e) => {
             eprintln!("error writing CSVs: {e}");

@@ -381,16 +381,96 @@ pub fn csv_bundle(result: &CampaignResult) -> String {
     )
 }
 
+/// Provenance of a CSV bundle on disk: which run wrote it, at what
+/// scale, from what command line. Recorded beside the CSVs in
+/// `campaign_manifest.json` so a results directory is reviewable —
+/// a smoke run can no longer masquerade as a paper-scale campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProvenance {
+    /// Trace scale label (`"full"` or `"quick"`).
+    pub scale: String,
+    /// Command line of the producing process (program + flags).
+    pub argv: Vec<String>,
+}
+
+impl RunProvenance {
+    /// Provenance for the current process: `scale` plus its own argv.
+    pub fn current(scale: mppm_experiments::Scale) -> Self {
+        let scale = match scale {
+            mppm_experiments::Scale::Full => "full",
+            mppm_experiments::Scale::Quick => "quick",
+        };
+        Self { scale: scale.into(), argv: std::env::args().collect() }
+    }
+}
+
+/// Largest per-design mix count in an existing `campaign_designs.csv`,
+/// if the file is present and parseable.
+fn existing_mix_count(path: &std::path::Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines().skip(1).filter_map(|l| l.split(',').nth(1)?.parse().ok()).max()
+}
+
 /// Writes the campaign CSVs (`campaign_designs.csv`,
-/// `campaign_slowdown_hist.csv`, `campaign_stability.csv`) into `dir`.
+/// `campaign_slowdown_hist.csv`, `campaign_stability.csv`) into `dir`,
+/// plus a `campaign_manifest.json` sidecar recording the plan id, mix
+/// counts, and `provenance` (scale + command line) of the run that
+/// produced them.
 ///
 /// # Errors
 ///
-/// Any I/O error creating the directory or writing a file.
-pub fn write_csvs(result: &CampaignResult, dir: &std::path::Path) -> std::io::Result<()> {
-    use mppm_experiments::atomic_write_bytes;
+/// Any I/O error creating the directory or writing a file — or, to
+/// protect committed paper-scale data, an error when a run that is not
+/// quick-scale targets a directory already holding a
+/// `campaign_designs.csv` covering *more* mixes per design than this
+/// result: a small run must never silently replace a full-campaign
+/// bundle. Delete the old bundle first if the smaller replacement is
+/// intentional. (Quick-scale runs are exempt: they only ever write to
+/// the `target/quick-results/` scratch directory, where successive
+/// smoke runs of different sizes legitimately replace each other.)
+pub fn write_csvs(
+    result: &CampaignResult,
+    dir: &std::path::Path,
+    provenance: &RunProvenance,
+) -> std::io::Result<()> {
+    use mppm_experiments::{atomic_write_bytes, atomic_write_json};
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct ManifestDesign {
+        label: String,
+        mixes: u64,
+    }
+    #[derive(Serialize)]
+    struct Manifest {
+        plan_id: String,
+        scale: String,
+        cores: usize,
+        mixes: u64,
+        designs: Vec<ManifestDesign>,
+        argv: Vec<String>,
+    }
+
     std::fs::create_dir_all(dir)?;
-    atomic_write_bytes(&dir.join("campaign_designs.csv"), design_table(result).to_csv().as_bytes())?;
+    let designs_path = dir.join("campaign_designs.csv");
+    if provenance.scale != "quick" {
+        let new_max = result.designs.iter().map(|d| d.mixes).max().unwrap_or(0);
+        let old_max = existing_mix_count(&designs_path);
+        if old_max.is_some_and(|old| old > new_max) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                format!(
+                    "refusing to overwrite {}: the existing bundle covers {} mixes \
+                     per design, this run only {new_max}; a small run must not replace \
+                     paper-scale results (delete the old CSVs first if the smaller \
+                     replacement is intentional)",
+                    designs_path.display(),
+                    old_max.unwrap_or(0),
+                ),
+            ));
+        }
+    }
+    atomic_write_bytes(&designs_path, design_table(result).to_csv().as_bytes())?;
     atomic_write_bytes(
         &dir.join("campaign_slowdown_hist.csv"),
         histogram_table(result).to_csv().as_bytes(),
@@ -398,6 +478,21 @@ pub fn write_csvs(result: &CampaignResult, dir: &std::path::Path) -> std::io::Re
     atomic_write_bytes(
         &dir.join("campaign_stability.csv"),
         stability_table(result).to_csv().as_bytes(),
+    )?;
+    atomic_write_json(
+        &dir.join("campaign_manifest.json"),
+        &Manifest {
+            plan_id: result.plan_id.clone(),
+            scale: provenance.scale.clone(),
+            cores: result.cores,
+            mixes: result.mixes,
+            designs: result
+                .designs
+                .iter()
+                .map(|d| ManifestDesign { label: design_label(d.config_idx), mixes: d.mixes })
+                .collect(),
+            argv: provenance.argv.clone(),
+        },
     )?;
     Ok(())
 }
@@ -445,11 +540,53 @@ mod tests {
         assert_eq!(again.stats.computed_shards, 0, "second run fully resumed");
         assert_eq!(csv_bundle(&again), bundle);
 
-        // write_csvs produces exactly the bundle's parts.
+        // write_csvs produces exactly the bundle's parts, plus a
+        // provenance manifest naming the run.
         let out = root.join("csv-out");
-        write_csvs(&result, &out).unwrap();
+        let provenance = RunProvenance::current(Scale::Quick);
+        write_csvs(&result, &out, &provenance).unwrap();
         let designs = std::fs::read_to_string(out.join("campaign_designs.csv")).unwrap();
         assert_eq!(designs, design_table(&result).to_csv());
+        let manifest = std::fs::read_to_string(out.join("campaign_manifest.json")).unwrap();
+        assert!(manifest.contains(&result.plan_id), "manifest names the plan: {manifest}");
+        assert!(manifest.contains("\"quick\""), "manifest records the scale: {manifest}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A full-scale result covering fewer mixes per design must not
+    /// overwrite an existing bundle covering more — the committed
+    /// paper-scale CSVs survive an accidental small run pointed at the
+    /// same directory. Quick-scale writes are exempt (they only ever
+    /// target the `target/quick-results/` scratch directory).
+    #[test]
+    fn write_csvs_refuses_to_shrink_an_existing_bundle() {
+        let root = std::env::temp_dir()
+            .join(format!("mppm-campaign-shrink-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let ctx = Context::with_store(Scale::Quick, Store::open(&root).unwrap());
+        let spec_of = |count: usize| CampaignSpec {
+            cores: 2,
+            designs: vec![0, 1],
+            source: MixSource::Stratified { count, seed: 3 },
+            shard_size: 8,
+        };
+        let options = AggregateOptions { stability_trials: 10, ..Default::default() };
+        let big = Campaign::new(&spec_of(24)).options(&options).run(&ctx).unwrap();
+        let small = Campaign::new(&spec_of(6)).options(&options).run(&ctx).unwrap();
+        let out = root.join("csv-out");
+        let full = RunProvenance::current(Scale::Full);
+
+        write_csvs(&big, &out, &full).unwrap();
+        let committed = std::fs::read_to_string(out.join("campaign_designs.csv")).unwrap();
+        let err = write_csvs(&small, &out, &full).unwrap_err();
+        assert!(err.to_string().contains("refusing to overwrite"), "{err}");
+        let after = std::fs::read_to_string(out.join("campaign_designs.csv")).unwrap();
+        assert_eq!(after, committed, "refused write must leave the bundle untouched");
+
+        // Equal-or-larger runs still overwrite freely (resumes, reruns),
+        // and quick-scale smoke runs replace scratch output of any size.
+        write_csvs(&big, &out, &full).unwrap();
+        write_csvs(&small, &out, &RunProvenance::current(Scale::Quick)).unwrap();
         let _ = std::fs::remove_dir_all(&root);
     }
 

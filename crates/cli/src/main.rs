@@ -406,8 +406,10 @@ fn run(cmd: Command) -> Result<(), CliError> {
                     result.stats.evaluated_mixes, result.stats.compute_seconds
                 );
             }
-            let dir = mppm_experiments::table::results_dir();
-            write_csvs(&result, &dir)?;
+            // Full-scale output owns results/; quick smoke runs land in
+            // target/quick-results/ to protect the committed bundle.
+            let dir = mppm_experiments::table::results_dir_for(scale);
+            write_csvs(&result, &dir, &mppm_campaign::RunProvenance::current(scale))?;
             println!("wrote campaign CSVs to {}", dir.display());
             Ok(())
         }

@@ -111,6 +111,19 @@ pub fn results_dir() -> PathBuf {
     }
 }
 
+/// The directory a run at `scale` saves CSVs to. Full-scale runs own
+/// the committed `results/` directory; quick-scale smoke runs (CI, dev
+/// loops) land in `target/quick-results/` so they can never overwrite
+/// committed paper-scale data.
+pub fn results_dir_for(scale: crate::Scale) -> PathBuf {
+    match scale {
+        crate::Scale::Full => results_dir(),
+        crate::Scale::Quick => {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/quick-results")
+        }
+    }
+}
+
 /// Formats a float with 3 decimal places (table cell helper).
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
